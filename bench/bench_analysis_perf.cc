@@ -1,0 +1,84 @@
+// Analysis-infrastructure microbenchmarks (google-benchmark): how fast the
+// frontend, the points-to analysis, the call graph and the VM are on the
+// whole kernel corpus. The paper's scalability claim ("it is possible to
+// apply sound static analysis tools at a large scale") rests on tool speed.
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/callgraph.h"
+#include "src/analysis/pointsto.h"
+#include "src/blockstop/blockstop.h"
+#include "src/kernel/corpus.h"
+
+namespace {
+
+void BM_CompileKernel(benchmark::State& state) {
+  ivy::ToolConfig cfg;
+  for (auto _ : state) {
+    auto comp = ivy::CompileKernel(cfg);
+    benchmark::DoNotOptimize(comp->ok);
+  }
+}
+BENCHMARK(BM_CompileKernel);
+
+void BM_PointsToInsensitive(benchmark::State& state) {
+  auto comp = ivy::CompileKernel(ivy::ToolConfig{});
+  for (auto _ : state) {
+    ivy::PointsTo pt(&comp->prog, comp->sema.get(), false);
+    pt.Solve();
+    benchmark::DoNotOptimize(pt.node_count());
+  }
+}
+BENCHMARK(BM_PointsToInsensitive);
+
+void BM_PointsToFieldSensitive(benchmark::State& state) {
+  auto comp = ivy::CompileKernel(ivy::ToolConfig{});
+  for (auto _ : state) {
+    ivy::PointsTo pt(&comp->prog, comp->sema.get(), true);
+    pt.Solve();
+    benchmark::DoNotOptimize(pt.node_count());
+  }
+}
+BENCHMARK(BM_PointsToFieldSensitive);
+
+void BM_BlockStopFull(benchmark::State& state) {
+  auto comp = ivy::CompileKernel(ivy::ToolConfig{});
+  for (auto _ : state) {
+    ivy::PointsTo pt(&comp->prog, comp->sema.get(), false);
+    pt.Solve();
+    ivy::CallGraph cg = ivy::CallGraph::Build(comp->prog, *comp->sema, pt);
+    ivy::BlockStop bs(&comp->prog, comp->sema.get(), &cg);
+    ivy::BlockStopReport report = bs.Run();
+    benchmark::DoNotOptimize(report.violations.size());
+  }
+}
+BENCHMARK(BM_BlockStopFull);
+
+void BM_VmBoot(benchmark::State& state) {
+  auto comp = ivy::CompileKernel(ivy::ToolConfig{});
+  for (auto _ : state) {
+    auto vm = ivy::MakeVm(*comp);
+    ivy::VmResult r = vm->Call("boot_kernel", {5});
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_VmBoot);
+
+void BM_VmThroughputDeputy(benchmark::State& state) {
+  auto comp = ivy::CompileKernel(ivy::ToolConfig{});
+  auto vm = ivy::MakeVm(*comp);
+  vm->Call("boot_kernel", {2});
+  vm->Call("hb_setup");
+  int64_t steps = 0;
+  for (auto _ : state) {
+    int64_t before = 0;
+    ivy::VmResult r = vm->Call("hb_bw_mem_rd", {2});
+    steps += r.steps - before;
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_VmThroughputDeputy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

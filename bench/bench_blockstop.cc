@@ -1,0 +1,38 @@
+// E4: BlockStop on the kernel corpus. The paper "found two apparent bugs"
+// and "encountered false positives, mostly due to the overly-conservative
+// points-to analysis of function pointers", silenced by 15 run-time checks.
+// This bench runs the whole analysis (field-insensitive points-to, as in the
+// paper) and prints the violation and silenced-false-positive reports.
+#include <cstdio>
+
+#include "src/analysis/callgraph.h"
+#include "src/analysis/pointsto.h"
+#include "src/blockstop/blockstop.h"
+#include "src/kernel/corpus.h"
+
+int main() {
+  ivy::ToolConfig cfg;
+  auto comp = ivy::CompileKernel(cfg);
+  if (!comp->ok) {
+    std::fprintf(stderr, "compile failed\n%s", comp->Errors().c_str());
+    return 1;
+  }
+
+  // The paper's configuration: a simple (field-insensitive) points-to
+  // analysis, made sound by Deputy/CCount's type safety.
+  ivy::PointsTo pt(&comp->prog, comp->sema.get(), /*field_sensitive=*/false);
+  pt.Solve();
+  ivy::CallGraph cg = ivy::CallGraph::Build(comp->prog, *comp->sema, pt);
+  ivy::BlockStop bs(&comp->prog, comp->sema.get(), &cg);
+  ivy::BlockStopReport report = bs.Run();
+
+  std::printf("E4: BlockStop (paper: 2 apparent bugs; FPs silenced by 15 runtime checks)\n");
+  std::printf("--------------------------------------------------------------------------\n");
+  std::printf("%s", report.ToString().c_str());
+  std::printf("\nviolation sites with source context:\n");
+  for (const ivy::BlockingViolation& v : report.violations) {
+    std::printf("  %s\n    %s\n", comp->sm.Render(v.loc).c_str(),
+                comp->sm.LineAt(v.loc).c_str());
+  }
+  return 0;
+}

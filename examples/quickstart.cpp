@@ -1,0 +1,88 @@
+// Quickstart: the Deputy workflow from §2.1 on a ten-line driver routine.
+//
+//   1. Unannotated code with a real overflow compiles (Deputy is
+//      incremental) and the bug is caught by an inserted run-time check.
+//   2. Adding a count() annotation moves the same property to compile time
+//      for the correct loop — the check is *discharged statically* and the
+//      erased program runs at full speed.
+//
+// Build & run:  ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "src/driver/compiler.h"
+
+namespace {
+
+const char* kBuggy = R"(
+  // A buffer routine with an off-by-one: i <= len walks one past the end.
+  int fill(char* count(len) buf, int len) {
+    int sum = 0;
+    for (int i = 0; i <= len; i++) {
+      buf[i] = i;
+      sum = sum + buf[i];
+    }
+    return sum;
+  }
+  int main(void) {
+    char scratch[64];
+    return fill(scratch, 64);
+  }
+)";
+
+const char* kFixed = R"(
+  int fill(char* count(len) buf, int len) {
+    int sum = 0;
+    for (int i = 0; i < len; i++) {
+      buf[i] = i;
+      sum = sum + buf[i];
+    }
+    return sum;
+  }
+  int main(void) {
+    char scratch[64];
+    return fill(scratch, 64);
+  }
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("=== 1. Buggy routine under Deputy ===\n");
+  ivy::ToolConfig cfg;
+  auto buggy = ivy::CompileOne(kBuggy, cfg);
+  if (!buggy->ok) {
+    std::printf("compile errors:\n%s", buggy->Errors().c_str());
+    return 1;
+  }
+  std::printf("compiled; %lld run-time checks inserted, %lld discharged statically\n",
+              static_cast<long long>(buggy->check_stats.TotalEmitted()),
+              static_cast<long long>(buggy->check_stats.TotalDischarged()));
+  auto vm = ivy::MakeVm(*buggy);
+  ivy::VmResult r = vm->Call("main");
+  std::printf("run: %s", r.ok ? "completed (unexpected!)\n" : "TRAPPED: ");
+  if (!r.ok) {
+    std::printf("%s at %s\n  -> %s\n", ivy::TrapKindName(r.trap),
+                buggy->sm.Render(r.trap_loc).c_str(),
+                buggy->sm.LineAt(r.trap_loc).c_str());
+  }
+
+  std::printf("\n=== 2. Fixed routine ===\n");
+  auto fixed = ivy::CompileOne(kFixed, cfg);
+  std::printf("compiled; %lld run-time checks inserted, %lld discharged statically\n",
+              static_cast<long long>(fixed->check_stats.TotalEmitted()),
+              static_cast<long long>(fixed->check_stats.TotalDischarged()));
+  auto vm2 = ivy::MakeVm(*fixed);
+  ivy::VmResult r2 = vm2->Call("main");
+  std::printf("run: %s, result=%lld, cycles=%lld\n", r2.ok ? "ok" : "trapped",
+              static_cast<long long>(r2.value), static_cast<long long>(r2.cycles));
+
+  std::printf("\n=== 3. Erasure semantics ===\n");
+  ivy::ToolConfig off;
+  off.deputy = false;
+  auto erased = ivy::CompileOne(kFixed, off);
+  auto vm3 = ivy::MakeVm(*erased);
+  ivy::VmResult r3 = vm3->Call("main");
+  std::printf("tools off: result=%lld (same), cycles=%lld (checks erased)\n",
+              static_cast<long long>(r3.value), static_cast<long long>(r3.cycles));
+  return 0;
+}

@@ -1,0 +1,194 @@
+#include "src/annodb/annodb.h"
+
+#include "src/ccount/layouts.h"
+
+namespace ivy {
+
+AnnoDb AnnoDb::Extract(const Program& prog, const Sema& sema, const IrModule& module,
+                       const BlockStopReport* blockstop) {
+  AnnoDb db;
+  for (const auto& [name, fn] : sema.func_map()) {
+    if (fn->func_id < 0) {
+      continue;
+    }
+    FuncFacts facts;
+    facts.name = name;
+    for (const Symbol* p : fn->params) {
+      facts.param_annots.push_back(TypeToString(p->type));
+    }
+    facts.blocking = fn->attrs.blocking;
+    facts.noblock = fn->attrs.noblock;
+    facts.blocking_if_param = fn->attrs.blocking_if_param;
+    facts.errcodes = fn->attrs.errcodes;
+    facts.frame_size = fn->frame_size;
+    if (blockstop != nullptr) {
+      facts.may_block = blockstop->mayblock.count(name) != 0;
+    }
+    db.funcs_[name] = std::move(facts);
+  }
+  TypeLayoutRegistry layouts = TypeLayoutRegistry::Build(prog);
+  for (const RecordDecl* rec : prog.records) {
+    if (rec->type_id < 0 || rec->name.empty()) {
+      continue;
+    }
+    RecordFacts facts;
+    facts.name = rec->name;
+    facts.size = rec->size;
+    const TypeLayout* layout = layouts.Get(rec->type_id);
+    if (layout != nullptr) {
+      facts.ptr_offsets = layout->ptr_offsets;
+    }
+    db.records_[rec->name] = std::move(facts);
+  }
+  return db;
+}
+
+Json AnnoDb::ToJson() const {
+  Json root = Json::MakeObject();
+  Json& funcs = root["functions"];
+  funcs = Json::MakeObject();
+  for (const auto& [name, f] : funcs_) {
+    Json& j = funcs[name];
+    j = Json::MakeObject();
+    Json params = Json::MakeArray();
+    for (const std::string& p : f.param_annots) {
+      params.Append(Json::MakeString(p));
+    }
+    j["params"] = std::move(params);
+    j["blocking"] = Json::MakeBool(f.blocking);
+    j["noblock"] = Json::MakeBool(f.noblock);
+    j["may_block"] = Json::MakeBool(f.may_block);
+    j["blocking_if_param"] = Json::MakeInt(f.blocking_if_param);
+    Json errs = Json::MakeArray();
+    for (int64_t e : f.errcodes) {
+      errs.Append(Json::MakeInt(e));
+    }
+    j["errcodes"] = std::move(errs);
+    j["frame_size"] = Json::MakeInt(f.frame_size);
+  }
+  Json& records = root["records"];
+  records = Json::MakeObject();
+  for (const auto& [name, r] : records_) {
+    Json& j = records[name];
+    j = Json::MakeObject();
+    j["size"] = Json::MakeInt(r.size);
+    Json offs = Json::MakeArray();
+    for (int64_t o : r.ptr_offsets) {
+      offs.Append(Json::MakeInt(o));
+    }
+    j["ptr_offsets"] = std::move(offs);
+  }
+  return root;
+}
+
+AnnoDb AnnoDb::FromJson(const Json& j) {
+  AnnoDb db;
+  if (const Json* funcs = j.Find("functions")) {
+    for (const auto& [name, f] : funcs->object()) {
+      FuncFacts facts;
+      facts.name = name;
+      if (const Json* params = f.Find("params")) {
+        for (const Json& p : params->array()) {
+          facts.param_annots.push_back(p.AsString());
+        }
+      }
+      if (const Json* b = f.Find("blocking")) {
+        facts.blocking = b->AsBool();
+      }
+      if (const Json* b = f.Find("noblock")) {
+        facts.noblock = b->AsBool();
+      }
+      if (const Json* b = f.Find("may_block")) {
+        facts.may_block = b->AsBool();
+      }
+      if (const Json* b = f.Find("blocking_if_param")) {
+        facts.blocking_if_param = static_cast<int>(b->AsInt(-1));
+      }
+      if (const Json* errs = f.Find("errcodes")) {
+        for (const Json& e : errs->array()) {
+          facts.errcodes.push_back(e.AsInt());
+        }
+      }
+      if (const Json* fs = f.Find("frame_size")) {
+        facts.frame_size = fs->AsInt();
+      }
+      db.funcs_[name] = std::move(facts);
+    }
+  }
+  if (const Json* records = j.Find("records")) {
+    for (const auto& [name, r] : records->object()) {
+      RecordFacts facts;
+      facts.name = name;
+      if (const Json* s = r.Find("size")) {
+        facts.size = s->AsInt();
+      }
+      if (const Json* offs = r.Find("ptr_offsets")) {
+        for (const Json& o : offs->array()) {
+          facts.ptr_offsets.push_back(o.AsInt());
+        }
+      }
+      db.records_[name] = std::move(facts);
+    }
+  }
+  return db;
+}
+
+int AnnoDb::Merge(const AnnoDb& other) {
+  int added = 0;
+  for (const auto& [name, facts] : other.funcs_) {
+    auto [it, inserted] = funcs_.emplace(name, facts);
+    if (inserted) {
+      ++added;
+    } else {
+      // Conservative union of behavioural facts.
+      it->second.blocking = it->second.blocking || facts.blocking;
+      it->second.may_block = it->second.may_block || facts.may_block;
+      it->second.noblock = it->second.noblock || facts.noblock;
+      if (it->second.errcodes.empty()) {
+        it->second.errcodes = facts.errcodes;
+      }
+      if (it->second.param_annots.empty()) {
+        it->second.param_annots = facts.param_annots;
+      }
+    }
+  }
+  for (const auto& [name, facts] : other.records_) {
+    if (records_.emplace(name, facts).second) {
+      ++added;
+    }
+  }
+  return added;
+}
+
+int AnnoDb::ApplyAttributes(Program* prog) const {
+  int updated = 0;
+  for (FuncDecl* fn : prog->funcs) {
+    auto it = funcs_.find(fn->name);
+    if (it == funcs_.end()) {
+      continue;
+    }
+    bool changed = false;
+    if (it->second.blocking && !fn->attrs.blocking) {
+      fn->attrs.blocking = true;
+      changed = true;
+    }
+    if (it->second.noblock && !fn->attrs.noblock) {
+      fn->attrs.noblock = true;
+      changed = true;
+    }
+    if (!it->second.errcodes.empty() && fn->attrs.errcodes.empty()) {
+      fn->attrs.errcodes = it->second.errcodes;
+      changed = true;
+    }
+    if (it->second.blocking_if_param >= 0 && fn->attrs.blocking_if_param < 0) {
+      fn->attrs.blocking_if_param = it->second.blocking_if_param;
+      changed = true;
+    }
+    if (changed) {
+      ++updated;
+    }
+  }
+  return updated;
+}
+
+}  // namespace ivy

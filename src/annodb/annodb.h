@@ -1,0 +1,79 @@
+// The collaborative annotation repository (§3.2).
+//
+// "We propose the creation of a collaborative database of source code
+// information that would allow different researchers and tools to share and
+// reuse information about publicly available source code such as the Linux
+// kernel. For example, this database could provide pointer alias information
+// and bounds information for function arguments and global variables ... We
+// can also store information about blocking functions, error codes, and so
+// on."
+//
+// AnnoDb serializes per-function and per-record facts to JSON: parameter
+// bounds annotations, blocking/noblock attributes, error codes, inferred
+// may-block sets, frame sizes and pointer layouts. Databases can be
+// exported from an analyzed program, merged (collaboration), and applied to
+// an *unannotated* module as attribute defaults (incremental porting).
+#ifndef SRC_ANNODB_ANNODB_H_
+#define SRC_ANNODB_ANNODB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/callgraph.h"
+#include "src/blockstop/blockstop.h"
+#include "src/ir/ir.h"
+#include "src/mc/ast.h"
+#include "src/support/json.h"
+
+namespace ivy {
+
+struct FuncFacts {
+  std::string name;
+  std::vector<std::string> param_annots;  // rendered types, e.g. "char* count(n)"
+  bool blocking = false;
+  bool noblock = false;
+  bool may_block = false;  // inferred by BlockStop
+  int blocking_if_param = -1;
+  std::vector<int64_t> errcodes;
+  int64_t frame_size = 0;
+};
+
+struct RecordFacts {
+  std::string name;
+  int64_t size = 0;
+  std::vector<int64_t> ptr_offsets;  // CCount layout
+};
+
+class AnnoDb {
+ public:
+  // Extracts a database from a compiled program (plus optional BlockStop
+  // results for the inferred may-block facts).
+  static AnnoDb Extract(const Program& prog, const Sema& sema, const IrModule& module,
+                        const BlockStopReport* blockstop = nullptr);
+
+  // Serialization round trip.
+  Json ToJson() const;
+  static AnnoDb FromJson(const Json& j);
+
+  // Merge: facts from `other` fill gaps in this database; conflicting
+  // boolean facts are OR-ed (conservative for blocking). Returns number of
+  // new entries added.
+  int Merge(const AnnoDb& other);
+
+  // Applies stored blocking/errcode attributes to functions of `prog` that
+  // lack them (incremental porting of unannotated modules). Returns the
+  // number of functions updated.
+  int ApplyAttributes(Program* prog) const;
+
+  const std::map<std::string, FuncFacts>& funcs() const { return funcs_; }
+  const std::map<std::string, RecordFacts>& records() const { return records_; }
+
+ private:
+  std::map<std::string, FuncFacts> funcs_;
+  std::map<std::string, RecordFacts> records_;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_ANNODB_ANNODB_H_

@@ -1,0 +1,357 @@
+#include "src/blockstop/blockstop.h"
+
+#include <algorithm>
+
+#include "src/vm/builtins.h"
+
+namespace ivy {
+
+namespace {
+constexpr int64_t kGfpWait = 1;
+}
+
+BlockStop::BlockStop(const Program* prog, const Sema* sema, const CallGraph* cg)
+    : prog_(prog), sema_(sema), cg_(cg) {
+  for (const FuncDecl* fn : cg_->DefinedFuncs()) {
+    for (const CallSite& site : cg_->SitesOf(fn)) {
+      site_index_[site.expr] = &site;
+    }
+  }
+}
+
+const CallSite* BlockStop::SiteFor(const Expr* e) const {
+  auto it = site_index_.find(e);
+  return it == site_index_.end() ? nullptr : it->second;
+}
+
+bool BlockStop::CallMayBlock(const FuncDecl* callee, const std::vector<Expr*>& args,
+                             const FuncDecl* caller) const {
+  if (callee == nullptr) {
+    return false;
+  }
+  if (callee->attrs.blocking) {
+    return true;
+  }
+  if (callee->is_builtin && BuiltinIsBlocking(static_cast<Builtin>(callee->builtin_id))) {
+    return true;
+  }
+  int flag_param = callee->attrs.blocking_if_param;
+  if (flag_param >= 0) {
+    if (static_cast<size_t>(flag_param) >= args.size()) {
+      return true;  // missing flag argument: be conservative
+    }
+    const Expr* flag = args[static_cast<size_t>(flag_param)];
+    if (flag->is_const) {
+      return (flag->int_val & kGfpWait) != 0;
+    }
+    // Pass-through wrappers: `kmalloc(size, flags)` inside a function itself
+    // annotated blocking_if(flags) stays conditional — it is the *wrapper's*
+    // call sites that decide.
+    if (caller != nullptr && caller->attrs.blocking_if_param >= 0 &&
+        flag->kind == ExprKind::kIdent && flag->sym != nullptr &&
+        flag->sym->kind == SymKind::kParam &&
+        flag->sym->param_index == caller->attrs.blocking_if_param) {
+      return false;
+    }
+    return true;  // unknown flag expression: conservative
+  }
+  if (!callee->is_builtin && mayblock_.count(callee) != 0) {
+    return true;
+  }
+  return false;
+}
+
+std::string BlockStop::WitnessFor(const FuncDecl* fn) const {
+  auto it = witness_.find(fn);
+  return it == witness_.end() ? std::string("annotated blocking") : it->second;
+}
+
+void BlockStop::ComputeMayBlock() {
+  for (const FuncDecl* fn : cg_->DefinedFuncs()) {
+    if (fn->attrs.blocking) {
+      mayblock_.insert(fn);
+      witness_[fn] = "annotated blocking";
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FuncDecl* fn : cg_->DefinedFuncs()) {
+      if (mayblock_.count(fn) != 0 || fn->attrs.blocking_if_param >= 0) {
+        // Conditionally-blocking wrappers are handled at their call sites.
+        continue;
+      }
+      for (const CallSite& site : cg_->SitesOf(fn)) {
+        if (site.is_irq_dispatch) {
+          continue;  // handlers run in irq context; dispatch itself won't sleep
+        }
+        std::vector<Expr*>& args = const_cast<Expr*>(site.expr)->args;
+        const FuncDecl* cause = nullptr;
+        if (site.builtin != nullptr && CallMayBlock(site.builtin, args, fn)) {
+          cause = site.builtin;
+        } else if (site.direct != nullptr && CallMayBlock(site.direct, args, fn)) {
+          cause = site.direct;
+        } else {
+          for (const FuncDecl* t : site.indirect) {
+            // A noblock candidate carries the paper's assert_nonatomic()
+            // run-time check: the assertion that it is never actually
+            // reached on an atomic path also cuts may-block propagation
+            // through this (points-to-imprecise) edge. Direct calls still
+            // propagate normally.
+            if (t->attrs.noblock) {
+              continue;
+            }
+            if (CallMayBlock(t, args, fn)) {
+              cause = t;
+              break;
+            }
+          }
+        }
+        if (cause != nullptr) {
+          mayblock_.insert(fn);
+          witness_[fn] = "calls " + cause->name;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void BlockStop::WalkExpr(const FuncDecl* fn, const Expr* e, IrqState* st, uint8_t entry_irq,
+                         std::vector<std::pair<const Expr*, IrqState>>* out) const {
+  if (e == nullptr) {
+    return;
+  }
+  WalkExpr(fn, e->a, st, entry_irq, out);
+  WalkExpr(fn, e->b, st, entry_irq, out);
+  WalkExpr(fn, e->c, st, entry_irq, out);
+  for (const Expr* arg : e->args) {
+    WalkExpr(fn, arg, st, entry_irq, out);
+  }
+  if (e->kind != ExprKind::kCall) {
+    return;
+  }
+  out->push_back({e, *st});
+  const CallSite* site = SiteFor(e);
+  if (site == nullptr || site->builtin == nullptr) {
+    return;
+  }
+  const std::string& name = site->builtin->name;
+  if (name == "local_irq_disable" || name == "local_irq_save") {
+    st->irq = 2;
+  } else if (name == "local_irq_enable") {
+    st->irq = 1;
+  } else if (name == "local_irq_restore") {
+    st->irq = entry_irq;
+  } else if (name == "spin_lock_irqsave") {
+    st->irq = 2;
+    st->spin += 1;
+  } else if (name == "spin_unlock_irqrestore") {
+    st->irq = entry_irq;
+    st->spin = std::max(0, st->spin - 1);
+  } else if (name == "spin_lock") {
+    st->spin += 1;
+  } else if (name == "spin_unlock") {
+    st->spin = std::max(0, st->spin - 1);
+  }
+}
+
+void BlockStop::WalkStmt(const FuncDecl* fn, const Stmt* s, IrqState* st, uint8_t entry_irq,
+                         std::vector<std::pair<const Expr*, IrqState>>* out) const {
+  if (s == nullptr) {
+    return;
+  }
+  switch (s->kind) {
+    case StmtKind::kIf: {
+      WalkExpr(fn, s->cond, st, entry_irq, out);
+      IrqState then_st = *st;
+      WalkStmt(fn, s->then_stmt, &then_st, entry_irq, out);
+      IrqState else_st = *st;
+      WalkStmt(fn, s->else_stmt, &else_st, entry_irq, out);
+      *st = then_st;
+      st->Join(else_st);
+      return;
+    }
+    case StmtKind::kWhile:
+    case StmtKind::kDoWhile: {
+      WalkExpr(fn, s->cond, st, entry_irq, out);
+      IrqState body = *st;
+      WalkStmt(fn, s->then_stmt, &body, entry_irq, out);
+      st->Join(body);
+      return;
+    }
+    case StmtKind::kFor: {
+      WalkStmt(fn, s->init, st, entry_irq, out);
+      WalkExpr(fn, s->cond, st, entry_irq, out);
+      IrqState body = *st;
+      WalkStmt(fn, s->then_stmt, &body, entry_irq, out);
+      WalkExpr(fn, s->step, &body, entry_irq, out);
+      st->Join(body);
+      return;
+    }
+    default: {
+      WalkExpr(fn, s->expr, st, entry_irq, out);
+      if (s->decl != nullptr) {
+        WalkExpr(fn, s->decl->init, st, entry_irq, out);
+      }
+      WalkStmt(fn, s->init, st, entry_irq, out);
+      WalkStmt(fn, s->then_stmt, st, entry_irq, out);
+      WalkStmt(fn, s->else_stmt, st, entry_irq, out);
+      for (const Stmt* child : s->body) {
+        WalkStmt(fn, child, st, entry_irq, out);
+      }
+      return;
+    }
+  }
+}
+
+BlockStopReport BlockStop::Run() {
+  ComputeMayBlock();
+  BlockStopReport report;
+  report.num_defined_funcs = static_cast<int>(cg_->DefinedFuncs().size());
+  report.callgraph_edges = cg_->edge_count();
+  report.indirect_sites = cg_->indirect_site_count();
+  report.indirect_target_total = cg_->indirect_target_total();
+  for (const FuncDecl* fn : mayblock_) {
+    report.mayblock.insert(fn->name);
+  }
+  for (const FuncDecl* fn : cg_->DefinedFuncs()) {
+    if (fn->attrs.noblock) {
+      ++report.runtime_checks;
+    }
+  }
+
+  // Interprocedural context fixpoint: bit 1 = entered with irqs on,
+  // bit 2 = entered atomically.
+  std::map<const FuncDecl*, uint8_t> contexts;
+  for (const FuncDecl* fn : cg_->DefinedFuncs()) {
+    contexts[fn] = 1;
+  }
+  for (const FuncDecl* fn : cg_->irq_entries()) {
+    if (!fn->attrs.noblock) {
+      contexts[fn] |= 2;
+    }
+  }
+  std::set<const Expr*> reported;
+  std::set<const Expr*> silenced_sites;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FuncDecl* fn : cg_->DefinedFuncs()) {
+      uint8_t entries = contexts[fn];
+      for (uint8_t entry_bit : {uint8_t{1}, uint8_t{2}}) {
+        if ((entries & entry_bit) == 0) {
+          continue;
+        }
+        IrqState st;
+        st.irq = entry_bit == 1 ? 1 : 2;
+        st.spin = 0;
+        uint8_t entry_irq = st.irq;
+        std::vector<std::pair<const Expr*, IrqState>> sites;
+        WalkStmt(fn, fn->body, &st, entry_irq, &sites);
+        for (auto& [expr, state] : sites) {
+          const CallSite* site = SiteFor(expr);
+          if (site == nullptr) {
+            continue;
+          }
+          bool atomic = state.Atomic();
+          // Context propagation into Mini-C callees.
+          uint8_t callee_bits = 0;
+          if ((state.irq & 1) != 0 && state.spin == 0) {
+            callee_bits |= 1;
+          }
+          if (atomic) {
+            callee_bits |= 2;
+          }
+          for (const FuncDecl* callee : site->McCallees()) {
+            uint8_t add = callee_bits;
+            if (callee->attrs.noblock) {
+              add &= 1;  // its runtime check asserts non-atomic entry
+            }
+            if (site->is_irq_dispatch) {
+              add |= 2;
+            }
+            uint8_t& bits = contexts[callee];
+            if ((bits | add) != bits) {
+              bits |= add;
+              changed = true;
+            }
+          }
+          if (!atomic || site->is_irq_dispatch) {
+            continue;
+          }
+          // Violation detection at this atomic site.
+          std::vector<Expr*>& args = const_cast<Expr*>(expr)->args;
+          std::vector<const FuncDecl*> blockers;
+          if (site->builtin != nullptr && CallMayBlock(site->builtin, args, fn)) {
+            blockers.push_back(site->builtin);
+          }
+          if (site->direct != nullptr && CallMayBlock(site->direct, args, fn)) {
+            blockers.push_back(site->direct);
+          }
+          for (const FuncDecl* t : site->indirect) {
+            if (CallMayBlock(t, args, fn)) {
+              blockers.push_back(t);
+            }
+          }
+          if (blockers.empty()) {
+            continue;
+          }
+          std::vector<const FuncDecl*> surviving;
+          for (const FuncDecl* b : blockers) {
+            if (!b->attrs.noblock) {
+              surviving.push_back(b);
+            }
+          }
+          if (!surviving.empty()) {
+            if (reported.insert(expr).second) {
+              BlockingViolation v;
+              v.loc = expr->loc;
+              v.caller = fn->name;
+              v.callee = surviving[0]->name;
+              v.witness = WitnessFor(surviving[0]);
+              v.via_indirect = site->direct == nullptr && site->builtin == nullptr;
+              report.violations.push_back(v);
+            }
+          } else if (silenced_sites.insert(expr).second) {
+            BlockingViolation v;
+            v.loc = expr->loc;
+            v.caller = fn->name;
+            v.callee = blockers[0]->name;
+            v.witness = WitnessFor(blockers[0]);
+            v.via_indirect = true;
+            report.silenced.push_back(v);
+          }
+        }
+      }
+    }
+  }
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const BlockingViolation& a, const BlockingViolation& b) {
+              return std::tie(a.caller, a.callee) < std::tie(b.caller, b.callee);
+            });
+  return report;
+}
+
+std::string BlockStopReport::ToString() const {
+  std::string out;
+  out += "BlockStop: " + std::to_string(num_defined_funcs) + " functions, " +
+         std::to_string(callgraph_edges) + " call edges, " + std::to_string(indirect_sites) +
+         " indirect sites (" + std::to_string(indirect_target_total) + " candidate targets), " +
+         std::to_string(mayblock.size()) + " may-block functions\n";
+  out += "  potential bugs (blocking call in atomic context): " +
+         std::to_string(violations.size()) + "\n";
+  for (const BlockingViolation& v : violations) {
+    out += "    " + v.caller + " -> " + v.callee + " (" + v.witness + ")" +
+           (v.via_indirect ? " [via function pointer]" : "") + "\n";
+  }
+  out += "  false positives silenced by " + std::to_string(runtime_checks) +
+         " run-time checks: " + std::to_string(silenced.size()) + "\n";
+  for (const BlockingViolation& v : silenced) {
+    out += "    " + v.caller + " -> " + v.callee + " (" + v.witness + ") [silenced]\n";
+  }
+  return out;
+}
+
+}  // namespace ivy

@@ -1,0 +1,94 @@
+// BlockStop (§2.3): a sound whole-program analysis enforcing that the kernel
+// never calls a function that may block while interrupts are disabled (or
+// while holding a spinlock, or inside an interrupt handler).
+//
+// Pipeline:
+//   1. MAYBLOCK: seed with `blocking` builtins/annotations (plus
+//      `blocking_if(flags)` allocators, blocking iff GFP_WAIT may be set at
+//      the call site) and propagate backwards over the call graph, through
+//      indirect calls resolved by the points-to analysis.
+//   2. Atomic contexts: an intraprocedural IRQ/spinlock state walk per
+//      function, run under both possible entry states, plus an
+//      interprocedural fixpoint over (function, entry-state) contexts seeded
+//      by interrupt handlers and trigger_irq targets.
+//   3. Violations: an atomic call site whose callee set intersects MAYBLOCK.
+//      Candidates annotated `noblock` (they begin with the paper's
+//      assert_nonatomic() run-time check) are filtered out; sites whose
+//      report disappears purely due to that filter are the "false positives
+//      silenced by run-time checks" of the paper (15 in their kernel).
+#ifndef SRC_BLOCKSTOP_BLOCKSTOP_H_
+#define SRC_BLOCKSTOP_BLOCKSTOP_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/callgraph.h"
+#include "src/mc/ast.h"
+
+namespace ivy {
+
+struct BlockingViolation {
+  SourceLoc loc;
+  std::string caller;
+  std::string callee;   // the may-block function reached at the site
+  std::string witness;  // why the callee may block (chain root)
+  bool via_indirect = false;
+};
+
+struct BlockStopReport {
+  std::vector<BlockingViolation> violations;  // survive noblock filtering
+  std::vector<BlockingViolation> silenced;    // removed by run-time checks
+  std::set<std::string> mayblock;             // names of may-block functions
+  int num_defined_funcs = 0;
+  int64_t callgraph_edges = 0;
+  int64_t indirect_sites = 0;
+  int64_t indirect_target_total = 0;
+  int runtime_checks = 0;  // functions carrying assert_nonatomic (noblock)
+
+  std::string ToString() const;
+};
+
+class BlockStop {
+ public:
+  BlockStop(const Program* prog, const Sema* sema, const CallGraph* cg);
+
+  BlockStopReport Run();
+
+  // True if `fn` may (transitively) block. Valid after Run().
+  bool MayBlock(const FuncDecl* fn) const { return mayblock_.count(fn) != 0; }
+
+ private:
+  struct IrqState {
+    uint8_t irq = 1;  // bit 1 = may-be-enabled, bit 2 = may-be-disabled
+    int spin = 0;     // spinlocks held (max over joined paths)
+    bool Atomic() const { return (irq & 2) != 0 || spin > 0; }
+    void Join(const IrqState& o) {
+      irq |= o.irq;
+      spin = spin > o.spin ? spin : o.spin;
+    }
+  };
+
+  // True if a call to `callee` with argument exprs `args` may block.
+  bool CallMayBlock(const FuncDecl* callee, const std::vector<Expr*>& args,
+                    const FuncDecl* caller) const;
+  void ComputeMayBlock();
+  const CallSite* SiteFor(const Expr* e) const;
+  void WalkExpr(const FuncDecl* fn, const Expr* e, IrqState* st, uint8_t entry_irq,
+                std::vector<std::pair<const Expr*, IrqState>>* out) const;
+  void WalkStmt(const FuncDecl* fn, const Stmt* s, IrqState* st, uint8_t entry_irq,
+                std::vector<std::pair<const Expr*, IrqState>>* out) const;
+  std::string WitnessFor(const FuncDecl* fn) const;
+
+  const Program* prog_;
+  const Sema* sema_;
+  const CallGraph* cg_;
+  std::set<const FuncDecl*> mayblock_;
+  std::map<const FuncDecl*, std::string> witness_;
+  std::map<const Expr*, const CallSite*> site_index_;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_BLOCKSTOP_BLOCKSTOP_H_

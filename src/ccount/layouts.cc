@@ -1,0 +1,72 @@
+#include "src/ccount/layouts.h"
+
+namespace ivy {
+
+namespace {
+
+void Collect(const Type* t, int64_t base, std::vector<int64_t>* out) {
+  switch (t->kind) {
+    case TypeKind::kPointer:
+      out->push_back(base);
+      return;
+    case TypeKind::kArray: {
+      int64_t esz = TypeSize(t->elem);
+      for (int64_t i = 0; i < t->array_len; ++i) {
+        Collect(t->elem, base + i * esz, out);
+      }
+      return;
+    }
+    case TypeKind::kRecord: {
+      for (const RecordField& f : t->record->fields) {
+        Collect(f.type, base + f.offset, out);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+TypeLayoutRegistry TypeLayoutRegistry::Build(const Program& prog) {
+  TypeLayoutRegistry reg;
+  reg.layouts_.resize(prog.records.size());
+  for (const RecordDecl* rec : prog.records) {
+    if (rec->type_id < 0 || static_cast<size_t>(rec->type_id) >= reg.layouts_.size()) {
+      continue;
+    }
+    TypeLayout& layout = reg.layouts_[static_cast<size_t>(rec->type_id)];
+    layout.name = rec->name;
+    layout.stride = rec->size;
+    for (const RecordField& f : rec->fields) {
+      // Union members alias; collecting every arm would double-count. For
+      // unions we conservatively skip pointer scanning unless every member is
+      // a pointer at offset 0 (then one scan slot suffices).
+      Collect(f.type, f.offset, &layout.ptr_offsets);
+      if (rec->is_union) {
+        break;  // scan only the first member's view of the storage
+      }
+    }
+  }
+  return reg;
+}
+
+const TypeLayout* TypeLayoutRegistry::Get(int32_t type_id) const {
+  if (type_id < 0 || static_cast<size_t>(type_id) >= layouts_.size()) {
+    return nullptr;
+  }
+  return &layouts_[static_cast<size_t>(type_id)];
+}
+
+int TypeLayoutRegistry::PointerBearingCount() const {
+  int n = 0;
+  for (const TypeLayout& l : layouts_) {
+    if (!l.ptr_offsets.empty()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace ivy

@@ -1,0 +1,53 @@
+// CCount type layout registry (§2.2).
+//
+// CCount "requires accurate type information when objects are freed, copied
+// (memcpy), or cleared (memset)": to free an object soundly its *outgoing*
+// pointer fields must first stop contributing to their targets' reference
+// counts. This registry is that type information: for every record type id,
+// the byte offsets of its pointer-typed slots (recursing through nested
+// records and arrays). The paper hand-described 32 layouts; we derive them
+// from the Mini-C declarations, which is what the authors say the annotation
+// repository (§3.2) should eventually provide.
+#ifndef SRC_CCOUNT_LAYOUTS_H_
+#define SRC_CCOUNT_LAYOUTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mc/ast.h"
+
+namespace ivy {
+
+// Pseudo type ids used at allocation sites without a record type.
+constexpr int32_t kTypeIdUnknown = -1;   // no RTTI: free cannot scan (unsound)
+constexpr int32_t kTypeIdNoPtr = -2;     // payload has no pointers (char/int)
+constexpr int32_t kTypeIdAllPtr = -3;    // every 8-byte word is a pointer
+
+struct TypeLayout {
+  std::string name;
+  int64_t stride = 0;                 // size of one record; arrays repeat it
+  std::vector<int64_t> ptr_offsets;   // pointer slots within one record
+};
+
+class TypeLayoutRegistry {
+ public:
+  // Derives a layout for every record in `prog` (indexed by type_id).
+  static TypeLayoutRegistry Build(const Program& prog);
+
+  // Returns the layout for a record type id, or nullptr for pseudo ids.
+  const TypeLayout* Get(int32_t type_id) const;
+
+  int count() const { return static_cast<int>(layouts_.size()); }
+
+  // Number of record types that contain at least one pointer (E3 stat:
+  // "we had to describe the layout of N types").
+  int PointerBearingCount() const;
+
+ private:
+  std::vector<TypeLayout> layouts_;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_CCOUNT_LAYOUTS_H_

@@ -1,0 +1,254 @@
+#include "src/deputy/facts.h"
+
+namespace ivy {
+
+std::string CanonKey(const Expr* e) {
+  if (e == nullptr) {
+    return "";
+  }
+  switch (e->kind) {
+    case ExprKind::kIdent:
+      if (e->sym != nullptr) {
+        return "v" + std::to_string(reinterpret_cast<uintptr_t>(e->sym));
+      }
+      return "fn:" + e->str_val;
+    case ExprKind::kMember: {
+      std::string base = CanonKey(e->a);
+      if (base.empty()) {
+        return "";
+      }
+      return base + (e->is_arrow ? "->" : ".") + e->str_val;
+    }
+    case ExprKind::kDeref: {
+      std::string base = CanonKey(e->a);
+      return base.empty() ? "" : "*" + base;
+    }
+    case ExprKind::kIndex: {
+      if (e->b != nullptr && e->b->is_const) {
+        std::string base = CanonKey(e->a);
+        if (!base.empty()) {
+          return base + "[" + std::to_string(e->b->int_val) + "]";
+        }
+      }
+      return "";
+    }
+    case ExprKind::kAddrOf: {
+      std::string base = CanonKey(e->a);
+      return base.empty() ? "" : "&" + base;
+    }
+    case ExprKind::kCast:
+      return CanonKey(e->a);
+    default:
+      return "";
+  }
+}
+
+void CollectModifiedSymbolsExpr(const Expr* e, std::set<const Symbol*>* out) {
+  if (e == nullptr) {
+    return;
+  }
+  if (e->kind == ExprKind::kAssign || e->kind == ExprKind::kIncDec) {
+    if (e->a != nullptr && e->a->kind == ExprKind::kIdent && e->a->sym != nullptr) {
+      out->insert(e->a->sym);
+    }
+  }
+  if (e->kind == ExprKind::kAddrOf && e->a != nullptr && e->a->kind == ExprKind::kIdent &&
+      e->a->sym != nullptr) {
+    out->insert(e->a->sym);  // may be modified through the pointer
+  }
+  CollectModifiedSymbolsExpr(e->a, out);
+  CollectModifiedSymbolsExpr(e->b, out);
+  CollectModifiedSymbolsExpr(e->c, out);
+  for (const Expr* arg : e->args) {
+    CollectModifiedSymbolsExpr(arg, out);
+  }
+}
+
+void CollectModifiedSymbols(const Stmt* s, std::set<const Symbol*>* out) {
+  if (s == nullptr) {
+    return;
+  }
+  CollectModifiedSymbolsExpr(s->expr, out);
+  CollectModifiedSymbolsExpr(s->cond, out);
+  CollectModifiedSymbolsExpr(s->step, out);
+  if (s->decl != nullptr) {
+    CollectModifiedSymbolsExpr(s->decl->init, out);
+    if (s->decl->sym != nullptr) {
+      out->insert(s->decl->sym);
+    }
+  }
+  CollectModifiedSymbols(s->init, out);
+  CollectModifiedSymbols(s->then_stmt, out);
+  CollectModifiedSymbols(s->else_stmt, out);
+  for (const Stmt* child : s->body) {
+    CollectModifiedSymbols(child, out);
+  }
+}
+
+void FactEnv::Push() { scopes_.emplace_back(); }
+
+void FactEnv::Pop() {
+  if (scopes_.size() > 1) {
+    scopes_.pop_back();
+  }
+}
+
+void FactEnv::AddRange(const Symbol* i, int64_t lo, const Symbol* hi_sym, int64_t hi_const) {
+  if (!enabled_) {
+    return;
+  }
+  scopes_.back().ranges.push_back(RangeFact{i, lo, hi_sym, hi_const});
+}
+
+void FactEnv::AddNonNull(const std::string& key) {
+  if (!enabled_ || key.empty()) {
+    return;
+  }
+  scopes_.back().nonnull.insert(key);
+}
+
+void FactEnv::AddDominatingCheck(const std::string& key) {
+  if (!enabled_ || key.empty()) {
+    return;
+  }
+  scopes_.back().checks.insert(key);
+}
+
+bool FactEnv::HasDominatingCheck(const std::string& key) const {
+  if (!enabled_ || key.empty()) {
+    return false;
+  }
+  for (const Scope& s : scopes_) {
+    if (s.checks.count(key) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FactEnv::InvalidateSymbol(const Symbol* sym) {
+  if (!enabled_ || sym == nullptr) {
+    return;
+  }
+  std::string key = "v" + std::to_string(reinterpret_cast<uintptr_t>(sym));
+  for (Scope& s : scopes_) {
+    for (size_t i = 0; i < s.ranges.size();) {
+      if (s.ranges[i].var == sym || s.ranges[i].hi_sym == sym) {
+        s.ranges.erase(s.ranges.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+    // Any fact whose key mentions this symbol's key dies.
+    auto purge = [&key](std::set<std::string>* set) {
+      for (auto it = set->begin(); it != set->end();) {
+        if (it->find(key) != std::string::npos) {
+          it = set->erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    purge(&s.nonnull);
+    purge(&s.checks);
+  }
+}
+
+void FactEnv::InvalidateMemory() {
+  if (!enabled_) {
+    return;
+  }
+  // Facts about memory (deref / member keys) may be stale; facts about plain
+  // locals survive (their value cannot change through a store or call).
+  auto purge = [](std::set<std::string>* set) {
+    for (auto it = set->begin(); it != set->end();) {
+      if (it->find("->") != std::string::npos || it->find('*') != std::string::npos ||
+          it->find('.') != std::string::npos || it->find('[') != std::string::npos) {
+        it = set->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  for (Scope& s : scopes_) {
+    purge(&s.nonnull);
+    purge(&s.checks);
+  }
+}
+
+const FactEnv::RangeFact* FactEnv::FindRange(const Symbol* var) const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    for (const RangeFact& r : it->ranges) {
+      if (r.var == var) {
+        return &r;
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool FactEnv::KnownNonNull(const Expr* e) const {
+  if (!enabled_ || e == nullptr) {
+    return false;
+  }
+  if (e->kind == ExprKind::kAddrOf || e->kind == ExprKind::kStrLit) {
+    return true;  // addresses of lvalues and string literals are never null
+  }
+  if (e->kind == ExprKind::kCast) {
+    return KnownNonNull(e->a);
+  }
+  if (e->type != nullptr && e->type->IsArray()) {
+    return true;  // array lvalue decays to its own (valid) address
+  }
+  std::string key = CanonKey(e);
+  if (key.empty()) {
+    return false;
+  }
+  for (const Scope& s : scopes_) {
+    if (s.nonnull.count(key) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FactEnv::KnownInRange(const Expr* idx, const Expr* count) const {
+  if (!enabled_ || idx == nullptr || count == nullptr) {
+    return false;
+  }
+  // Constant index vs constant count.
+  if (idx->is_const && count->is_const) {
+    return idx->int_val >= 0 && idx->int_val < count->int_val;
+  }
+  if (idx->kind != ExprKind::kIdent || idx->sym == nullptr) {
+    return false;
+  }
+  const RangeFact* r = FindRange(idx->sym);
+  if (r == nullptr || r->lo < 0) {
+    return false;
+  }
+  // Range [lo, hi): need hi <= count.
+  if (count->is_const) {
+    return r->hi_sym == nullptr && r->hi_const <= count->int_val;
+  }
+  if (count->kind == ExprKind::kIdent && count->sym != nullptr) {
+    return r->hi_sym == count->sym;
+  }
+  return false;
+}
+
+bool FactEnv::KnownInConstRange(const Expr* idx, int64_t len) const {
+  if (!enabled_ || idx == nullptr) {
+    return false;
+  }
+  if (idx->is_const) {
+    return idx->int_val >= 0 && idx->int_val < len;
+  }
+  if (idx->kind != ExprKind::kIdent || idx->sym == nullptr) {
+    return false;
+  }
+  const RangeFact* r = FindRange(idx->sym);
+  return r != nullptr && r->lo >= 0 && r->hi_sym == nullptr && r->hi_const <= len;
+}
+
+}  // namespace ivy

@@ -1,0 +1,110 @@
+// Deputy's static discharge engine (§2.1).
+//
+// Deputy checks most operations statically and defers the rest to run time.
+// This module is the static half: a flow-scoped environment of facts derived
+// from loop headers (`for (i = 0; i < n; i++)`), branch conditions
+// (`if (p) ...`), and dominating checks already emitted in the same region.
+// The lowerer asks it whether a null/bounds check is provably redundant; if
+// so the check is *discharged* (counted, not emitted) — this is what keeps
+// the bandwidth benchmarks of Table 1 near 1.00 while latency paths, whose
+// pointer uses are scattered, keep their run-time checks.
+#ifndef SRC_DEPUTY_FACTS_H_
+#define SRC_DEPUTY_FACTS_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/mc/ast.h"
+
+namespace ivy {
+
+// Canonical key for a pointer-valued expression, used to match facts and
+// dominating checks. Returns "" when the expression is too complex to track.
+std::string CanonKey(const Expr* e);
+
+// Collects every Symbol assigned (or ++/--'d, or address-taken) anywhere in
+// `s`. Used to validate that a loop induction variable and its bound are
+// loop-invariant before trusting a range fact inside the body.
+void CollectModifiedSymbols(const Stmt* s, std::set<const Symbol*>* out);
+void CollectModifiedSymbolsExpr(const Expr* e, std::set<const Symbol*>* out);
+
+// Per-check-kind discharge statistics (the A1 ablation data).
+struct CheckStats {
+  int64_t nonnull_emitted = 0;
+  int64_t nonnull_discharged = 0;
+  int64_t bounds_emitted = 0;
+  int64_t bounds_discharged = 0;
+  int64_t when_emitted = 0;
+  int64_t nt_emitted = 0;
+  int64_t callsite_emitted = 0;
+  int64_t callsite_discharged = 0;
+  int64_t trusted_skipped = 0;
+
+  int64_t TotalEmitted() const {
+    return nonnull_emitted + bounds_emitted + when_emitted + nt_emitted + callsite_emitted;
+  }
+  int64_t TotalDischarged() const {
+    return nonnull_discharged + bounds_discharged + callsite_discharged;
+  }
+};
+
+class FactEnv {
+ public:
+  explicit FactEnv(bool enabled) : enabled_(enabled) {}
+
+  // Lexically scoped fact frames; pushed at loop bodies and branch arms.
+  void Push();
+  void Pop();
+
+  // `i` ranges over [lo, hi) inside the current scope. Exactly one of
+  // hi_sym / hi_const is meaningful (hi_sym == nullptr means constant).
+  void AddRange(const Symbol* i, int64_t lo, const Symbol* hi_sym, int64_t hi_const);
+
+  // The pointer expression with canonical key `key` is non-null here.
+  void AddNonNull(const std::string& key);
+
+  // A check with this exact key has already executed on every path to here.
+  void AddDominatingCheck(const std::string& key);
+  bool HasDominatingCheck(const std::string& key) const;
+
+  // Kills facts that mention `s` (called on assignment to s).
+  void InvalidateSymbol(const Symbol* s);
+  // Kills deref-based facts (called on stores through pointers and calls).
+  void InvalidateMemory();
+
+  // True if `e` is provably non-null: address-of, known fact, or a
+  // dominating check on the same key.
+  bool KnownNonNull(const Expr* e) const;
+
+  // True if index expression `idx` provably lies in [0, count) where `count`
+  // is the Deputy count expression of the accessed pointer (a constant or an
+  // Ident). Handles the canonical `for (i = 0; i < n; i++) a[i]` pattern.
+  bool KnownInRange(const Expr* idx, const Expr* count) const;
+
+  // Constant-range variant for fixed arrays: idx in [0, len).
+  bool KnownInConstRange(const Expr* idx, int64_t len) const;
+
+ private:
+  struct RangeFact {
+    const Symbol* var = nullptr;
+    int64_t lo = 0;
+    const Symbol* hi_sym = nullptr;
+    int64_t hi_const = 0;
+  };
+  struct Scope {
+    std::vector<RangeFact> ranges;
+    std::set<std::string> nonnull;
+    std::set<std::string> checks;
+  };
+
+  const RangeFact* FindRange(const Symbol* var) const;
+
+  bool enabled_;
+  std::vector<Scope> scopes_{1};
+};
+
+}  // namespace ivy
+
+#endif  // SRC_DEPUTY_FACTS_H_

@@ -1,0 +1,69 @@
+#include "src/driver/compiler.h"
+
+#include "src/kernel/prelude.h"
+#include "src/mc/lexer.h"
+#include "src/mc/parser.h"
+#include "src/vm/builtins.h"
+
+namespace ivy {
+
+std::unique_ptr<Compilation> Compile(const std::vector<SourceFile>& files,
+                                     const ToolConfig& config) {
+  auto comp = std::make_unique<Compilation>();
+  comp->config = config;
+  comp->diags = std::make_unique<DiagEngine>(&comp->sm);
+
+  std::vector<int32_t> file_ids;
+  if (config.include_prelude) {
+    file_ids.push_back(comp->sm.AddFile("<prelude>", PreludeSource()));
+  }
+  for (const SourceFile& f : files) {
+    file_ids.push_back(comp->sm.AddFile(f.name, f.text));
+  }
+
+  // Lex + parse every file into one Program (whole-program merge).
+  for (int32_t id : file_ids) {
+    Lexer lexer(comp->sm, id, comp->diags.get());
+    Parser parser(&comp->prog, lexer.Lex(), comp->diags.get());
+    parser.ParseTranslationUnit();
+  }
+  if (!comp->diags->ok()) {
+    return comp;
+  }
+
+  comp->sema = std::make_unique<Sema>(&comp->prog, comp->diags.get(),
+                                      [](const std::string& name) {
+                                        return BuiltinIdForName(name);
+                                      });
+  if (!comp->sema->Run()) {
+    return comp;
+  }
+
+  LowerOptions lopts;
+  lopts.deputy = config.deputy;
+  lopts.discharge = config.discharge;
+  Lowerer lowerer(&comp->prog, comp->sema.get(), comp->diags.get(), lopts);
+  comp->module = lowerer.Lower();
+  comp->check_stats = lowerer.check_stats();
+  if (!comp->diags->ok()) {
+    return comp;
+  }
+
+  comp->layouts = TypeLayoutRegistry::Build(comp->prog);
+  comp->ok = true;
+  return comp;
+}
+
+std::unique_ptr<Compilation> CompileOne(const std::string& text, const ToolConfig& config) {
+  return Compile({SourceFile{"input.mc", text}}, config);
+}
+
+std::unique_ptr<Vm> MakeVm(const Compilation& comp, VmConfig vm_cfg) {
+  vm_cfg.ccount = comp.config.ccount;
+  vm_cfg.smp = comp.config.smp;
+  vm_cfg.track_locals = comp.config.track_locals;
+  vm_cfg.rc_width_bits = comp.config.rc_width_bits;
+  return std::make_unique<Vm>(&comp.module, &comp.layouts, vm_cfg);
+}
+
+}  // namespace ivy

@@ -1,0 +1,88 @@
+#include "src/hbench/hbench.h"
+
+#include <cstdio>
+
+#include "src/kernel/corpus.h"
+
+namespace ivy {
+
+const std::vector<HbenchSpec>& HbenchSuite() {
+  static const auto* kSuite = new std::vector<HbenchSpec>{
+      {"bw_bzero", "hb_bw_bzero", {65536, 6}, 1.01},
+      {"bw_file_rd", "hb_bw_file_rd", {12}, 0.98},
+      {"bw_mem_cp", "hb_bw_mem_cp", {65536, 6}, 1.00},
+      {"bw_mem_rd", "hb_bw_mem_rd", {12}, 1.00},
+      {"bw_mem_wr", "hb_bw_mem_wr", {12}, 1.06},
+      {"bw_mmap_rd", "hb_bw_mmap_rd", {12}, 0.85},
+      {"bw_pipe", "hb_bw_pipe", {24}, 0.98},
+      {"bw_tcp", "hb_bw_tcp", {8}, 0.83},
+      {"lat_connect", "hb_lat_connect", {160}, 1.10},
+      {"lat_ctx", "hb_lat_ctx", {400}, 1.15},
+      {"lat_ctx2", "hb_lat_ctx2", {160}, 1.35},
+      {"lat_fs", "hb_lat_fs", {120}, 1.35},
+      {"lat_fslayer", "hb_lat_fslayer", {400}, 1.04},
+      {"lat_mmap", "hb_lat_mmap", {120}, 1.41},
+      {"lat_pipe", "hb_lat_pipe", {400}, 1.14},
+      {"lat_proc", "hb_lat_proc", {120}, 1.29},
+      {"lat_rpc", "hb_lat_rpc", {200}, 1.37},
+      {"lat_sig", "hb_lat_sig", {400}, 1.31},
+      {"lat_syscall", "hb_lat_syscall", {600}, 0.74},
+      {"lat_tcp", "hb_lat_tcp", {300}, 1.41},
+      {"lat_udp", "hb_lat_udp", {300}, 1.48},
+  };
+  return *kSuite;
+}
+
+int64_t MeasureCycles(const Compilation& comp, const HbenchSpec& spec) {
+  auto vm = MakeVm(comp);
+  if (!vm->Call("boot_kernel", {2}).ok) {
+    return -1;
+  }
+  if (!vm->Call("hb_setup").ok) {
+    return -1;
+  }
+  int64_t before = vm->cycles();
+  VmResult r = vm->Call(spec.func, spec.args);
+  if (!r.ok) {
+    return -1;
+  }
+  return vm->cycles() - before;
+}
+
+std::vector<HbenchResult> RunHbenchComparison(const ToolConfig& base, const ToolConfig& tool) {
+  std::vector<HbenchResult> out;
+  auto base_comp = CompileKernel(base);
+  auto tool_comp = CompileKernel(tool);
+  if (!base_comp->ok || !tool_comp->ok) {
+    return out;
+  }
+  for (const HbenchSpec& spec : HbenchSuite()) {
+    HbenchResult r;
+    r.name = spec.name;
+    r.paper_value = spec.paper_value;
+    r.base_cycles = MeasureCycles(*base_comp, spec);
+    r.tool_cycles = MeasureCycles(*tool_comp, spec);
+    if (r.base_cycles > 0 && r.tool_cycles > 0) {
+      r.relative = static_cast<double>(r.tool_cycles) / static_cast<double>(r.base_cycles);
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string FormatTable1(const std::vector<HbenchResult>& results) {
+  std::string out;
+  out += "Table 1: Relative performance of the deputized kernel (measured vs paper)\n";
+  out += "--------------------------------------------------------------------------\n";
+  out += "  Benchmark      base cycles   deputy cycles   Rel. Perf.   Paper\n";
+  char line[160];
+  for (const HbenchResult& r : results) {
+    std::snprintf(line, sizeof line, "  %-13s %12lld  %14lld   %8.2f   %5.2f\n", r.name.c_str(),
+                  static_cast<long long>(r.base_cycles),
+                  static_cast<long long>(r.tool_cycles), r.relative, r.paper_value);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ivy

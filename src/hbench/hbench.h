@@ -1,0 +1,52 @@
+// The hbench-mc harness: regenerates Table 1 of the paper (relative
+// performance of the deputized kernel on 21 hbench micro-benchmarks).
+//
+// Substitution note (see DESIGN.md): the paper ran hbench [Brown & Seltzer]
+// on a Pentium M against a real kernel; we run the same 21 benchmark
+// *shapes* against the synthetic kernel on the deterministic cycle-model VM.
+// The table reports ratios, and the mechanism that produces them is the same
+// as on hardware: how many Deputy run-time checks survive static discharge
+// on each kernel path.
+#ifndef SRC_HBENCH_HBENCH_H_
+#define SRC_HBENCH_HBENCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/driver/compiler.h"
+
+namespace ivy {
+
+struct HbenchSpec {
+  const char* name;     // paper's benchmark name, e.g. "bw_pipe"
+  const char* func;     // corpus entry point, e.g. "hb_bw_pipe"
+  std::vector<int64_t> args;
+  double paper_value;   // the relative performance Table 1 reports
+};
+
+// The 21 benchmarks of Table 1, in the paper's order.
+const std::vector<HbenchSpec>& HbenchSuite();
+
+struct HbenchResult {
+  std::string name;
+  int64_t base_cycles = 0;
+  int64_t tool_cycles = 0;
+  double relative = 0.0;
+  double paper_value = 0.0;
+};
+
+// Measures the cycles one benchmark consumes on a booted kernel VM.
+// Returns -1 if the run trapped.
+int64_t MeasureCycles(const Compilation& comp, const HbenchSpec& spec);
+
+// Runs the whole suite under `base` (tools off) and `tool` configurations
+// and returns per-benchmark relative performance.
+std::vector<HbenchResult> RunHbenchComparison(const ToolConfig& base, const ToolConfig& tool);
+
+// Renders the Table-1-style report (measured vs paper).
+std::string FormatTable1(const std::vector<HbenchResult>& results);
+
+}  // namespace ivy
+
+#endif  // SRC_HBENCH_HBENCH_H_

@@ -1,0 +1,146 @@
+#include "src/ir/ir.h"
+
+namespace ivy {
+
+const char* TrapKindName(TrapKind k) {
+  switch (k) {
+    case TrapKind::kNone:
+      return "none";
+    case TrapKind::kNullDeref:
+      return "null-dereference";
+    case TrapKind::kBounds:
+      return "bounds-violation";
+    case TrapKind::kUnionTag:
+      return "union-tag-violation";
+    case TrapKind::kNtOverrun:
+      return "nullterm-overrun";
+    case TrapKind::kDivByZero:
+      return "division-by-zero";
+    case TrapKind::kPanic:
+      return "kernel-panic";
+    case TrapKind::kAssertFail:
+      return "assertion-failure";
+    case TrapKind::kMightSleepAtomic:
+      return "might-sleep-while-atomic";
+    case TrapKind::kDeadlock:
+      return "spinlock-deadlock";
+    case TrapKind::kStackOverflow:
+      return "stack-overflow";
+    case TrapKind::kOutOfMemory:
+      return "out-of-memory";
+    case TrapKind::kBadIndirectCall:
+      return "bad-indirect-call";
+    case TrapKind::kUnreachable:
+      return "unreachable";
+    case TrapKind::kMemFault:
+      return "memory-fault";
+    case TrapKind::kTimeout:
+      return "watchdog-timeout";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kConst:
+      return "const";
+    case Op::kMove:
+      return "move";
+    case Op::kBin:
+      return "bin";
+    case Op::kUn:
+      return "un";
+    case Op::kLoad:
+      return "load";
+    case Op::kStore:
+      return "store";
+    case Op::kStorePtr:
+      return "storep";
+    case Op::kFrameAddr:
+      return "frame";
+    case Op::kGlobalAddr:
+      return "global";
+    case Op::kFuncConst:
+      return "func";
+    case Op::kStrConst:
+      return "str";
+    case Op::kCall:
+      return "call";
+    case Op::kCallInd:
+      return "calli";
+    case Op::kIntrinsic:
+      return "intr";
+    case Op::kRet:
+      return "ret";
+    case Op::kJump:
+      return "jmp";
+    case Op::kBranch:
+      return "br";
+    case Op::kCheckNonNull:
+      return "chk.null";
+    case Op::kCheckBounds:
+      return "chk.bounds";
+    case Op::kCheckWhen:
+      return "chk.when";
+    case Op::kCheckNtAdvance:
+      return "chk.nt";
+    case Op::kCheckStack:
+      return "chk.stack";
+    case Op::kDelayedPush:
+      return "dfree.push";
+    case Op::kDelayedPop:
+      return "dfree.pop";
+    case Op::kTrap:
+      return "trap";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string IrModule::Dump(const IrFunc& f) const {
+  std::string out = "func " + (f.decl != nullptr ? f.decl->name : "?") +
+                    " regs=" + std::to_string(f.num_regs) +
+                    " frame=" + std::to_string(f.frame_size) + "\n";
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    out += "b" + std::to_string(b) + ":\n";
+    for (const Instr& i : f.blocks[b].instrs) {
+      out += "  ";
+      out += OpName(i.op);
+      if (i.dst >= 0) {
+        out += " r" + std::to_string(i.dst);
+      }
+      if (i.a >= 0) {
+        out += " a=r" + std::to_string(i.a);
+      }
+      if (i.b >= 0) {
+        out += " b=r" + std::to_string(i.b);
+      }
+      if (i.c >= 0) {
+        out += " c=r" + std::to_string(i.c);
+      }
+      if (i.imm != 0 || i.op == Op::kConst || i.op == Op::kJump || i.op == Op::kCall) {
+        out += " imm=" + std::to_string(i.imm);
+      }
+      if (i.imm2 != 0) {
+        out += " imm2=" + std::to_string(i.imm2);
+      }
+      if (!i.args.empty()) {
+        out += " args=(";
+        for (size_t k = 0; k < i.args.size(); ++k) {
+          if (k != 0) {
+            out += ",";
+          }
+          out += "r" + std::to_string(i.args[k]);
+        }
+        out += ")";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace ivy

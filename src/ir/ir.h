@@ -1,0 +1,148 @@
+// Register-based IR executed by the Ivy VM.
+//
+// Lowering from the AST emits Deputy run-time checks (when the Deputy tool is
+// enabled and static discharge fails) and marks pointer stores so the CCount
+// runtime can maintain reference counts. With all tools disabled the same
+// program lowers to exactly the unchecked instruction stream — the paper's
+// "erasure semantics" (§1).
+#ifndef SRC_IR_IR_H_
+#define SRC_IR_IR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mc/ast.h"
+
+namespace ivy {
+
+enum class Op : uint8_t {
+  kConst,       // r[dst] = imm
+  kMove,        // r[dst] = r[a]
+  kBin,         // r[dst] = r[a] <bin> r[b]
+  kUn,          // r[dst] = <un> r[a]
+  kLoad,        // r[dst] = mem[r[a]]  (size 1 or 8; 1-byte loads zero-extend)
+  kStore,       // mem[r[a]] = r[b]    (size 1 or 8)
+  kStorePtr,    // mem[r[a]] = r[b], 8 bytes; CCount reference-count update
+  kFrameAddr,   // r[dst] = frame_base + imm
+  kGlobalAddr,  // r[dst] = imm (absolute address of a global)
+  kFuncConst,   // r[dst] = encoded function pointer for funcs[imm]
+  kStrConst,    // r[dst] = address of string literal #imm
+  kCall,        // r[dst] = funcs[imm](args...)
+  kCallInd,     // r[dst] = (r[a])(args...)
+  kIntrinsic,   // r[dst] = builtin #imm(args...)
+  kRet,         // return r[a], or void if a < 0
+  kJump,        // goto block imm
+  kBranch,      // if r[a] != 0 goto block imm else goto block imm2
+  kCheckNonNull,   // trap NullDeref if r[a] == 0
+  kCheckBounds,    // trap Bounds unless r[b] <= r[a] && r[a] + imm <= r[c]
+  kCheckWhen,      // trap UnionTag if r[a] == 0
+  kCheckNtAdvance, // trap NtOverrun if mem[r[a]] (1 byte) == 0
+  kCheckStack,     // trap StackOverflow if VM stack depth exceeds budget
+  kDelayedPush,    // enter a delayed_free scope (CCount)
+  kDelayedPop,     // leave it: run deferred frees + checks
+  kTrap,           // unconditional trap; imm = TrapKind
+};
+
+// Why a check / trap fired. Also used for VM run results.
+enum class TrapKind : int32_t {
+  kNone = 0,
+  kNullDeref,
+  kBounds,
+  kUnionTag,
+  kNtOverrun,
+  kDivByZero,
+  kPanic,
+  kAssertFail,
+  kMightSleepAtomic,  // blocking call while interrupts disabled (BlockStop)
+  kDeadlock,          // self-deadlock on a spinlock (single-CPU VM)
+  kStackOverflow,
+  kOutOfMemory,
+  kBadIndirectCall,
+  kUnreachable,
+  kMemFault,  // wild access caught by the VM itself (the "hardware" trap)
+  kTimeout,   // deterministic watchdog: too many instructions executed
+};
+
+const char* TrapKindName(TrapKind k);
+
+struct Instr {
+  Op op = Op::kTrap;
+  int32_t dst = -1;
+  int32_t a = -1;
+  int32_t b = -1;
+  int32_t c = -1;
+  int64_t imm = 0;
+  int64_t imm2 = 0;
+  uint8_t size = 8;
+  BinOp bin = BinOp::kNone;
+  UnOp un = UnOp::kNeg;
+  SourceLoc loc;
+  std::vector<int32_t> args;  // call/intrinsic arguments
+  // Allocation-site type id for kmalloc-family intrinsics (CCount RTTI) or
+  // -2 for pointer-free payloads; unused otherwise.
+  int32_t alloc_type_id = -1;
+};
+
+struct Block {
+  std::vector<Instr> instrs;
+};
+
+// Pointer map entry: a pointer-typed slot within a frame (CCount
+// track-locals mode) -- byte offset from frame base.
+struct IrFunc {
+  const FuncDecl* decl = nullptr;
+  std::vector<Block> blocks;
+  int num_regs = 0;
+  int64_t frame_size = 0;
+  std::vector<int64_t> param_offsets;    // frame offsets of parameters
+  std::vector<uint8_t> param_sizes;      // store sizes (1 or 8)
+  std::vector<int64_t> ptr_slots;        // frame offsets holding pointers
+
+  // Total instruction count, for reports.
+  int64_t InstrCount() const {
+    int64_t n = 0;
+    for (const Block& b : blocks) {
+      n += static_cast<int64_t>(b.instrs.size());
+    }
+    return n;
+  }
+};
+
+// Layout of one global variable in VM memory.
+struct GlobalSlot {
+  const VarDecl* decl = nullptr;
+  uint64_t addr = 0;
+  int64_t size = 0;
+  int type_id = -1;                // record type id if record-typed
+  std::vector<int64_t> ptr_offsets;  // pointer-typed offsets (CCount)
+};
+
+// A lowered whole program.
+struct IrModule {
+  std::vector<IrFunc> funcs;  // indexed by FuncDecl::func_id
+  std::vector<GlobalSlot> globals;
+  std::vector<std::string> string_pool;
+  std::vector<uint64_t> string_addrs;
+  uint64_t globals_end = 0;  // first address after globals + rodata
+
+  // Check-insertion statistics (Deputy A1 ablation).
+  int64_t checks_emitted = 0;
+  int64_t checks_discharged = 0;
+
+  const IrFunc* FindFunc(const std::string& name) const {
+    for (const IrFunc& f : funcs) {
+      if (f.decl != nullptr && f.decl->name == name) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+
+  // Renders a function's IR for debugging and golden tests.
+  std::string Dump(const IrFunc& f) const;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_IR_IR_H_

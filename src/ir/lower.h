@@ -1,0 +1,126 @@
+// AST -> IR lowering, including Deputy run-time check insertion (§2.1).
+//
+// The lowerer is where hybrid checking happens: for every pointer/array/union
+// access it consults the FactEnv (static discharge); checks it cannot prove
+// are emitted as explicit check instructions. With `deputy` disabled nothing
+// is emitted at all — erasure semantics. Pointer-typed stores always lower to
+// kStorePtr so the CCount runtime can be switched on per-run without
+// re-lowering (the instruction behaves identically to kStore when CCount is
+// off).
+#ifndef SRC_IR_LOWER_H_
+#define SRC_IR_LOWER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/deputy/facts.h"
+#include "src/ir/ir.h"
+#include "src/mc/ast.h"
+#include "src/mc/sema.h"
+#include "src/support/diag.h"
+
+namespace ivy {
+
+struct LowerOptions {
+  bool deputy = true;     // emit Deputy checks
+  bool discharge = true;  // enable static discharge (A1 ablation knob)
+};
+
+class Lowerer {
+ public:
+  Lowerer(const Program* prog, const Sema* sema, DiagEngine* diags, LowerOptions opts);
+
+  // Lowers the whole program. Reports errors (e.g. calls to undefined
+  // functions) to the DiagEngine.
+  IrModule Lower();
+
+  const CheckStats& check_stats() const { return check_stats_; }
+
+ private:
+  struct LValue {
+    int addr = -1;           // register holding the address
+    uint8_t size = 8;        // access size in bytes
+    const Type* type = nullptr;
+    bool is_ptr = false;     // the slot holds a pointer (CCount)
+  };
+
+  // Module layout.
+  void LayoutGlobals(IrModule* m);
+  void CollectPtrOffsets(const Type* t, int64_t base, std::vector<int64_t>* out);
+
+  // Function lowering.
+  void LowerFunc(const FuncDecl* fn, IrFunc* out);
+  int NewReg();
+  int NewBlock();
+  void SetBlock(int b);
+  Instr& Emit(Op op, SourceLoc loc);
+  int EmitConst(int64_t v, SourceLoc loc);
+  // Operand-safe emission helpers: operands must be fully evaluated before
+  // the consuming instruction is appended (Emit() references are invalidated
+  // by any later Emit, so never interleave).
+  int EmitBin2(BinOp op, int a, int b, SourceLoc loc);
+  int EmitAddImm(int a, int64_t imm, SourceLoc loc);
+  void EmitJump(int target, SourceLoc loc);
+  void EmitBranch(int cond_reg, int then_b, int else_b, SourceLoc loc);
+  int64_t AllocSlot(const Type* t);
+
+  // Statements.
+  void LowerStmt(const Stmt* s);
+  void LowerFor(const Stmt* s);
+  void LowerIf(const Stmt* s);
+
+  // Expressions.
+  int LowerExpr(const Expr* e);
+  int LowerRValue(const Expr* e);  // LowerExpr + array decay
+  LValue LowerLValue(const Expr* e);
+  int LowerCall(const Expr* e);
+  int LowerShortCircuit(const Expr* e);
+  int LowerCond(const Expr* e);
+  int LowerIncDec(const Expr* e);
+  int EmitLoad(const LValue& lv, SourceLoc loc);
+  void EmitStore(const LValue& lv, int value, SourceLoc loc);
+
+  // Deputy check generation. `base_reg` is the address of the record whose
+  // fields are in scope for field-resolved annotation expressions (or -1).
+  int EvalAnnotExpr(const Expr* e, int base_reg);
+  void EmitNonNull(const Expr* ptr_expr, int ptr_reg, SourceLoc loc);
+  // Check for opt -> non-opt pointer conversions (assignments, inits).
+  void EmitNarrowing(const Type* dst, const Expr* src, int value_reg, SourceLoc loc);
+  void EmitIndexChecks(const Expr* base_expr, int base_reg, const Expr* idx_expr, int idx_reg,
+                       SourceLoc loc);
+  void EmitWhenCheck(const Expr* member_expr, const LValue& union_lv, SourceLoc loc);
+  void EmitCallSiteChecks(const FuncDecl* callee, const Type* fty, const Expr* call,
+                          const std::vector<int>& arg_regs);
+  bool DeputyOn(const Expr* e) const;
+  // Returns the annotation record base register for a pointer expression
+  // rooted at a member access (loads the record base), or -1.
+  int AnnotBaseFor(const Expr* ptr_expr);
+  // CCount RTTI: the allocation type id implied by assigning/casting an
+  // allocator result to `t` (a pointer type), or -1 when unknown.
+  static int AllocTypeIdFor(const Type* t);
+
+  const Program* prog_;
+  const Sema* sema_;
+  DiagEngine* diags_;
+  LowerOptions opts_;
+  IrModule* module_ = nullptr;
+
+  // Per-function state.
+  IrFunc* fn_ = nullptr;
+  const FuncDecl* decl_ = nullptr;
+  int cur_block_ = 0;
+  int next_reg_ = 0;
+  int64_t frame_top_ = 0;
+  std::vector<int> break_stack_;
+  std::vector<int> continue_stack_;
+  FactEnv facts_{true};
+  CheckStats check_stats_;
+  int delayed_depth_ = 0;
+  // Allocation-site RTTI hint for the innermost kmalloc-family call being
+  // lowered (set from the cast target or assignment destination type).
+  int alloc_type_hint_ = -1;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_IR_LOWER_H_

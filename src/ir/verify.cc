@@ -1,0 +1,104 @@
+#include "src/ir/verify.h"
+
+#include "src/vm/builtins.h"
+
+namespace ivy {
+
+namespace {
+
+bool IsTerminator(Op op) {
+  return op == Op::kRet || op == Op::kJump || op == Op::kBranch || op == Op::kTrap;
+}
+
+}  // namespace
+
+std::vector<std::string> VerifyModule(const IrModule& module) {
+  std::vector<std::string> out;
+  auto fail = [&out](const IrFunc& f, size_t b, size_t i, const std::string& msg) {
+    out.push_back((f.decl != nullptr ? f.decl->name : "?") + ":b" + std::to_string(b) + ":" +
+                  std::to_string(i) + ": " + msg);
+  };
+  for (const IrFunc& f : module.funcs) {
+    if (f.decl == nullptr || f.blocks.empty()) {
+      continue;  // extern / builtin
+    }
+    int nblocks = static_cast<int>(f.blocks.size());
+    auto reg_ok = [&f](int r) { return r >= 0 && r < f.num_regs; };
+    auto block_ok = [nblocks](int64_t b) { return b >= 0 && b < nblocks; };
+    for (size_t b = 0; b < f.blocks.size(); ++b) {
+      const std::vector<Instr>& code = f.blocks[b].instrs;
+      for (size_t i = 0; i < code.size(); ++i) {
+        const Instr& in = code[i];
+        // Operand registers must be allocated.
+        if (in.dst >= f.num_regs) {
+          fail(f, b, i, "dst register out of range");
+        }
+        for (int r : {in.a, in.b, in.c}) {
+          if (r != -1 && !reg_ok(r)) {
+            fail(f, b, i, "operand register out of range");
+          }
+        }
+        for (int r : in.args) {
+          if (!reg_ok(r)) {
+            fail(f, b, i, "argument register out of range");
+          }
+        }
+        switch (in.op) {
+          case Op::kJump:
+            if (!block_ok(in.imm)) {
+              fail(f, b, i, "jump target out of range");
+            }
+            break;
+          case Op::kBranch:
+            if (!block_ok(in.imm) || !block_ok(in.imm2)) {
+              fail(f, b, i, "branch target out of range");
+            }
+            if (in.a < 0) {
+              fail(f, b, i, "branch without condition register");
+            }
+            break;
+          case Op::kCall:
+            if (in.imm < 0 || static_cast<size_t>(in.imm) >= module.funcs.size()) {
+              fail(f, b, i, "call target id out of range");
+            }
+            break;
+          case Op::kIntrinsic:
+            if (in.imm < 0 || in.imm >= kNumBuiltins) {
+              fail(f, b, i, "intrinsic id out of range");
+            }
+            break;
+          case Op::kStrConst:
+            if (in.imm < 0 || static_cast<size_t>(in.imm) >= module.string_pool.size()) {
+              fail(f, b, i, "string pool index out of range");
+            }
+            break;
+          case Op::kLoad:
+          case Op::kStore:
+          case Op::kStorePtr:
+            if (in.size != 1 && in.size != 8) {
+              fail(f, b, i, "access size must be 1 or 8");
+            }
+            break;
+          default:
+            break;
+        }
+        // No instruction may follow a terminator within a block.
+        if (IsTerminator(in.op) && i + 1 < code.size()) {
+          fail(f, b, i, "instruction after terminator");
+        }
+      }
+    }
+    // The entry block must exist and the function must end every reachable
+    // block with a terminator (empty trailing blocks are legal: the VM
+    // treats falling off the end as an implicit return).
+    for (size_t b = 0; b < f.blocks.size(); ++b) {
+      const std::vector<Instr>& code = f.blocks[b].instrs;
+      if (!code.empty() && !IsTerminator(code.back().op)) {
+        fail(f, b, code.size() - 1, "block does not end in a terminator");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ivy

@@ -1,0 +1,20 @@
+// IR structural verifier: every lowered function must satisfy the
+// interpreter's assumptions (register indices in range, block targets valid,
+// every block terminated, call targets well-formed). Run by tests after
+// every corpus lowering; cheap enough to run in debug pipelines.
+#ifndef SRC_IR_VERIFY_H_
+#define SRC_IR_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace ivy {
+
+// Returns a list of violations ("func:block:index: message"); empty = valid.
+std::vector<std::string> VerifyModule(const IrModule& module);
+
+}  // namespace ivy
+
+#endif  // SRC_IR_VERIFY_H_

@@ -1,0 +1,57 @@
+// The synthetic Linux kernel corpus (the paper's "stripped-down version of
+// the Linux 2.6.15.5 kernel", §2).
+//
+// Every module is Mini-C source embedded as a string constant. The corpus is
+// deliberately written in the idioms the paper's tools must handle: Deputy
+// sibling-field bounds and nullterm strings, CCount alloc/free discipline
+// with pointer nullings and delayed_free scopes, function-pointer dispatch
+// tables (file_operations, line disciplines, the syscall table), IRQ-disabled
+// regions, and the two planted BlockStop bugs plus the read_chan-style false
+// positive (§2.3).
+#ifndef SRC_KERNEL_CORPUS_H_
+#define SRC_KERNEL_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/driver/compiler.h"
+
+namespace ivy {
+
+struct CorpusModule {
+  const char* path;    // display path, e.g. "kernel/sched.mc"
+  const char* source;  // Mini-C text
+};
+
+// All kernel modules, in dependency order.
+const std::vector<CorpusModule>& KernelModules();
+
+// The corpus as compiler inputs (all modules + the hbench workload file).
+std::vector<SourceFile> KernelSources();
+
+// Compiles the whole kernel with the given tool configuration.
+std::unique_ptr<Compilation> CompileKernel(const ToolConfig& config);
+
+// Individual module groups (used by incremental-porting examples/tests).
+const char* CorpusLib();      // lib/string.mc
+const char* CorpusMm();       // mm/slab.mc
+const char* CorpusSched();    // kernel/sched.mc (tasks, fork, runqueue)
+const char* CorpusSignal();   // kernel/signal.mc
+const char* CorpusModuleLoader();  // kernel/module.mc
+const char* CorpusSyscall();  // kernel/syscall.mc
+const char* CorpusVfs();      // fs/vfs.mc
+const char* CorpusRamfs();    // fs/ramfs.mc
+const char* CorpusPipe();     // fs/pipe.mc
+const char* CorpusNetCore();  // net/core.mc (sk_buff)
+const char* CorpusUdp();      // net/udp.mc
+const char* CorpusTcp();      // net/tcp.mc
+const char* CorpusTty();      // tty/ldisc.mc (the false-positive scenario)
+const char* CorpusNetdev();   // drivers/netdev.mc (planted bug #1)
+const char* CorpusProcfs();   // fs/procfs.mc
+const char* CorpusBio();      // block/bio.mc
+const char* CorpusBoot();     // init/boot.mc
+const char* CorpusHbench();   // hbench workload entry points
+
+}  // namespace ivy
+
+#endif  // SRC_KERNEL_CORPUS_H_

@@ -1,0 +1,438 @@
+// fs/vfs.mc, fs/ramfs.mc, fs/pipe.mc: VFS dispatch through file_operations
+// tables (lat_fslayer), a page-backed ram filesystem (bw_file_rd, lat_fs) and
+// pipes (bw_pipe, lat_pipe).
+#include "src/kernel/corpus.h"
+
+namespace ivy {
+
+const char* CorpusVfs() {
+  return R"MC(
+// ===== fs/vfs.mc ==========================================================
+enum vfs_consts {
+  NAME_LEN = 32,
+  RAMFS_MAX_PAGES = 64,
+  EBADF = 9,
+  EINVAL = 22,
+  ENOENT = 2,
+  EFBIG = 27
+};
+
+typedef int fop_read(struct file* f, char* count(n) buf, int n);
+typedef int fop_write(struct file* f, char* count(n) buf, int n);
+typedef int fop_open(struct inode* ino, struct file* f);
+
+struct file_operations {
+  fop_open* opt open;
+  fop_read* opt read;
+  fop_write* opt write;
+};
+
+struct inode {
+  int ino;
+  int size;
+  int nlink;
+  int lock;
+  int npages;
+  struct file_operations* opt fops;
+  struct page* opt pages[64];
+};
+
+struct dentry {
+  struct inode* opt ino;
+  struct dentry* opt next;
+  char name[32];
+};
+
+struct file {
+  struct inode* opt ino;
+  int pos;
+  int flags;
+  int refcnt;
+};
+
+struct dentry* opt dentry_list;
+int vfs_lock;
+int next_ino = 1;
+int vfs_files_created;
+
+struct inode* alloc_inode(void) {
+  return (struct inode*)kmalloc(sizeof(struct inode), GFP_KERNEL);
+}
+
+struct dentry* alloc_dentry(void) {
+  return (struct dentry*)kmalloc(sizeof(struct dentry), GFP_KERNEL);
+}
+
+struct file* alloc_file(void) {
+  return (struct file*)kmalloc(sizeof(struct file), GFP_KERNEL);
+}
+
+struct dentry* opt vfs_lookup(char* nullterm name) {
+  struct dentry* opt d = dentry_list;
+  while (d) {
+    if (strcmp_s(d->name, name) == 0) {
+      return d;
+    }
+    d = d->next;
+  }
+  return null;
+}
+
+struct inode* opt vfs_create(char* nullterm name, struct file_operations* fops) {
+  if (vfs_lookup(name)) {
+    return null;
+  }
+  struct inode* ino = alloc_inode();
+  struct dentry* d = alloc_dentry();
+  if (!ino || !d) {
+    kfree(ino);
+    kfree(d);
+    return null;
+  }
+  ino->ino = next_ino;
+  next_ino = next_ino + 1;
+  ino->nlink = 1;
+  ino->fops = fops;
+  strlcpy_s(d->name, NAME_LEN, name);
+  d->ino = ino;
+  mutex_lock(&vfs_lock);
+  d->next = dentry_list;
+  dentry_list = d;
+  mutex_unlock(&vfs_lock);
+  vfs_files_created = vfs_files_created + 1;
+  return ino;
+}
+
+// Drops the inode: release every data page (nulling the slots first) and
+// free the inode itself.
+void iput(struct inode* ino) {
+  ino->nlink = ino->nlink - 1;
+  if (ino->nlink > 0) {
+    return;
+  }
+  for (int i = 0; i < ino->npages; i++) {
+    struct page* opt pg = ino->pages[i];
+    ino->pages[i] = null;
+    if (pg) {
+      free_page_s(pg);
+    }
+  }
+  ino->fops = null;
+  kfree(ino);
+}
+
+int vfs_unlink(char* nullterm name) errcode(-2) {
+  mutex_lock(&vfs_lock);
+  struct dentry* opt d = dentry_list;
+  struct dentry* opt prev = null;
+  while (d) {
+    if (strcmp_s(d->name, name) == 0) {
+      if (prev) {
+        prev->next = d->next;
+      } else {
+        dentry_list = d->next;
+      }
+      d->next = null;
+      mutex_unlock(&vfs_lock);
+      struct inode* opt ino = d->ino;
+      d->ino = null;
+      if (ino) {
+        iput(ino);
+      }
+      kfree(d);
+      return 0;
+    }
+    prev = d;
+    d = d->next;
+  }
+  mutex_unlock(&vfs_lock);
+  return -ENOENT;
+}
+
+struct file* opt vfs_open(char* nullterm name) {
+  struct dentry* opt d = vfs_lookup(name);
+  if (!d) {
+    return null;
+  }
+  struct inode* opt ino = d->ino;
+  if (!ino) {
+    return null;
+  }
+  struct file* f = alloc_file();
+  if (!f) {
+    return null;
+  }
+  f->ino = ino;
+  f->pos = 0;
+  f->refcnt = 1;
+  struct file_operations* opt fops = ino->fops;
+  if (fops) {
+    fop_open* opt op = fops->open;
+    if (op) {
+      op(ino, f);
+    }
+  }
+  return f;
+}
+
+// The VFS layer dispatch measured by lat_fslayer: resolve the inode, the
+// operations table and the function pointer, then call through it.
+int vfs_read(struct file* f, char* count(n) buf, int n) errcode(-9, -22) {
+  struct inode* opt ino = f->ino;
+  if (!ino) {
+    return -EBADF;
+  }
+  struct file_operations* opt fops = ino->fops;
+  if (!fops) {
+    return -EINVAL;
+  }
+  fop_read* opt op = fops->read;
+  if (!op) {
+    return -EINVAL;
+  }
+  return op(f, buf, n);
+}
+
+int vfs_write(struct file* f, char* count(n) buf, int n) errcode(-9, -22) {
+  struct inode* opt ino = f->ino;
+  if (!ino) {
+    return -EBADF;
+  }
+  struct file_operations* opt fops = ino->fops;
+  if (!fops) {
+    return -EINVAL;
+  }
+  fop_write* opt op = fops->write;
+  if (!op) {
+    return -EINVAL;
+  }
+  return op(f, buf, n);
+}
+
+void vfs_close(struct file* f) {
+  f->refcnt = f->refcnt - 1;
+  if (f->refcnt == 0) {
+    f->ino = null;
+    kfree(f);
+  }
+}
+)MC";
+}
+
+const char* CorpusRamfs() {
+  return R"MC(
+// ===== fs/ramfs.mc ========================================================
+// A page-backed ram filesystem. The read path (bw_file_rd) is page-sized
+// memcpy traffic; the write path allocates pages on demand (pointer stores
+// into inode->pages, which CCount counts).
+
+struct file_operations ramfs_fops;
+int ramfs_reads;
+int ramfs_writes;
+
+int ramfs_open(struct inode* ino, struct file* f) {
+  return 0;
+}
+
+// Reads up to n bytes at f->pos. Carries the paper's run-time check: the
+// page-cache walk must never run in atomic context.
+int ramfs_read(struct file* f, char* count(n) buf, int n) noblock errcode(-9) {
+  assert_nonatomic();
+  struct inode* opt ino = f->ino;
+  if (!ino) {
+    return -EBADF;
+  }
+  int copied = 0;
+  while (copied < n && f->pos < ino->size) {
+    int pgidx = f->pos / PAGE_SIZE;
+    int off = f->pos % PAGE_SIZE;
+    if (pgidx >= ino->npages) {
+      return copied;
+    }
+    struct page* opt pg = ino->pages[pgidx];
+    if (!pg) {
+      return copied;
+    }
+    int chunk = PAGE_SIZE - off;
+    if (chunk > n - copied) {
+      chunk = n - copied;
+    }
+    if (chunk > ino->size - f->pos) {
+      chunk = ino->size - f->pos;
+    }
+    trusted {
+      memcpy(buf + copied, pg->data + off, chunk);
+    }
+    copied = copied + chunk;
+    f->pos = f->pos + chunk;
+  }
+  ramfs_reads = ramfs_reads + 1;
+  return copied;
+}
+
+int ramfs_write(struct file* f, char* count(n) buf, int n) noblock errcode(-27) {
+  assert_nonatomic();
+  struct inode* opt ino = f->ino;
+  if (!ino) {
+    return -EBADF;
+  }
+  int written = 0;
+  while (written < n) {
+    int pgidx = f->pos / PAGE_SIZE;
+    int off = f->pos % PAGE_SIZE;
+    if (pgidx >= RAMFS_MAX_PAGES) {
+      return -EFBIG;
+    }
+    if (pgidx >= ino->npages) {
+      struct page* pg = alloc_page(GFP_KERNEL);
+      if (!pg) {
+        return written;
+      }
+      pg->index = pgidx;
+      ino->pages[pgidx] = pg;
+      ino->npages = pgidx + 1;
+    }
+    struct page* opt pg = ino->pages[pgidx];
+    if (!pg) {
+      return written;
+    }
+    int chunk = PAGE_SIZE - off;
+    if (chunk > n - written) {
+      chunk = n - written;
+    }
+    trusted {
+      memcpy(pg->data + off, buf + written, chunk);
+    }
+    written = written + chunk;
+    f->pos = f->pos + chunk;
+    if (f->pos > ino->size) {
+      ino->size = f->pos;
+    }
+  }
+  ramfs_writes = ramfs_writes + 1;
+  return written;
+}
+
+void ramfs_init(void) {
+  ramfs_fops.open = ramfs_open;
+  ramfs_fops.read = ramfs_read;
+  ramfs_fops.write = ramfs_write;
+}
+)MC";
+}
+
+const char* CorpusPipe() {
+  return R"MC(
+// ===== fs/pipe.mc =========================================================
+enum pipe_consts { PIPE_CAP = 4096, EPIPE = 32 };
+
+struct pipe {
+  int head;
+  int tail;
+  int used;
+  int lock;
+  int reader_wq;
+  int writer_wq;
+  char* opt buf;
+};
+
+int pipes_created;
+
+struct pipe* opt pipe_create(void) {
+  struct pipe* p = (struct pipe*)kmalloc(sizeof(struct pipe), GFP_KERNEL);
+  if (!p) {
+    return null;
+  }
+  char* b = (char*)kmalloc(PIPE_CAP, GFP_KERNEL);
+  if (!b) {
+    kfree(p);
+    return null;
+  }
+  p->buf = b;
+  pipes_created = pipes_created + 1;
+  return p;
+}
+
+void pipe_destroy(struct pipe* p) {
+  char* opt b = p->buf;
+  p->buf = null;
+  kfree((void*)b);
+  kfree(p);
+}
+
+// Writes n bytes; sleeps (wait_event) when the ring is full.
+int pipe_write(struct pipe* p, char* count(n) src, int n) noblock errcode(-32) {
+  assert_nonatomic();
+  char* opt rb = p->buf;
+  if (!rb) {
+    return -EPIPE;
+  }
+  int written = 0;
+  spin_lock(&p->lock);
+  while (written < n) {
+    if (p->used == PIPE_CAP) {
+      spin_unlock(&p->lock);
+      wait_event(&p->writer_wq);
+      spin_lock(&p->lock);
+    }
+    int chunk = PIPE_CAP - p->used;
+    int tailroom = PIPE_CAP - p->head;
+    if (chunk > tailroom) {
+      chunk = tailroom;
+    }
+    if (chunk > n - written) {
+      chunk = n - written;
+    }
+    trusted {
+      memcpy(rb + p->head, src + written, chunk);
+    }
+    p->head = (p->head + chunk) % PIPE_CAP;
+    p->used = p->used + chunk;
+    written = written + chunk;
+  }
+  spin_unlock(&p->lock);
+  wake_up(&p->reader_wq);
+  return written;
+}
+
+int pipe_read(struct pipe* p, char* count(n) dst, int n) noblock errcode(-32) {
+  assert_nonatomic();
+  char* opt rb = p->buf;
+  if (!rb) {
+    return -EPIPE;
+  }
+  int got = 0;
+  spin_lock(&p->lock);
+  while (got < n) {
+    if (p->used == 0) {
+      spin_unlock(&p->lock);
+      wait_event(&p->reader_wq);
+      spin_lock(&p->lock);
+      if (p->used == 0) {
+        spin_unlock(&p->lock);
+        return got;
+      }
+    }
+    int chunk = p->used;
+    int headroom = PIPE_CAP - p->tail;
+    if (chunk > headroom) {
+      chunk = headroom;
+    }
+    if (chunk > n - got) {
+      chunk = n - got;
+    }
+    trusted {
+      memcpy(dst + got, rb + p->tail, chunk);
+    }
+    p->tail = (p->tail + chunk) % PIPE_CAP;
+    p->used = p->used - chunk;
+    got = got + chunk;
+  }
+  spin_unlock(&p->lock);
+  wake_up(&p->writer_wq);
+  return got;
+}
+)MC";
+}
+
+}  // namespace ivy

@@ -1,0 +1,143 @@
+// lib/string.mc and mm/slab.mc: string routines with Deputy annotations and
+// the slab layer over the CCount-instrumented allocator.
+#include "src/kernel/corpus.h"
+
+namespace ivy {
+
+const char* CorpusLib() {
+  return R"MC(
+// ===== lib/string.mc ======================================================
+// String helpers in the Deputy style: sources are nullterm, destinations
+// carry explicit counts, and iteration advances one element at a time so the
+// nullterm checks stay cheap.
+
+int strlen_s(char* nullterm s) {
+  int n = 0;
+  while (*s) {
+    s = s + 1;
+    n = n + 1;
+  }
+  return n;
+}
+
+// Copies at most cap-1 chars and always terminates. Returns chars copied.
+int strlcpy_s(char* count(cap) dst, int cap, char* nullterm src) {
+  int i = 0;
+  while (*src && i < cap - 1) {
+    dst[i] = *src;
+    src = src + 1;
+    i = i + 1;
+  }
+  dst[i] = 0;
+  return i;
+}
+
+int strcmp_s(char* nullterm a, char* nullterm b) {
+  while (*a && *b) {
+    if (*a != *b) {
+      return *a - *b;
+    }
+    a = a + 1;
+    b = b + 1;
+  }
+  return *a - *b;
+}
+
+void memzero(char* count(n) p, int n) {
+  memset(p, 0, n);
+}
+
+// Simple deterministic hash used by several subsystems.
+int str_hash(char* nullterm s) {
+  int h = 5381;
+  while (*s) {
+    h = h * 33 + *s;
+    s = s + 1;
+  }
+  if (h < 0) {
+    h = -h;
+  }
+  return h;
+}
+
+// ===== mm/slab.mc =========================================================
+// The slab layer: per-size caches for pointer-free payloads. Typed objects
+// use dedicated wrappers (CCount needs allocation-site type info, which the
+// compiler can only infer from a cast at a direct kmalloc call — the paper's
+// "explicit runtime type information" sites).
+
+struct kmem_cache {
+  int obj_size;
+  int allocated;
+  int freed;
+  int lock;
+  char name[32];
+};
+
+struct kmem_cache* kmem_cache_create(char* nullterm name, int size) {
+  struct kmem_cache* c =
+      (struct kmem_cache*)kmalloc(sizeof(struct kmem_cache), GFP_KERNEL);
+  if (!c) {
+    panic("kmem_cache_create: out of memory");
+  }
+  c->obj_size = size;
+  c->allocated = 0;
+  c->freed = 0;
+  strlcpy_s(c->name, 32, name);
+  return c;
+}
+
+// Allocates a pointer-free object from the cache (char payload).
+void* kmem_cache_alloc(struct kmem_cache* c, int flags) blocking_if(flags) {
+  char* obj = (char*)kmalloc(c->obj_size, flags);
+  if (obj) {
+    spin_lock(&c->lock);
+    c->allocated = c->allocated + 1;
+    spin_unlock(&c->lock);
+  }
+  return (void*)obj;
+}
+
+void kmem_cache_free(struct kmem_cache* c, void* opt obj) {
+  if (!obj) {
+    return;
+  }
+  spin_lock(&c->lock);
+  c->freed = c->freed + 1;
+  spin_unlock(&c->lock);
+  kfree(obj);
+}
+
+// ===== mm/page.mc =========================================================
+enum pagesz { PAGE_SIZE = 256 };
+
+struct page {
+  int flags;
+  int index;
+  int refcnt;
+  char data[256];
+};
+
+int pages_allocated;
+
+struct page* alloc_page(int flags) blocking_if(flags) {
+  struct page* pg = (struct page*)kmalloc(sizeof(struct page), flags);
+  if (!pg) {
+    return null;
+  }
+  pg->refcnt = 1;
+  pages_allocated = pages_allocated + 1;
+  return pg;
+}
+
+void free_page_s(struct page* opt pg) {
+  if (!pg) {
+    return;
+  }
+  pages_allocated = pages_allocated - 1;
+  kfree(pg);
+}
+)MC";
+}
+
+}  // namespace ivy

@@ -1,0 +1,354 @@
+// net/core.mc, net/udp.mc, net/tcp.mc: sk_buffs with a when()-guarded
+// control-block union (the Deputy union checks that make lat_udp the worst
+// row of Table 1), UDP datagram paths, and a TCP-ish stream with a
+// retransmit queue torn down inside a delayed_free scope (the cyclic
+// structure CCount's scopes exist for).
+#include "src/kernel/corpus.h"
+
+namespace ivy {
+
+const char* CorpusNetCore() {
+  return R"MC(
+// ===== net/core.mc ========================================================
+enum net_consts {
+  SKB_DATA_LEN = 1536,
+  PROTO_TCP = 6,
+  PROTO_UDP = 17,
+  EAGAIN = 11,
+  EMSGSIZE = 90,
+  ECONNRESET = 104
+};
+
+struct tcp_cb {
+  int seq;
+  int ack;
+  int win;
+};
+
+struct udp_cb {
+  int sport;
+  int dport;
+  int ulen;
+};
+
+struct sk_buff {
+  int len;
+  int protocol;
+  int csum;
+  struct sk_buff* opt next;
+  struct sock* opt sk;
+  union {
+    struct tcp_cb tcp when(protocol == PROTO_TCP);
+    struct udp_cb udp when(protocol == PROTO_UDP);
+  } cb;
+  char data[1536];
+};
+
+struct sk_buff_head {
+  struct sk_buff* opt head;
+  struct sk_buff* opt tail;
+  int qlen;
+  int lock;
+};
+
+struct sock {
+  int state;
+  int port;
+  int proto;
+  int lock;
+  int rx_wq;
+  struct sk_buff_head rxq;
+  struct sock* opt peer;
+  struct sock* opt next;
+};
+
+int skbs_alloced;
+int skbs_freed;
+
+struct sk_buff* opt alloc_skb(int flags) blocking_if(flags) {
+  struct sk_buff* skb = (struct sk_buff*)kmalloc(sizeof(struct sk_buff), flags);
+  if (skb) {
+    skbs_alloced = skbs_alloced + 1;
+  }
+  return skb;
+}
+
+// Frees an skb after detaching it from everything it references.
+void kfree_skb(struct sk_buff* skb) {
+  skb->next = null;
+  skb->sk = null;
+  skbs_freed = skbs_freed + 1;
+  kfree(skb);
+}
+
+void skb_queue_tail(struct sk_buff_head* q, struct sk_buff* skb) {
+  int flags = spin_lock_irqsave(&q->lock);
+  skb->next = null;
+  if (q->tail) {
+    struct sk_buff* t = q->tail;
+    t->next = skb;
+  } else {
+    q->head = skb;
+  }
+  q->tail = skb;
+  q->qlen = q->qlen + 1;
+  spin_unlock_irqrestore(&q->lock, flags);
+}
+
+struct sk_buff* opt skb_dequeue(struct sk_buff_head* q) {
+  int flags = spin_lock_irqsave(&q->lock);
+  struct sk_buff* opt skb = q->head;
+  if (skb) {
+    q->head = skb->next;
+    if (!q->head) {
+      q->tail = null;
+    }
+    skb->next = null;
+    q->qlen = q->qlen - 1;
+  }
+  spin_unlock_irqrestore(&q->lock, flags);
+  return skb;
+}
+
+// Internet checksum over the payload; the canonical counted loop that Deputy
+// discharges statically (bw paths stay near 1.00 in Table 1).
+int csum_partial(char* count(n) data, int n) {
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    sum = sum + data[i];
+    if (sum > 0xffff) {
+      sum = (sum & 0xffff) + 1;
+    }
+  }
+  return sum;
+}
+
+struct sock* alloc_sock(int proto) {
+  struct sock* sk = (struct sock*)kmalloc(sizeof(struct sock), GFP_KERNEL);
+  if (!sk) {
+    panic("alloc_sock: out of memory");
+  }
+  sk->proto = proto;
+  return sk;
+}
+
+// Drains and releases a socket. The rx queue and the skb->sk back-pointers
+// form a cycle, so the frees happen inside a delayed_free scope: all
+// reference-count decrements run before any check (§2.2).
+void sock_release(struct sock* sk) {
+  delayed_free {
+    struct sk_buff* opt skb = skb_dequeue(&sk->rxq);
+    while (skb) {
+      kfree_skb(skb);
+      skb = skb_dequeue(&sk->rxq);
+    }
+    sk->peer = null;
+    sk->next = null;
+    kfree(sk);
+  }
+}
+)MC";
+}
+
+const char* CorpusUdp() {
+  return R"MC(
+// ===== net/udp.mc =========================================================
+int udp_packets_sent;
+int udp_packets_rcvd;
+
+// Sends one datagram to sk->peer. Touches the when()-guarded udp control
+// block — every access is a Deputy union check (lat_udp's overhead).
+int udp_sendmsg(struct sock* sk, char* count(n) buf, int n) noblock errcode(-90, -11) {
+  assert_nonatomic();
+  if (n > SKB_DATA_LEN) {
+    return -EMSGSIZE;
+  }
+  struct sock* opt peer = sk->peer;
+  if (!peer) {
+    return -EAGAIN;
+  }
+  struct sk_buff* opt skb = alloc_skb(GFP_KERNEL);
+  if (!skb) {
+    return -EAGAIN;
+  }
+  skb->protocol = PROTO_UDP;
+  skb->cb.udp.sport = sk->port;
+  skb->cb.udp.dport = peer->port;
+  skb->cb.udp.ulen = n;
+  skb->len = n;
+  trusted {
+    memcpy(skb->data, buf, n);
+  }
+  skb->csum = csum_partial(buf, n);
+  skb->sk = peer;
+  skb_queue_tail(&peer->rxq, skb);
+  wake_up(&peer->rx_wq);
+  udp_packets_sent = udp_packets_sent + 1;
+  return n;
+}
+
+int udp_recvmsg(struct sock* sk, char* count(n) buf, int n) noblock errcode(-11) {
+  assert_nonatomic();
+  struct sk_buff* opt skb = skb_dequeue(&sk->rxq);
+  if (!skb) {
+    wait_event(&sk->rx_wq);
+    skb = skb_dequeue(&sk->rxq);
+    if (!skb) {
+      return -EAGAIN;
+    }
+  }
+  int ulen = skb->cb.udp.ulen;
+  int got = ulen;
+  if (got > n) {
+    got = n;
+  }
+  // Datagrams are short: copy out element-by-element. The destination bound
+  // (n) and the copy length (got) are different variables, so Deputy keeps a
+  // run-time check per element — the reason lat_udp is Table 1's worst row.
+  for (int i = 0; i < got; i++) {
+    buf[i] = skb->data[i];
+  }
+  int sum = 0;
+  trusted {
+    sum = csum_partial(skb->data, skb->len);
+  }
+  if (sum != skb->csum) {
+    kfree_skb(skb);
+    return -EAGAIN;
+  }
+  kfree_skb(skb);
+  udp_packets_rcvd = udp_packets_rcvd + 1;
+  return got;
+}
+)MC";
+}
+
+const char* CorpusTcp() {
+  return R"MC(
+// ===== net/tcp.mc =========================================================
+enum tcp_consts {
+  TCP_CLOSED = 0,
+  TCP_SYN_SENT = 1,
+  TCP_ESTABLISHED = 2,
+  TCP_MSS = 1024
+};
+
+int tcp_segments_sent;
+int tcp_resets;
+
+// Three-way-handshake stand-in: wires two sockets together.
+int tcp_connect(struct sock* client, struct sock* server) noblock errcode(-104) {
+  assert_nonatomic();
+  client->state = TCP_SYN_SENT;
+  struct sk_buff* opt syn = alloc_skb(GFP_KERNEL);
+  if (!syn) {
+    return -ECONNRESET;
+  }
+  syn->protocol = PROTO_TCP;
+  syn->cb.tcp.seq = 1;
+  syn->sk = server;
+  skb_queue_tail(&server->rxq, syn);
+  // SYN-ACK + ACK collapse into direct state updates.
+  struct sk_buff* opt ack = skb_dequeue(&server->rxq);
+  if (ack) {
+    kfree_skb(ack);
+  }
+  client->peer = server;
+  server->peer = client;
+  client->state = TCP_ESTABLISHED;
+  server->state = TCP_ESTABLISHED;
+  return 0;
+}
+
+// Segments the payload, checksums each segment and delivers to the peer's
+// rx queue (bw_tcp / lat_tcp).
+int tcp_sendmsg(struct sock* sk, char* count(n) buf, int n) noblock errcode(-104, -11) {
+  assert_nonatomic();
+  if (sk->state != TCP_ESTABLISHED) {
+    return -ECONNRESET;
+  }
+  struct sock* opt peer = sk->peer;
+  if (!peer) {
+    return -ECONNRESET;
+  }
+  int sent = 0;
+  int seq = 0;
+  while (sent < n) {
+    int chunk = TCP_MSS;
+    if (chunk > n - sent) {
+      chunk = n - sent;
+    }
+    struct sk_buff* opt skb = alloc_skb(GFP_KERNEL);
+    if (!skb) {
+      return sent > 0 ? sent : -EAGAIN;
+    }
+    skb->protocol = PROTO_TCP;
+    skb->cb.tcp.seq = seq;
+    skb->cb.tcp.win = 65535;
+    skb->len = chunk;
+    trusted {
+      memcpy(skb->data, buf + sent, chunk);
+      skb->csum = csum_partial(skb->data, chunk);
+    }
+    skb->sk = peer;
+    skb_queue_tail(&peer->rxq, skb);
+    sent = sent + chunk;
+    seq = seq + chunk;
+    tcp_segments_sent = tcp_segments_sent + 1;
+  }
+  wake_up(&peer->rx_wq);
+  return sent;
+}
+
+int tcp_recvmsg(struct sock* sk, char* count(n) buf, int n) noblock errcode(-11) {
+  assert_nonatomic();
+  int got = 0;
+  struct sk_buff* opt skb = skb_dequeue(&sk->rxq);
+  while (skb && got < n) {
+    int chunk = skb->len;
+    if (chunk > n - got) {
+      chunk = n - got;
+    }
+    int ack = skb->cb.tcp.seq + chunk;
+    if (chunk < 64) {
+      // Short segments (the lat_tcp path) copy element-wise under checks.
+      for (int i = 0; i < chunk; i++) {
+        buf[got + i] = skb->data[i];
+      }
+    } else {
+      trusted {
+        memcpy(buf + got, skb->data, chunk);
+      }
+    }
+    got = got + ack - skb->cb.tcp.seq;
+    kfree_skb(skb);
+    if (got < n) {
+      skb = skb_dequeue(&sk->rxq);
+    } else {
+      skb = null;
+    }
+  }
+  return got;
+}
+
+// RST handling: the rare path that still has a bad free. The skb is freed
+// while the peer's queue may still reference it — CCount logs it and leaks
+// the buffer (this is one of the residual 1.5% bad frees of E3).
+void tcp_reset(struct sock* sk) {
+  // BUG (intentionally preserved, mirrors the unfixed kernel paths behind
+  // E3's residual 1.5%): tears down the receive queue by freeing each skb
+  // *without unlinking it first*, so the queue links still reference the
+  // buffers when the CCount check runs.
+  struct sk_buff* opt victim = sk->rxq.head;
+  while (victim) {
+    struct sk_buff* opt nxt = victim->next;
+    kfree(victim);
+    victim = nxt;
+    tcp_resets = tcp_resets + 1;
+  }
+  sk->state = TCP_CLOSED;
+}
+)MC";
+}
+
+}  // namespace ivy

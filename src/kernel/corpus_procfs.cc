@@ -1,0 +1,289 @@
+// fs/procfs.mc and block/bio.mc: the paper's kernel conversion explicitly
+// covered "several file systems including ext2 and procfs" — procfs is the
+// nullterm-string-heavy read path (generator functions formatting kernel
+// state), and the bio layer is the sorted-request block substrate under the
+// ram filesystem.
+#include "src/kernel/corpus.h"
+
+namespace ivy {
+
+const char* CorpusProcfs() {
+  return R"MC(
+// ===== fs/procfs.mc =======================================================
+enum proc_consts { PROC_MAX = 16, PROC_BUF = 256 };
+
+typedef int proc_show_fn(char* count(n) buf, int n);
+
+struct proc_entry {
+  proc_show_fn* opt show;
+  char name[32];
+};
+
+struct proc_entry proc_table[16];
+int proc_count;
+int proc_reads;
+
+// Formats v into buf (decimal, null-terminated). Returns chars written.
+int format_int(char* count(cap) buf, int cap, int v) {
+  int neg = 0;
+  if (v < 0) {
+    neg = 1;
+    v = -v;
+  }
+  char tmp[24];
+  int n = 0;
+  if (v == 0) {
+    tmp[n] = '0';
+    n = 1;
+  }
+  while (v > 0 && n < 20) {
+    tmp[n] = '0' + v % 10;
+    v = v / 10;
+    n = n + 1;
+  }
+  int w = 0;
+  if (neg && w < cap - 1) {
+    buf[w] = '-';
+    w = w + 1;
+  }
+  while (n > 0 && w < cap - 1) {
+    n = n - 1;
+    buf[w] = tmp[n];
+    w = w + 1;
+  }
+  buf[w] = 0;
+  return w;
+}
+
+// Appends src to buf at offset off; returns the new offset.
+int buf_append(char* count(cap) buf, int cap, int off, char* nullterm src) {
+  while (*src && off < cap - 1) {
+    buf[off] = *src;
+    src = src + 1;
+    off = off + 1;
+  }
+  buf[off] = 0;
+  return off;
+}
+
+int proc_stat_show(char* count(n) buf, int n) {
+  int off = buf_append(buf, n, 0, "forks ");
+  char num[24];
+  format_int(num, 24, total_forks);
+  off = buf_append(buf, n, off, num);
+  off = buf_append(buf, n, off, "\nsignals ");
+  format_int(num, 24, signals_delivered);
+  off = buf_append(buf, n, off, num);
+  off = buf_append(buf, n, off, "\n");
+  return off;
+}
+
+int proc_meminfo_show(char* count(n) buf, int n) {
+  int off = buf_append(buf, n, 0, "pages ");
+  char num[24];
+  format_int(num, 24, pages_allocated);
+  off = buf_append(buf, n, off, num);
+  off = buf_append(buf, n, off, "\nskbs ");
+  format_int(num, 24, skbs_alloced - skbs_freed);
+  off = buf_append(buf, n, off, num);
+  off = buf_append(buf, n, off, "\n");
+  return off;
+}
+
+int proc_uptime_show(char* count(n) buf, int n) {
+  char num[24];
+  format_int(num, 24, jiffies);
+  int off = buf_append(buf, n, 0, num);
+  return buf_append(buf, n, off, "\n");
+}
+
+int proc_register(char* nullterm name, proc_show_fn* show) errcode(-28) {
+  if (proc_count >= PROC_MAX) {
+    return -28;
+  }
+  struct proc_entry* e = &proc_table[proc_count];
+  strlcpy_s(e->name, 32, name);
+  e->show = show;
+  proc_count = proc_count + 1;
+  return 0;
+}
+
+// The /proc read path: resolve the entry by name (nullterm compares), run
+// its generator into the caller's buffer through a function pointer.
+int proc_read(char* nullterm name, char* count(n) buf, int n) errcode(-2) {
+  for (int i = 0; i < proc_count; i++) {
+    struct proc_entry* e = &proc_table[i];
+    if (strcmp_s(e->name, name) == 0) {
+      proc_show_fn* opt show = e->show;
+      if (show) {
+        proc_reads = proc_reads + 1;
+        return show(buf, n);
+      }
+      return -ENOENT;
+    }
+  }
+  return -ENOENT;
+}
+
+void procfs_init(void) {
+  proc_register("stat", proc_stat_show);
+  proc_register("meminfo", proc_meminfo_show);
+  proc_register("uptime", proc_uptime_show);
+}
+)MC";
+}
+
+const char* CorpusBio() {
+  return R"MC(
+// ===== block/bio.mc =======================================================
+// A minimal block layer under the ram filesystem: requests queue sorted by
+// sector (the elevator), a flush drains them to "disk" pages under the queue
+// lock, completions signal waiters.
+enum bio_consts { SECTOR_SIZE = 256, DISK_SECTORS = 256 };
+
+struct bio {
+  int sector;
+  int len;
+  int write;
+  int done;
+  struct bio* opt next;
+  char data[256];
+};
+
+struct request_queue {
+  struct bio* opt head;
+  int lock;
+  int depth;
+  int merged;
+};
+
+struct request_queue blk_queue;
+struct page* opt disk[256];
+int bios_submitted;
+int bios_completed;
+
+struct bio* opt bio_alloc(int flags) blocking_if(flags) {
+  return (struct bio*)kmalloc(sizeof(struct bio), flags);
+}
+
+// Sorted (elevator) insert by sector.
+void blk_submit(struct bio* b) {
+  int flags = spin_lock_irqsave(&blk_queue.lock);
+  struct bio* opt cur = blk_queue.head;
+  if (!cur) {
+    b->next = null;
+    blk_queue.head = b;
+  } else {
+    struct bio* first = blk_queue.head;
+    if (b->sector < first->sector) {
+      b->next = first;
+      blk_queue.head = b;
+    } else {
+      struct bio* p = first;
+      int placed = 0;
+      while (!placed) {
+        struct bio* opt nxt = p->next;
+        if (!nxt) {
+          b->next = null;
+          p->next = b;
+          placed = 1;
+        } else if (b->sector < nxt->sector) {
+          b->next = nxt;
+          p->next = b;
+          placed = 1;
+        } else {
+          p = nxt;
+        }
+      }
+    }
+  }
+  blk_queue.depth = blk_queue.depth + 1;
+  bios_submitted = bios_submitted + 1;
+  spin_unlock_irqrestore(&blk_queue.lock, flags);
+}
+
+// Drains the queue to the disk pages. Runs in process context; each bio is
+// detached (links nulled) before its free so CCount verifies it.
+int blk_flush(void) {
+  int completed = 0;
+  int flags = spin_lock_irqsave(&blk_queue.lock);
+  struct bio* opt b = blk_queue.head;
+  blk_queue.head = null;
+  blk_queue.depth = 0;
+  spin_unlock_irqrestore(&blk_queue.lock, flags);
+  while (b) {
+    struct bio* opt nxt = b->next;
+    b->next = null;
+    if (b->sector >= 0 && b->sector < DISK_SECTORS) {
+      if (!disk[b->sector]) {
+        disk[b->sector] = alloc_page(GFP_KERNEL);
+      }
+      struct page* opt pg = disk[b->sector];
+      if (pg) {
+        int len = b->len;
+        if (len > SECTOR_SIZE) {
+          len = SECTOR_SIZE;
+        }
+        if (b->write) {
+          trusted {
+            memcpy(pg->data, b->data, len);
+          }
+        } else {
+          trusted {
+            memcpy(b->data, pg->data, len);
+          }
+        }
+      }
+    }
+    b->done = 1;
+    kfree(b);
+    completed = completed + 1;
+    bios_completed = bios_completed + 1;
+    b = nxt;
+  }
+  return completed;
+}
+
+// Synchronous sector write used by fsync-style paths.
+int blk_write_sync(int sector, char* count(n) src, int n) errcode(-5) {
+  struct bio* opt b = bio_alloc(GFP_KERNEL);
+  if (!b) {
+    return -5;
+  }
+  b->sector = sector;
+  b->len = n;
+  b->write = 1;
+  int len = n;
+  if (len > SECTOR_SIZE) {
+    len = SECTOR_SIZE;
+  }
+  trusted {
+    memcpy(b->data, src, len);
+  }
+  blk_submit(b);
+  blk_flush();
+  return len;
+}
+
+int blk_read_sync(int sector, char* count(n) dst, int n) errcode(-5) {
+  if (sector < 0 || sector >= DISK_SECTORS) {
+    return -5;
+  }
+  struct page* opt pg = disk[sector];
+  if (!pg) {
+    memset(dst, 0, n);
+    return n;
+  }
+  int len = n;
+  if (len > SECTOR_SIZE) {
+    len = SECTOR_SIZE;
+  }
+  trusted {
+    memcpy(dst, pg->data, len);
+  }
+  return len;
+}
+)MC";
+}
+
+}  // namespace ivy

@@ -1,0 +1,450 @@
+// kernel/sched.mc, kernel/signal.mc, kernel/module.mc, kernel/syscall.mc and
+// the timer subsystem: process management (the fork benchmark of E2), signal
+// delivery (lat_sig), the module loader (E2's module-loading benchmark), the
+// syscall table (lat_syscall) and timer dispatch (BlockStop's atomic
+// contexts).
+#include "src/kernel/corpus.h"
+
+namespace ivy {
+
+const char* CorpusSched() {
+  return R"MC(
+// ===== kernel/sched.mc ====================================================
+enum sched_consts {
+  MAX_PT = 128,
+  COMM_LEN = 16,
+  TASK_RUNNING = 0,
+  TASK_ZOMBIE = 2
+};
+
+struct mm_struct {
+  int npages;
+  int lock;
+  struct page* opt page_table[128];
+};
+
+struct task_struct {
+  int pid;
+  int state;
+  int prio;
+  int utime;
+  struct task_struct* opt next;
+  struct task_struct* opt parent;
+  struct mm_struct* opt mm;
+  struct sigqueue* opt sig_pending;
+  char comm[16];
+};
+
+struct runqueue {
+  struct task_struct* opt head;
+  int count;
+  int lock;
+};
+
+struct runqueue rq;
+struct task_struct* opt current_task;
+int current_pid;
+int next_pid = 1;
+int total_forks;
+
+// Allocation-site RTTI wrappers (the paper's "explicit runtime type
+// information" sites, §2.2).
+struct task_struct* alloc_task(void) {
+  return (struct task_struct*)kmalloc(sizeof(struct task_struct), GFP_KERNEL);
+}
+
+struct mm_struct* alloc_mm(void) {
+  return (struct mm_struct*)kmalloc(sizeof(struct mm_struct), GFP_KERNEL);
+}
+
+void enqueue_task(struct task_struct* t) {
+  int flags = spin_lock_irqsave(&rq.lock);
+  t->next = rq.head;
+  rq.head = t;
+  rq.count = rq.count + 1;
+  spin_unlock_irqrestore(&rq.lock, flags);
+}
+
+// Unlinks `t` from the runqueue, nulling the link that referenced it so the
+// eventual kfree passes the CCount inbound-reference check.
+void dequeue_task(struct task_struct* t) {
+  int flags = spin_lock_irqsave(&rq.lock);
+  if (rq.head == t) {
+    rq.head = t->next;
+  } else {
+    struct task_struct* opt p = rq.head;
+    while (p) {
+      if (p->next == t) {
+        p->next = t->next;
+        p = null;
+      } else {
+        p = p->next;
+      }
+    }
+  }
+  t->next = null;
+  rq.count = rq.count - 1;
+  spin_unlock_irqrestore(&rq.lock, flags);
+}
+
+// copy_process: the core of fork. Duplicates the task and shares the parent
+// address space copy-on-write style (every page-table slot is a *pointer*
+// store, which is exactly the write traffic CCount instruments, E2).
+struct task_struct* opt copy_process(struct task_struct* parent) {
+  struct task_struct* child = alloc_task();
+  if (!child) {
+    return null;
+  }
+  struct mm_struct* mm = alloc_mm();
+  if (!mm) {
+    kfree(child);
+    return null;
+  }
+  child->pid = next_pid;
+  next_pid = next_pid + 1;
+  child->state = TASK_RUNNING;
+  child->prio = parent->prio;
+  child->parent = parent;
+  child->mm = mm;
+  strlcpy_s(child->comm, COMM_LEN, parent->comm);
+  struct mm_struct* opt pmm = parent->mm;
+  if (pmm) {
+    mm->npages = pmm->npages;
+    for (int i = 0; i < pmm->npages; i++) {
+      struct page* opt pg = pmm->page_table[i];
+      mm->page_table[i] = pg;
+      if (pg) {
+        pg->refcnt = pg->refcnt + 1;
+      }
+    }
+  }
+  enqueue_task(child);
+  total_forks = total_forks + 1;
+  return child;
+}
+
+// Releases the address space: drop page references, nulling each slot before
+// a possible free (a CCount porting fix: "nulling out some extra pointers,
+// usually around the time the corresponding object is freed").
+void exit_mm(struct task_struct* t) {
+  struct mm_struct* opt mm = t->mm;
+  if (!mm) {
+    return;
+  }
+  for (int i = 0; i < mm->npages; i++) {
+    struct page* opt pg = mm->page_table[i];
+    mm->page_table[i] = null;
+    if (pg) {
+      pg->refcnt = pg->refcnt - 1;
+      if (pg->refcnt == 0) {
+        free_page_s(pg);
+      }
+    }
+  }
+  t->mm = null;
+  kfree(mm);
+}
+
+void do_exit(struct task_struct* t) {
+  dequeue_task(t);
+  exit_mm(t);
+  t->state = TASK_ZOMBIE;
+  t->parent = null;
+  kfree(t);
+}
+
+// Round-robin scheduler step: rotate the runqueue and charge a context
+// switch (lat_ctx).
+void schedule_once(void) {
+  int flags = spin_lock_irqsave(&rq.lock);
+  struct task_struct* opt prev = rq.head;
+  if (prev) {
+    struct task_struct* opt nxt = prev->next;
+    if (nxt) {
+      // Move head to tail.
+      rq.head = nxt;
+      struct task_struct* opt tail = nxt;
+      while (tail->next) {
+        tail = tail->next;
+      }
+      tail->next = prev;
+      prev->next = null;
+      current_task = nxt;
+      current_pid = nxt->pid;
+      spin_unlock_irqrestore(&rq.lock, flags);
+      context_switch((void*)prev, (void*)nxt);
+      return;
+    }
+  }
+  spin_unlock_irqrestore(&rq.lock, flags);
+}
+
+void sched_init(void) {
+  rq.head = null;
+  rq.count = 0;
+  struct task_struct* init_task = alloc_task();
+  if (!init_task) {
+    panic("sched_init: cannot allocate init task");
+  }
+  init_task->pid = 0;
+  strlcpy_s(init_task->comm, COMM_LEN, "swapper");
+  init_task->mm = alloc_mm();
+  enqueue_task(init_task);
+  current_task = init_task;
+  current_pid = 0;
+}
+)MC";
+}
+
+const char* CorpusSignal() {
+  return R"MC(
+// ===== kernel/signal.mc ===================================================
+enum signals { SIGHUP = 1, SIGINT = 2, SIGKILL = 9, SIGTERM = 15, NSIG = 32 };
+
+struct sigqueue {
+  int signo;
+  int info;
+  int plen;
+  struct sigqueue* opt next;
+  char payload[24];
+};
+
+int signals_sent;
+int signals_delivered;
+int pending_set[32];
+char siginfo_log[256];
+
+struct sigqueue* alloc_sigqueue(int flags) blocking_if(flags) {
+  return (struct sigqueue*)kmalloc(sizeof(struct sigqueue), flags);
+}
+
+int send_signal(struct task_struct* t, int signo) errcode(-22, -12) {
+  if (signo <= 0 || signo >= NSIG) {
+    return -22;
+  }
+  struct sigqueue* q = alloc_sigqueue(GFP_ATOMIC);
+  if (!q) {
+    return -12;
+  }
+  q->signo = signo;
+  q->info = current_pid;
+  q->plen = 24;
+  for (int i = 0; i < 24; i++) {
+    q->payload[i] = signo + i;
+  }
+  q->next = t->sig_pending;
+  t->sig_pending = q;
+  signals_sent = signals_sent + 1;
+  return 0;
+}
+
+// Delivers (and frees) all pending signals. Each queue node is unlinked and
+// its forward pointer nulled before kfree — the CCount discipline.
+int deliver_signals(struct task_struct* t) {
+  int delivered = 0;
+  while (t->sig_pending) {
+    struct sigqueue* q = t->sig_pending;
+    t->sig_pending = q->next;
+    q->next = null;
+    // The signo indexes the pending set and the payload copy has dynamic
+    // bounds: these checks survive static discharge (lat_sig's 1.31).
+    pending_set[q->signo] = q->info;
+    int base = (q->signo * 8) % 200;
+    for (int i = 0; i < q->plen; i++) {
+      siginfo_log[base + i] = q->payload[i];
+    }
+    delivered = delivered + 1;
+    kfree(q);
+  }
+  signals_delivered = signals_delivered + delivered;
+  return delivered;
+}
+)MC";
+}
+
+const char* CorpusModuleLoader() {
+  return R"MC(
+// ===== kernel/module.mc ===================================================
+// The module loader: E2's second benchmark. Loading copies the module image
+// (bulk char traffic) and patches a small relocation table of function
+// pointers (a little pointer traffic) — which is why CCount's overhead here
+// is much smaller than on fork.
+enum mod_consts { MOD_NRELOCS = 8 };
+
+typedef int mod_fn(void);
+
+struct module {
+  int size;
+  int nrelocs;
+  char* opt core;
+  struct module* opt next;
+  mod_fn* opt entries[8];
+  char name[32];
+};
+
+struct module* opt modules_head;
+int mod_lock;
+int modules_loaded;
+
+int mod_nop(void) { return 0; }
+
+struct module* opt load_module(char* nullterm name, char* count(n) image, int n) noblock {
+  assert_nonatomic();
+  struct module* m = (struct module*)kmalloc(sizeof(struct module), GFP_KERNEL);
+  if (!m) {
+    return null;
+  }
+  char* count(n) opt core = (char*)kmalloc(n, GFP_KERNEL);
+  if (!core) {
+    kfree(m);
+    return null;
+  }
+  m->size = n;
+  m->core = core;
+  memcpy(core, image, n);
+  strlcpy_s(m->name, 32, name);
+  m->nrelocs = MOD_NRELOCS;
+  for (int i = 0; i < MOD_NRELOCS; i++) {
+    m->entries[i] = mod_nop;
+  }
+  mutex_lock(&mod_lock);
+  m->next = modules_head;
+  modules_head = m;
+  modules_loaded = modules_loaded + 1;
+  mutex_unlock(&mod_lock);
+  // Run the module entry point through its relocation slot.
+  mod_fn* entry = m->entries[0];
+  if (entry) {
+    entry();
+  }
+  return m;
+}
+
+int unload_module(struct module* m) noblock errcode(-2) {
+  assert_nonatomic();
+  mutex_lock(&mod_lock);
+  if (modules_head == m) {
+    modules_head = m->next;
+  } else {
+    struct module* opt p = modules_head;
+    while (p) {
+      if (p->next == m) {
+        p->next = m->next;
+        p = null;
+      } else {
+        p = p->next;
+      }
+    }
+  }
+  m->next = null;
+  modules_loaded = modules_loaded - 1;
+  mutex_unlock(&mod_lock);
+  char* opt core = m->core;
+  m->core = null;
+  for (int i = 0; i < m->nrelocs; i++) {
+    m->entries[i] = null;
+  }
+  kfree((void*)core);
+  kfree(m);
+  return 0;
+}
+)MC";
+}
+
+const char* CorpusSyscall() {
+  return R"MC(
+// ===== kernel/syscall.mc ==================================================
+// The syscall table: a function-pointer array dispatched on every
+// lat_syscall iteration. The bounds check on sys_table[nr] is the Deputy
+// run-time check lat_syscall pays for.
+enum syscalls {
+  NR_SYSCALLS = 64,
+  SYS_GETPID = 1,
+  SYS_READ = 2,
+  SYS_WRITE = 3,
+  SYS_FORK = 4,
+  SYS_KILL = 5,
+  ENOSYS = 38
+};
+
+typedef int sys_fn(int a, int b, int c);
+
+sys_fn* opt sys_table[64];
+
+int sys_ni(int a, int b, int c) { return 0 - ENOSYS; }
+
+int sys_getpid(int a, int b, int c) { return current_pid; }
+
+int sys_kill_impl(int pid, int signo, int unused) {
+  struct task_struct* opt t = rq.head;
+  while (t) {
+    if (t->pid == pid) {
+      return send_signal(t, signo);
+    }
+    t = t->next;
+  }
+  return -3;
+}
+
+int syscall_entry(int nr, int a, int b, int c) {
+  if (nr < 0 || nr >= NR_SYSCALLS) {
+    return 0 - ENOSYS;
+  }
+  sys_fn* opt f = sys_table[nr];
+  if (!f) {
+    return 0 - ENOSYS;
+  }
+  return f(a, b, c);
+}
+
+void syscalls_init(void) {
+  for (int i = 0; i < NR_SYSCALLS; i++) {
+    sys_table[i] = sys_ni;
+  }
+  sys_table[SYS_GETPID] = sys_getpid;
+  sys_table[SYS_KILL] = sys_kill_impl;
+}
+
+// ===== kernel/timer.mc ====================================================
+// Timers run from the timer interrupt: their callbacks execute with
+// interrupts disabled, which is the atomic context BlockStop reasons about.
+typedef void timer_fn(int data);
+
+struct timer {
+  int expires;
+  int data;
+  timer_fn* opt fn;
+  struct timer* opt next;
+};
+
+struct timer* opt timers_head;
+int timers_lock;
+int jiffies;
+
+void add_timer(struct timer* t) {
+  int flags = spin_lock_irqsave(&timers_lock);
+  t->next = timers_head;
+  timers_head = t;
+  spin_unlock_irqrestore(&timers_lock, flags);
+}
+
+// The timer interrupt handler: entered via trigger_irq, so interrupts are
+// disabled for the whole walk, and every t->fn(...) call is an atomic-context
+// indirect call site.
+void timer_tick(int now) interrupt_handler {
+  jiffies = now;
+  struct timer* opt t = timers_head;
+  while (t) {
+    if (t->expires <= now) {
+      timer_fn* opt fn = t->fn;
+      if (fn) {
+        fn(t->data);
+      }
+    }
+    t = t->next;
+  }
+}
+)MC";
+}
+
+}  // namespace ivy

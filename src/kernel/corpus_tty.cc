@@ -1,0 +1,297 @@
+// tty/ldisc.mc and drivers/netdev.mc: the paper's BlockStop case study. The
+// line-discipline ops table mixes a blocking `read` (read_chan) with an
+// atomically-invoked `receive_buf`; a field-insensitive points-to analysis
+// merges the two slots and reports flush_to_ldisc -> read_chan, the false
+// positive the paper silences with a run-time check at the top of read_chan
+// (§2.3). The two *real* planted bugs live in netdev_reset (kmalloc with
+// GFP_KERNEL under a spinlock) and console_panic_flush (wait_for_completion
+// with interrupts disabled).
+#include "src/kernel/corpus.h"
+
+namespace ivy {
+
+const char* CorpusTty() {
+  return R"MC(
+// ===== tty/ldisc.mc =======================================================
+enum tty_consts { TTY_FLIP_LEN = 256 };
+
+typedef int ld_read_fn(struct tty* t, char* count(n) buf, int n);
+typedef void ld_rcv_fn(struct tty* t, char* count(n) cp, int n);
+
+struct ldisc_ops {
+  ld_read_fn* opt read;
+  ld_rcv_fn* opt receive_buf;
+};
+
+struct tty {
+  int lock;
+  int read_wq;
+  int flip_len;
+  int chars_rx;
+  struct ldisc_ops* opt ldisc;
+  char flip_buf[256];
+};
+
+struct ldisc_ops n_tty_ops;
+struct tty* opt console_tty;
+int console_done;
+int console_lock;
+
+// The blocking line-discipline read. BlockStop's field-insensitive points-to
+// believes flush_to_ldisc can call this with interrupts disabled; the
+// assert_nonatomic() call is the paper's manual run-time check asserting it
+// never actually happens (the `noblock` annotation records that).
+int read_chan(struct tty* t, char* count(n) buf, int n) noblock {
+  assert_nonatomic();
+  if (t->flip_len == 0) {
+    wait_event(&t->read_wq);
+  }
+  int got = t->flip_len;
+  if (got > n) {
+    got = n;
+  }
+  for (int i = 0; i < got; i++) {
+    trusted {
+      buf[i] = t->flip_buf[i];
+    }
+  }
+  t->flip_len = 0;
+  return got;
+}
+
+// The interrupt-side half: copies receiver bytes into the flip buffer. Must
+// never sleep — it runs from flush_to_ldisc with interrupts disabled.
+void n_tty_receive_buf(struct tty* t, char* count(n) cp, int n) {
+  int room = TTY_FLIP_LEN - t->flip_len;
+  int take = n;
+  if (take > room) {
+    take = room;
+  }
+  for (int i = 0; i < take; i++) {
+    t->flip_buf[t->flip_len + i] = cp[i];
+  }
+  t->flip_len = t->flip_len + take;
+  t->chars_rx = t->chars_rx + take;
+  wake_up(&t->read_wq);
+}
+
+// Timer callback (so it runs with interrupts disabled): pushes pending
+// receiver data through the line discipline's function-pointer table.
+void flush_to_ldisc(int data) {
+  struct tty* opt t = console_tty;
+  if (!t) {
+    return;
+  }
+  struct ldisc_ops* opt ops = t->ldisc;
+  if (!ops) {
+    return;
+  }
+  ld_rcv_fn* opt rcv = ops->receive_buf;
+  if (rcv) {
+    char pending[16];
+    for (int i = 0; i < 16; i++) {
+      pending[i] = 'a' + i % 26;
+    }
+    rcv(t, pending, 16);
+  }
+}
+
+void tty_init(void) {
+  n_tty_ops.read = read_chan;
+  n_tty_ops.receive_buf = n_tty_receive_buf;
+  struct tty* t = (struct tty*)kmalloc(sizeof(struct tty), GFP_KERNEL);
+  if (!t) {
+    panic("tty_init: out of memory");
+  }
+  t->ldisc = &n_tty_ops;
+  console_tty = t;
+}
+
+// Console write: blocking (takes a mutex and may schedule).
+int console_write(char* count(n) buf, int n) noblock {
+  assert_nonatomic();
+  mutex_lock(&console_lock);
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    sum = sum + buf[i];
+  }
+  mutex_unlock(&console_lock);
+  return sum;
+}
+
+// PLANTED BUG #2 (found by BlockStop, §2.3 "we found two apparent bugs"):
+// waits for the console completion with interrupts disabled. Never executed
+// by the benchmarks — exactly the kind of latent bug sound analysis catches
+// and testing does not.
+void console_panic_flush(void) {
+  local_irq_disable();
+  wait_for_completion(&console_done);
+  local_irq_enable();
+}
+)MC";
+}
+
+const char* CorpusNetdev() {
+  return R"MC(
+// ===== drivers/netdev.mc ==================================================
+enum netdev_consts { RX_RING = 32, TX_RING = 32 };
+
+typedef int ndo_xmit_fn(struct net_device* dev, struct sk_buff* skb);
+typedef int ndo_ctl_fn(struct net_device* dev);
+
+struct net_device_ops {
+  ndo_xmit_fn* opt ndo_start_xmit;
+  ndo_ctl_fn* opt ndo_open;
+  ndo_ctl_fn* opt ndo_stop;
+};
+
+struct net_device {
+  int tx_lock;
+  int stats_lock;
+  int tx_packets;
+  int rx_packets;
+  int up;
+  int irq_events;
+  struct net_device_ops* opt ops;
+  struct sk_buff_head rxq;
+};
+
+struct net_device_ops e1000_ops;
+struct net_device* opt netdev0;
+
+// Blocking: brings the device up (allocates with GFP_KERNEL, sleeps for the
+// PHY). Shares an ops table with ndo_start_xmit, which runs under the tx
+// spinlock -- the field-insensitive merge makes every xmit site look like it
+// could call this, another run-time-check-silenced false positive.
+int e1000_open(struct net_device* dev) noblock {
+  assert_nonatomic();
+  msleep(1);
+  dev->up = 1;
+  return 0;
+}
+
+int e1000_stop(struct net_device* dev) noblock {
+  assert_nonatomic();
+  dev->up = 0;
+  return 0;
+}
+
+// Runs under dev->tx_lock (atomic): must not sleep.
+int e1000_start_xmit(struct net_device* dev, struct sk_buff* skb) {
+  dev->tx_packets = dev->tx_packets + 1;
+  int sum = 0;
+  trusted {
+    sum = csum_partial(skb->data, skb->len);
+  }
+  skb->csum = sum;
+  return 0;
+}
+
+int netdev_xmit(struct net_device* dev, struct sk_buff* skb) {
+  int flags = spin_lock_irqsave(&dev->tx_lock);
+  struct net_device_ops* opt ops = dev->ops;
+  int r = -1;
+  if (ops) {
+    ndo_xmit_fn* opt xmit = ops->ndo_start_xmit;
+    if (xmit) {
+      r = xmit(dev, skb);
+    }
+  }
+  // Stats bump while still holding the tx lock: establishes the lock order
+  // tx_lock -> stats_lock.
+  spin_lock(&dev->stats_lock);
+  dev->tx_packets = dev->tx_packets + 0;
+  spin_unlock(&dev->stats_lock);
+  spin_unlock_irqrestore(&dev->tx_lock, flags);
+  return r;
+}
+
+// PLANTED DEADLOCK (LockSafe, §3.1): reads stats under stats_lock, then
+// peeks at the tx state under tx_lock — the order stats_lock -> tx_lock,
+// inverted with respect to netdev_xmit. Also acquires stats_lock in process
+// context with interrupts enabled while e1000_interrupt takes the same lock
+// in IRQ context — the paper's Linux-specific spinlock invariant.
+int netdev_get_stats(struct net_device* dev) {
+  spin_lock(&dev->stats_lock);
+  int rx = dev->rx_packets;
+  spin_lock(&dev->tx_lock);
+  int tx = dev->tx_packets;
+  spin_unlock(&dev->tx_lock);
+  spin_unlock(&dev->stats_lock);
+  return rx + tx;
+}
+
+// The receive interrupt handler: refills the rx queue with GFP_ATOMIC
+// allocations (correct) and bumps stats under the stats lock.
+void e1000_interrupt(int budget) interrupt_handler {
+  struct net_device* opt dev = netdev0;
+  if (!dev) {
+    return;
+  }
+  dev->irq_events = dev->irq_events + 1;
+  for (int i = 0; i < budget; i++) {
+    struct sk_buff* opt skb = alloc_skb(GFP_ATOMIC);
+    if (!skb) {
+      return;
+    }
+    skb->protocol = PROTO_UDP;
+    skb->cb.udp.ulen = 64;
+    skb->len = 64;
+    spin_lock(&dev->stats_lock);
+    dev->rx_packets = dev->rx_packets + 1;
+    spin_unlock(&dev->stats_lock);
+    skb_queue_tail(&dev->rxq, skb);
+  }
+}
+
+// PLANTED BUG #1 (found by BlockStop): the error-recovery path allocates
+// with GFP_KERNEL while holding the tx spinlock with interrupts disabled.
+// kmalloc(GFP_WAIT) may sleep -> blocking call in atomic context.
+int netdev_reset(struct net_device* dev) {
+  int flags = spin_lock_irqsave(&dev->tx_lock);
+  char* count(512) opt scratch = (char*)kmalloc(512, GFP_KERNEL);
+  if (scratch) {
+    memset(scratch, 0, 512);
+    kfree((void*)scratch);
+  }
+  spin_unlock_irqrestore(&dev->tx_lock, flags);
+  return 0;
+}
+
+void netdev_init(void) {
+  e1000_ops.ndo_start_xmit = e1000_start_xmit;
+  e1000_ops.ndo_open = e1000_open;
+  e1000_ops.ndo_stop = e1000_stop;
+  struct net_device* dev =
+      (struct net_device*)kmalloc(sizeof(struct net_device), GFP_KERNEL);
+  if (!dev) {
+    panic("netdev_init: out of memory");
+  }
+  dev->ops = &e1000_ops;
+  netdev0 = dev;
+  ndo_ctl_fn* opt open_fn = e1000_ops.ndo_open;
+  if (open_fn) {
+    open_fn(dev);
+  }
+}
+
+// Drains the device rx queue into the UDP receive path (light_use traffic).
+int netdev_rx_drain(struct sock* sk) {
+  struct net_device* opt dev = netdev0;
+  if (!dev) {
+    return 0;
+  }
+  int n = 0;
+  struct sk_buff* opt skb = skb_dequeue(&dev->rxq);
+  while (skb) {
+    skb->sk = sk;
+    skb_queue_tail(&sk->rxq, skb);
+    n = n + 1;
+    skb = skb_dequeue(&dev->rxq);
+  }
+  return n;
+}
+)MC";
+}
+
+}  // namespace ivy

@@ -1,0 +1,78 @@
+#include "src/kernel/prelude.h"
+
+namespace ivy {
+
+const char* PreludeSource() {
+  return R"MC(
+// ===== Ivy prelude: kernel substrate API ==================================
+// GFP allocation flags: GFP_WAIT makes kmalloc a (conditionally) blocking
+// call; GFP_ATOMIC must be used in atomic context.
+enum gfp {
+  GFP_ATOMIC = 0,
+  GFP_WAIT = 1,
+  GFP_KERNEL = 1
+};
+
+typedef void irq_handler(int arg);
+
+// Memory management (the CCount-instrumented allocator).
+void* kmalloc(int size, int flags) blocking_if(flags);
+void kfree(void* opt p);
+void memset(char* count(n) p, int c, int n);
+void memcpy(char* count(n) dst, char* count(n) src, int n);
+
+// Diagnostics.
+int printk(char* nullterm fmt, ...);
+void panic(char* nullterm msg);
+void __assert(int cond);
+
+// Interrupt state.
+int local_irq_save(void);
+void local_irq_restore(int flags);
+void local_irq_disable(void);
+void local_irq_enable(void);
+int irqs_disabled(void);
+
+// Spinlocks and mutexes (lock word lives in an int).
+void spin_lock(int* lock);
+void spin_unlock(int* lock);
+int spin_lock_irqsave(int* lock);
+void spin_unlock_irqrestore(int* lock, int flags);
+void mutex_lock(int* m) blocking;
+void mutex_unlock(int* m);
+
+// Blocking primitives (BlockStop's seed set).
+void might_sleep(void) blocking;
+void schedule(void) blocking;
+void msleep(int ms) blocking;
+void udelay(int us);
+void wait_event(int* q) blocking;
+void wake_up(int* q);
+void wait_for_completion(int* c) blocking;
+void complete(int* c);
+int copy_to_user(int uaddr, char* count(n) src, int n) blocking;
+int copy_from_user(char* count(n) dst, int uaddr, int n) blocking;
+
+// The paper's run-time check: panics if interrupts are disabled. Functions
+// that begin with this call are annotated `noblock` so BlockStop treats
+// their atomic-context reachability as dynamically checked.
+void assert_nonatomic(void);
+
+// Interrupt dispatch: runs `h(arg)` with interrupts disabled.
+void trigger_irq(irq_handler* h, int arg);
+
+// Atomics.
+void atomic_inc(int* v);
+int atomic_dec_and_test(int* v);
+
+// Introspection (used by tests and benchmarks, not by kernel code).
+int __cycles(void);
+int __rc_of(void* opt p);
+int __good_frees(void);
+int __bad_frees(void);
+void context_switch(void* opt prev, void* opt next);
+// ===== end prelude ========================================================
+)MC";
+}
+
+}  // namespace ivy

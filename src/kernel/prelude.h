@@ -1,0 +1,14 @@
+// The Mini-C prelude: declarations of every VM builtin with its Deputy
+// bounds annotations and BlockStop blocking attributes. Prepended to every
+// compilation, exactly as the kernel's own headers carry the paper's
+// annotations for copy_to_user, kmalloc(GFP_WAIT), etc. (§2.3).
+#ifndef SRC_KERNEL_PRELUDE_H_
+#define SRC_KERNEL_PRELUDE_H_
+
+namespace ivy {
+
+const char* PreludeSource();
+
+}  // namespace ivy
+
+#endif  // SRC_KERNEL_PRELUDE_H_

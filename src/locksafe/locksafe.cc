@@ -1,0 +1,216 @@
+#include "src/locksafe/locksafe.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+namespace ivy {
+
+LockSafe::LockSafe(const Program* prog, const Sema* sema, const CallGraph* cg)
+    : prog_(prog), sema_(sema), cg_(cg) {}
+
+std::string LockSafe::LockName(const Expr* arg) {
+  // spin_lock(&EXPR): name the lock by its structural path.
+  const Expr* e = arg;
+  if (e != nullptr && e->kind == ExprKind::kAddrOf) {
+    e = e->a;
+  }
+  if (e == nullptr) {
+    return "<unknown>";
+  }
+  if (e->kind == ExprKind::kMember && e->field_record != nullptr) {
+    return e->field_record->name + "." + e->str_val;
+  }
+  if (e->kind == ExprKind::kIdent && e->sym != nullptr) {
+    if (e->sym->kind == SymKind::kGlobal) {
+      return e->sym->name;
+    }
+    return "<local:" + e->sym->name + ">";
+  }
+  return "<unknown>";
+}
+
+void LockSafe::WalkExpr(const FuncDecl* fn, const Expr* e, Ctx* ctx) {
+  if (e == nullptr) {
+    return;
+  }
+  WalkExpr(fn, e->a, ctx);
+  WalkExpr(fn, e->b, ctx);
+  WalkExpr(fn, e->c, ctx);
+  for (const Expr* arg : e->args) {
+    WalkExpr(fn, arg, ctx);
+  }
+  if (e->kind != ExprKind::kCall || e->a->kind != ExprKind::kIdent || e->args.empty()) {
+    return;
+  }
+  const std::string& callee = e->a->str_val;
+  bool is_acquire = callee == "spin_lock" || callee == "spin_lock_irqsave" ||
+                    callee == "mutex_lock";
+  bool is_release = callee == "spin_unlock" || callee == "spin_unlock_irqrestore" ||
+                    callee == "mutex_unlock";
+  bool irqsafe = callee == "spin_lock_irqsave";
+  if (!is_acquire && !is_release) {
+    return;
+  }
+  std::string name = LockName(e->args[0]);
+  if (is_acquire) {
+    for (const std::string& held : ctx->held) {
+      if (held != name && edge_set_.insert({held, name}).second) {
+        edges_.push_back(LockOrderEdge{held, name, e->loc, fn->name});
+      }
+    }
+    ctx->held.push_back(name);
+    int& bits = lock_ctx_[name];
+    if (ctx->in_irq) {
+      bits |= 1;
+    } else if (!irqsafe) {
+      bits |= 2;  // process context without disabling interrupts
+    }
+  } else {
+    auto it = std::find(ctx->held.rbegin(), ctx->held.rend(), name);
+    if (it != ctx->held.rend()) {
+      ctx->held.erase(std::next(it).base());
+    }
+  }
+}
+
+void LockSafe::WalkStmt(const FuncDecl* fn, const Stmt* s, Ctx* ctx) {
+  if (s == nullptr) {
+    return;
+  }
+  WalkExpr(fn, s->expr, ctx);
+  WalkExpr(fn, s->cond, ctx);
+  WalkExpr(fn, s->step, ctx);
+  if (s->decl != nullptr) {
+    WalkExpr(fn, s->decl->init, ctx);
+  }
+  WalkStmt(fn, s->init, ctx);
+  WalkStmt(fn, s->then_stmt, ctx);
+  WalkStmt(fn, s->else_stmt, ctx);
+  for (const Stmt* child : s->body) {
+    WalkStmt(fn, child, ctx);
+  }
+}
+
+void LockSafe::FindCycles(const std::set<std::pair<std::string, std::string>>& graph,
+                          std::vector<std::vector<std::string>>* cycles) {
+  // Report each 2-cycle (the ABBA pattern) and longer cycles via DFS.
+  std::map<std::string, std::vector<std::string>> succ;
+  for (const auto& [a, b] : graph) {
+    succ[a].push_back(b);
+  }
+  std::set<std::pair<std::string, std::string>> seen_pair;
+  for (const auto& [a, b] : graph) {
+    if (graph.count({b, a}) != 0 && a < b && seen_pair.insert({a, b}).second) {
+      cycles->push_back({a, b});
+    }
+  }
+  // Longer cycles: bounded DFS from each node.
+  for (const auto& [start, outs] : succ) {
+    std::vector<std::string> path{start};
+    std::deque<std::pair<std::string, size_t>> stack;
+    (void)outs;
+    std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+      if (path.size() > 4) {
+        return;
+      }
+      for (const std::string& next : succ[node]) {
+        if (next == start && path.size() > 2) {
+          std::vector<std::string> cycle = path;
+          // Canonicalize: only report if start is the smallest element.
+          if (*std::min_element(cycle.begin(), cycle.end()) == start) {
+            cycles->push_back(cycle);
+          }
+          continue;
+        }
+        if (std::find(path.begin(), path.end(), next) == path.end()) {
+          path.push_back(next);
+          dfs(next);
+          path.pop_back();
+        }
+      }
+    };
+    dfs(start);
+  }
+}
+
+LockSafeReport LockSafe::Run() {
+  // IRQ-reachable functions: BFS from interrupt entries over the call graph.
+  std::deque<const FuncDecl*> work(cg_->irq_entries().begin(), cg_->irq_entries().end());
+  while (!work.empty()) {
+    const FuncDecl* fn = work.front();
+    work.pop_front();
+    if (!irq_reachable_.insert(fn).second) {
+      continue;
+    }
+    for (const FuncDecl* callee : cg_->Callees(fn)) {
+      work.push_back(callee);
+    }
+  }
+  for (const FuncDecl* fn : cg_->DefinedFuncs()) {
+    Ctx ctx;
+    ctx.in_irq = irq_reachable_.count(fn) != 0;
+    WalkStmt(fn, fn->body, &ctx);
+  }
+  LockSafeReport report;
+  report.edges = edges_;
+  report.locks_seen = static_cast<int>(lock_ctx_.size());
+  FindCycles(edge_set_, &report.deadlock_cycles);
+  for (const auto& [name, bits] : lock_ctx_) {
+    if ((bits & 1) != 0 && (bits & 2) != 0) {
+      report.irq_unsafe_locks.push_back(name);
+    }
+  }
+  return report;
+}
+
+LockSafeReport LockSafe::ValidateRuntime(const Vm& vm, const IrModule& module) {
+  auto name_of = [&module](uint64_t addr) -> std::string {
+    for (const GlobalSlot& g : module.globals) {
+      if (addr >= g.addr && addr < g.addr + static_cast<uint64_t>(g.size)) {
+        return g.decl != nullptr ? g.decl->name : "<global>";
+      }
+    }
+    return "heap@" + std::to_string(addr);
+  };
+  LockSafeReport report;
+  std::set<std::pair<std::string, std::string>> graph;
+  for (const auto& [a, b] : vm.lock_order_edges()) {
+    std::string na = name_of(a);
+    std::string nb = name_of(b);
+    if (graph.insert({na, nb}).second) {
+      report.edges.push_back(LockOrderEdge{na, nb, SourceLoc{}, "<runtime>"});
+    }
+  }
+  FindCycles(graph, &report.deadlock_cycles);
+  for (const auto& [addr, usage] : vm.lock_usage()) {
+    if (usage.in_irq && usage.process_irqs_on) {
+      report.irq_unsafe_locks.push_back(name_of(addr));
+    }
+  }
+  report.locks_seen = static_cast<int>(vm.lock_usage().size());
+  return report;
+}
+
+std::string LockSafeReport::ToString() const {
+  std::string out;
+  out += "LockSafe: " + std::to_string(locks_seen) + " locks, " +
+         std::to_string(edges.size()) + " order edges\n";
+  out += "  potential deadlocks (inconsistent lock order): " +
+         std::to_string(deadlock_cycles.size()) + "\n";
+  for (const auto& cycle : deadlock_cycles) {
+    out += "    cycle:";
+    for (const std::string& l : cycle) {
+      out += " " + l + " ->";
+    }
+    out += " " + cycle.front() + "\n";
+  }
+  out += "  spinlocks acquired in IRQ context AND in process context with irqs on: " +
+         std::to_string(irq_unsafe_locks.size()) + "\n";
+  for (const std::string& l : irq_unsafe_locks) {
+    out += "    " + l + "\n";
+  }
+  return out;
+}
+
+}  // namespace ivy

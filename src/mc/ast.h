@@ -1,0 +1,223 @@
+// Abstract syntax tree for Mini-C.
+//
+// Nodes are "fat" tagged structs allocated from arenas owned by Program. The
+// tree survives for the whole pipeline (sema annotates it in place; lowering,
+// the points-to analysis and the future analyses all read it).
+#ifndef SRC_MC_AST_H_
+#define SRC_MC_AST_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mc/types.h"
+#include "src/support/source.h"
+
+namespace ivy {
+
+struct FuncDecl;
+struct Stmt;
+struct Symbol;
+struct VarDecl;
+
+enum class ExprKind {
+  kIntLit,   // int_val (type int or char)
+  kStrLit,   // str_val; type char* nullterm
+  kNull,     // null pointer constant
+  kIdent,    // str_val = name; sym set by sema
+  kUnary,    // un_op a
+  kBinary,   // a bin_op b
+  kAssign,   // a = b, or compound a op= b (assign_op)
+  kCond,     // a ? b : c
+  kCall,     // a(args...); a is kIdent for direct calls or any fn-ptr expr
+  kIndex,    // a[b]
+  kMember,   // a.field / a->field (is_arrow)
+  kDeref,    // *a
+  kAddrOf,   // &a
+  kCast,     // (cast_type) a
+  kSizeof,   // sizeof(type) or sizeof(expr); folded to int_val by sema
+  kIncDec,   // ++/-- pre/post (is_inc, is_prefix)
+};
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kShl, kShr,
+  kLt, kGt, kLe, kGe, kEq, kNe,
+  kBitAnd, kBitOr, kBitXor,
+  kLogAnd, kLogOr,
+  kNone,  // used as assign_op for plain '='
+};
+
+enum class UnOp { kNeg, kLogNot, kBitNot };
+
+struct Expr {
+  ExprKind kind = ExprKind::kIntLit;
+  SourceLoc loc;
+  const Type* type = nullptr;  // set by sema
+
+  int64_t int_val = 0;
+  std::string str_val;  // identifier spelling, string value, or member name
+  Expr* a = nullptr;
+  Expr* b = nullptr;
+  Expr* c = nullptr;
+  std::vector<Expr*> args;
+  BinOp bin_op = BinOp::kNone;
+  BinOp assign_op = BinOp::kNone;
+  UnOp un_op = UnOp::kNeg;
+  bool is_arrow = false;
+  bool is_inc = false;
+  bool is_prefix = false;
+  const Type* cast_type = nullptr;  // kCast / kSizeof(type)
+
+  // Sema results.
+  Symbol* sym = nullptr;                  // kIdent resolution
+  const RecordField* field = nullptr;     // kMember resolution
+  RecordDecl* field_record = nullptr;     // record containing `field`
+  bool in_trusted = false;                // lexically inside trusted code
+  bool is_const = false;                  // compile-time constant (int_val valid)
+
+  bool IsNullConst() const {
+    return kind == ExprKind::kNull || (kind == ExprKind::kIntLit && int_val == 0);
+  }
+};
+
+enum class StmtKind {
+  kExpr,
+  kDecl,     // local variable declaration
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+  kBlock,
+  kSeq,          // statement sequence without its own scope (multi-declarators)
+  kTrusted,      // trusted { ... }: Deputy emits no checks inside
+  kDelayedFree,  // delayed_free { ... }: CCount defers frees to scope end
+  kEmpty,
+};
+
+// A variable declaration (local or global).
+struct VarDecl {
+  std::string name;
+  const Type* type = nullptr;
+  Expr* init = nullptr;
+  Symbol* sym = nullptr;
+  SourceLoc loc;
+  bool is_global = false;
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kEmpty;
+  SourceLoc loc;
+  Expr* expr = nullptr;         // kExpr, kReturn (nullable), conditions
+  VarDecl* decl = nullptr;      // kDecl
+  Stmt* init = nullptr;         // kFor
+  Expr* cond = nullptr;         // kIf/kWhile/kDoWhile/kFor (kFor may be null)
+  Expr* step = nullptr;         // kFor
+  Stmt* then_stmt = nullptr;    // kIf / loop body
+  Stmt* else_stmt = nullptr;    // kIf
+  std::vector<Stmt*> body;      // kBlock/kTrusted/kDelayedFree
+};
+
+enum class SymKind { kGlobal, kLocal, kParam, kFunc, kEnumConst, kTypedefName };
+
+// A named entity. Sema interns one Symbol per declaration.
+struct Symbol {
+  std::string name;
+  SymKind kind = SymKind::kLocal;
+  const Type* type = nullptr;
+  FuncDecl* func = nullptr;  // kFunc
+  VarDecl* var = nullptr;    // kGlobal / kLocal / kParam
+  int64_t enum_value = 0;    // kEnumConst
+  int param_index = -1;      // kParam
+  SourceLoc loc;
+  bool address_taken = false;
+
+  // Lowering results.
+  int64_t frame_offset = -1;   // locals/params: offset in the VM stack frame
+  int64_t global_addr = 0;     // globals: absolute address in VM memory
+  int local_id = -1;           // dense per-function numbering (analysis cells)
+};
+
+// Function attributes (BlockStop / ErrCheck / trust annotations, §2.3, §3.1).
+struct FuncAttrs {
+  bool blocking = false;            // may sleep unconditionally
+  int blocking_if_param = -1;       // blocks iff this param has GFP_WAIT set
+  bool noblock = false;             // carries the run-time "not atomic" check
+  bool interrupt_handler = false;   // entered with interrupts disabled
+  bool trusted = false;             // whole function trusted (E1 accounting)
+  std::vector<int64_t> errcodes;    // error codes this function may return
+};
+
+struct FuncDecl {
+  std::string name;
+  const Type* type = nullptr;  // kFunc type
+  std::vector<Symbol*> params;
+  Stmt* body = nullptr;  // null for extern declarations / builtins
+  FuncAttrs attrs;
+  SourceLoc loc;
+  bool is_builtin = false;
+  int builtin_id = -1;  // index into the VM builtin table
+  int func_id = -1;     // dense program-wide id
+  // Set by lowering: total bytes of locals + params (StackCheck input).
+  int64_t frame_size = 0;
+};
+
+// A whole Mini-C program: arenas plus top-level declarations. Created by the
+// Parser, completed by Sema, then read-only.
+class Program {
+ public:
+  Program() = default;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  Expr* NewExpr(ExprKind kind, SourceLoc loc);
+  Stmt* NewStmt(StmtKind kind, SourceLoc loc);
+  Type* NewType(TypeKind kind);
+  VarDecl* NewVarDecl();
+  RecordDecl* NewRecord();
+  FuncDecl* NewFunc();
+  Symbol* NewSymbol();
+
+  // Canonical primitive types.
+  const Type* IntType();
+  const Type* CharType();
+  const Type* VoidType();
+  // A fresh pointer type (annotations make pointers non-internable).
+  Type* PtrTo(const Type* pointee);
+
+  std::vector<RecordDecl*> records;
+  std::vector<FuncDecl*> funcs;
+  std::vector<VarDecl*> globals;
+  // Enum constants and typedefs, for lookup in sema and the cast parser.
+  std::unordered_map<std::string, int64_t> enum_consts;
+  std::unordered_map<std::string, const Type*> typedefs;
+
+  FuncDecl* FindFunc(const std::string& name) const;
+  RecordDecl* FindRecord(const std::string& name) const;
+
+ private:
+  template <typename T>
+  T* Alloc(std::vector<std::unique_ptr<T>>* pool) {
+    pool->push_back(std::make_unique<T>());
+    return pool->back().get();
+  }
+
+  std::vector<std::unique_ptr<Expr>> expr_pool_;
+  std::vector<std::unique_ptr<Stmt>> stmt_pool_;
+  std::vector<std::unique_ptr<Type>> type_pool_;
+  std::vector<std::unique_ptr<VarDecl>> var_pool_;
+  std::vector<std::unique_ptr<RecordDecl>> record_pool_;
+  std::vector<std::unique_ptr<FuncDecl>> func_pool_;
+  std::vector<std::unique_ptr<Symbol>> sym_pool_;
+  const Type* int_type_ = nullptr;
+  const Type* char_type_ = nullptr;
+  const Type* void_type_ = nullptr;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_MC_AST_H_

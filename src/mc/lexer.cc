@@ -1,0 +1,513 @@
+#include "src/mc/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace ivy {
+
+const char* TokName(Tok t) {
+  switch (t) {
+    case Tok::kEof:
+      return "end of file";
+    case Tok::kIdent:
+      return "identifier";
+    case Tok::kIntLit:
+      return "integer literal";
+    case Tok::kCharLit:
+      return "char literal";
+    case Tok::kStrLit:
+      return "string literal";
+    case Tok::kKwInt:
+      return "'int'";
+    case Tok::kKwChar:
+      return "'char'";
+    case Tok::kKwVoid:
+      return "'void'";
+    case Tok::kKwStruct:
+      return "'struct'";
+    case Tok::kKwUnion:
+      return "'union'";
+    case Tok::kKwEnum:
+      return "'enum'";
+    case Tok::kKwTypedef:
+      return "'typedef'";
+    case Tok::kKwExtern:
+      return "'extern'";
+    case Tok::kKwStatic:
+      return "'static'";
+    case Tok::kKwConst:
+      return "'const'";
+    case Tok::kKwSizeof:
+      return "'sizeof'";
+    case Tok::kKwNull:
+      return "'null'";
+    case Tok::kKwIf:
+      return "'if'";
+    case Tok::kKwElse:
+      return "'else'";
+    case Tok::kKwWhile:
+      return "'while'";
+    case Tok::kKwFor:
+      return "'for'";
+    case Tok::kKwDo:
+      return "'do'";
+    case Tok::kKwReturn:
+      return "'return'";
+    case Tok::kKwBreak:
+      return "'break'";
+    case Tok::kKwContinue:
+      return "'continue'";
+    case Tok::kKwCount:
+      return "'count'";
+    case Tok::kKwBound:
+      return "'bound'";
+    case Tok::kKwNullterm:
+      return "'nullterm'";
+    case Tok::kKwOpt:
+      return "'opt'";
+    case Tok::kKwNonnull:
+      return "'nonnull'";
+    case Tok::kKwTrusted:
+      return "'trusted'";
+    case Tok::kKwWhen:
+      return "'when'";
+    case Tok::kKwBlocking:
+      return "'blocking'";
+    case Tok::kKwBlockingIf:
+      return "'blocking_if'";
+    case Tok::kKwNoblock:
+      return "'noblock'";
+    case Tok::kKwErrcode:
+      return "'errcode'";
+    case Tok::kKwInterruptHandler:
+      return "'interrupt_handler'";
+    case Tok::kKwDelayedFree:
+      return "'delayed_free'";
+    case Tok::kLParen:
+      return "'('";
+    case Tok::kRParen:
+      return "')'";
+    case Tok::kLBrace:
+      return "'{'";
+    case Tok::kRBrace:
+      return "'}'";
+    case Tok::kLBracket:
+      return "'['";
+    case Tok::kRBracket:
+      return "']'";
+    case Tok::kSemi:
+      return "';'";
+    case Tok::kComma:
+      return "','";
+    case Tok::kDot:
+      return "'.'";
+    case Tok::kArrow:
+      return "'->'";
+    case Tok::kStar:
+      return "'*'";
+    case Tok::kAmp:
+      return "'&'";
+    case Tok::kPlus:
+      return "'+'";
+    case Tok::kMinus:
+      return "'-'";
+    case Tok::kSlash:
+      return "'/'";
+    case Tok::kPercent:
+      return "'%'";
+    case Tok::kBang:
+      return "'!'";
+    case Tok::kTilde:
+      return "'~'";
+    case Tok::kLess:
+      return "'<'";
+    case Tok::kGreater:
+      return "'>'";
+    case Tok::kLessEq:
+      return "'<='";
+    case Tok::kGreaterEq:
+      return "'>='";
+    case Tok::kEqEq:
+      return "'=='";
+    case Tok::kBangEq:
+      return "'!='";
+    case Tok::kAmpAmp:
+      return "'&&'";
+    case Tok::kPipePipe:
+      return "'||'";
+    case Tok::kPipe:
+      return "'|'";
+    case Tok::kCaret:
+      return "'^'";
+    case Tok::kShl:
+      return "'<<'";
+    case Tok::kShr:
+      return "'>>'";
+    case Tok::kAssign:
+      return "'='";
+    case Tok::kPlusEq:
+      return "'+='";
+    case Tok::kMinusEq:
+      return "'-='";
+    case Tok::kStarEq:
+      return "'*='";
+    case Tok::kSlashEq:
+      return "'/='";
+    case Tok::kPercentEq:
+      return "'%='";
+    case Tok::kAmpEq:
+      return "'&='";
+    case Tok::kPipeEq:
+      return "'|='";
+    case Tok::kCaretEq:
+      return "'^='";
+    case Tok::kShlEq:
+      return "'<<='";
+    case Tok::kShrEq:
+      return "'>>='";
+    case Tok::kPlusPlus:
+      return "'++'";
+    case Tok::kMinusMinus:
+      return "'--'";
+    case Tok::kQuestion:
+      return "'?'";
+    case Tok::kColon:
+      return "':'";
+    case Tok::kEllipsis:
+      return "'...'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& KeywordMap() {
+  static const auto* kMap = new std::unordered_map<std::string, Tok>{
+      {"int", Tok::kKwInt},
+      {"char", Tok::kKwChar},
+      {"void", Tok::kKwVoid},
+      {"struct", Tok::kKwStruct},
+      {"union", Tok::kKwUnion},
+      {"enum", Tok::kKwEnum},
+      {"typedef", Tok::kKwTypedef},
+      {"extern", Tok::kKwExtern},
+      {"static", Tok::kKwStatic},
+      {"const", Tok::kKwConst},
+      {"sizeof", Tok::kKwSizeof},
+      {"null", Tok::kKwNull},
+      {"if", Tok::kKwIf},
+      {"else", Tok::kKwElse},
+      {"while", Tok::kKwWhile},
+      {"for", Tok::kKwFor},
+      {"do", Tok::kKwDo},
+      {"return", Tok::kKwReturn},
+      {"break", Tok::kKwBreak},
+      {"continue", Tok::kKwContinue},
+      {"count", Tok::kKwCount},
+      {"bound", Tok::kKwBound},
+      {"nullterm", Tok::kKwNullterm},
+      {"opt", Tok::kKwOpt},
+      {"nonnull", Tok::kKwNonnull},
+      {"trusted", Tok::kKwTrusted},
+      {"when", Tok::kKwWhen},
+      {"blocking", Tok::kKwBlocking},
+      {"blocking_if", Tok::kKwBlockingIf},
+      {"noblock", Tok::kKwNoblock},
+      {"errcode", Tok::kKwErrcode},
+      {"interrupt_handler", Tok::kKwInterruptHandler},
+      {"delayed_free", Tok::kKwDelayedFree},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+Lexer::Lexer(const SourceManager& sm, int32_t file_id, DiagEngine* diags)
+    : text_(sm.FileText(file_id)), file_id_(file_id), diags_(diags) {}
+
+char Lexer::Peek(int ahead) const {
+  size_t p = pos_ + static_cast<size_t>(ahead);
+  return p < text_.size() ? text_[p] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::Match(char c) {
+  if (Peek() == c) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+SourceLoc Lexer::Here() const { return SourceLoc{file_id_, line_, col_}; }
+
+void Lexer::LexLineComment() {
+  while (pos_ < text_.size() && Peek() != '\n') {
+    Advance();
+  }
+}
+
+void Lexer::LexBlockComment() {
+  SourceLoc start = Here();
+  while (pos_ < text_.size()) {
+    if (Peek() == '*' && Peek(1) == '/') {
+      Advance();
+      Advance();
+      return;
+    }
+    Advance();
+  }
+  diags_->Error(start, "unterminated block comment", "lex");
+}
+
+Token Lexer::LexNumber() {
+  Token t;
+  t.kind = Tok::kIntLit;
+  t.loc = Here();
+  int64_t value = 0;
+  if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+    Advance();
+    Advance();
+    while (std::isxdigit(static_cast<unsigned char>(Peek()))) {
+      char c = Advance();
+      int digit = std::isdigit(static_cast<unsigned char>(c))
+                      ? c - '0'
+                      : (std::tolower(static_cast<unsigned char>(c)) - 'a' + 10);
+      value = value * 16 + digit;
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      value = value * 10 + (Advance() - '0');
+    }
+  }
+  t.int_val = value;
+  return t;
+}
+
+Token Lexer::LexIdentOrKeyword() {
+  Token t;
+  t.loc = Here();
+  std::string name;
+  while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+    name.push_back(Advance());
+  }
+  auto it = KeywordMap().find(name);
+  if (it != KeywordMap().end()) {
+    t.kind = it->second;
+  } else {
+    t.kind = Tok::kIdent;
+  }
+  t.text = std::move(name);
+  return t;
+}
+
+int64_t Lexer::LexEscape() {
+  // Called after the backslash has been consumed.
+  char c = Advance();
+  switch (c) {
+    case 'n':
+      return '\n';
+    case 't':
+      return '\t';
+    case 'r':
+      return '\r';
+    case '0':
+      return 0;
+    case '\\':
+      return '\\';
+    case '\'':
+      return '\'';
+    case '"':
+      return '"';
+    default:
+      diags_->Error(Here(), std::string("unknown escape '\\") + c + "'", "lex");
+      return c;
+  }
+}
+
+Token Lexer::LexCharLit() {
+  Token t;
+  t.kind = Tok::kCharLit;
+  t.loc = Here();
+  Advance();  // opening quote
+  if (Peek() == '\\') {
+    Advance();
+    t.int_val = LexEscape();
+  } else if (pos_ < text_.size()) {
+    t.int_val = static_cast<unsigned char>(Advance());
+  }
+  if (!Match('\'')) {
+    diags_->Error(t.loc, "unterminated char literal", "lex");
+  }
+  return t;
+}
+
+Token Lexer::LexStrLit() {
+  Token t;
+  t.kind = Tok::kStrLit;
+  t.loc = Here();
+  Advance();  // opening quote
+  while (pos_ < text_.size() && Peek() != '"' && Peek() != '\n') {
+    if (Peek() == '\\') {
+      Advance();
+      t.text.push_back(static_cast<char>(LexEscape()));
+    } else {
+      t.text.push_back(Advance());
+    }
+  }
+  if (!Match('"')) {
+    diags_->Error(t.loc, "unterminated string literal", "lex");
+  }
+  return t;
+}
+
+std::vector<Token> Lexer::Lex() {
+  std::vector<Token> out;
+  while (pos_ < text_.size()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+      continue;
+    }
+    if (c == '/' && Peek(1) == '/') {
+      LexLineComment();
+      continue;
+    }
+    if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      LexBlockComment();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back(LexNumber());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(LexIdentOrKeyword());
+      continue;
+    }
+    if (c == '\'') {
+      out.push_back(LexCharLit());
+      continue;
+    }
+    if (c == '"') {
+      out.push_back(LexStrLit());
+      continue;
+    }
+    Token t;
+    t.loc = Here();
+    Advance();
+    switch (c) {
+      case '(':
+        t.kind = Tok::kLParen;
+        break;
+      case ')':
+        t.kind = Tok::kRParen;
+        break;
+      case '{':
+        t.kind = Tok::kLBrace;
+        break;
+      case '}':
+        t.kind = Tok::kRBrace;
+        break;
+      case '[':
+        t.kind = Tok::kLBracket;
+        break;
+      case ']':
+        t.kind = Tok::kRBracket;
+        break;
+      case ';':
+        t.kind = Tok::kSemi;
+        break;
+      case ',':
+        t.kind = Tok::kComma;
+        break;
+      case '.':
+        if (Peek() == '.' && Peek(1) == '.') {
+          Advance();
+          Advance();
+          t.kind = Tok::kEllipsis;
+        } else {
+          t.kind = Tok::kDot;
+        }
+        break;
+      case '?':
+        t.kind = Tok::kQuestion;
+        break;
+      case ':':
+        t.kind = Tok::kColon;
+        break;
+      case '~':
+        t.kind = Tok::kTilde;
+        break;
+      case '*':
+        t.kind = Match('=') ? Tok::kStarEq : Tok::kStar;
+        break;
+      case '/':
+        t.kind = Match('=') ? Tok::kSlashEq : Tok::kSlash;
+        break;
+      case '%':
+        t.kind = Match('=') ? Tok::kPercentEq : Tok::kPercent;
+        break;
+      case '+':
+        t.kind = Match('+') ? Tok::kPlusPlus : (Match('=') ? Tok::kPlusEq : Tok::kPlus);
+        break;
+      case '-':
+        t.kind = Match('-') ? Tok::kMinusMinus
+                            : (Match('=') ? Tok::kMinusEq
+                                          : (Match('>') ? Tok::kArrow : Tok::kMinus));
+        break;
+      case '!':
+        t.kind = Match('=') ? Tok::kBangEq : Tok::kBang;
+        break;
+      case '=':
+        t.kind = Match('=') ? Tok::kEqEq : Tok::kAssign;
+        break;
+      case '<':
+        if (Match('<')) {
+          t.kind = Match('=') ? Tok::kShlEq : Tok::kShl;
+        } else {
+          t.kind = Match('=') ? Tok::kLessEq : Tok::kLess;
+        }
+        break;
+      case '>':
+        if (Match('>')) {
+          t.kind = Match('=') ? Tok::kShrEq : Tok::kShr;
+        } else {
+          t.kind = Match('=') ? Tok::kGreaterEq : Tok::kGreater;
+        }
+        break;
+      case '&':
+        t.kind = Match('&') ? Tok::kAmpAmp : (Match('=') ? Tok::kAmpEq : Tok::kAmp);
+        break;
+      case '|':
+        t.kind = Match('|') ? Tok::kPipePipe : (Match('=') ? Tok::kPipeEq : Tok::kPipe);
+        break;
+      case '^':
+        t.kind = Match('=') ? Tok::kCaretEq : Tok::kCaret;
+        break;
+      default:
+        diags_->Error(t.loc, std::string("unexpected character '") + c + "'", "lex");
+        continue;
+    }
+    out.push_back(t);
+  }
+  Token eof;
+  eof.kind = Tok::kEof;
+  eof.loc = Here();
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace ivy

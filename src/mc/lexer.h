@@ -1,0 +1,46 @@
+// Hand-written lexer for Mini-C. Produces the full token stream for a file in
+// one pass; the parser indexes into it (cheap arbitrary lookahead, which the
+// cast/expression ambiguity needs).
+#ifndef SRC_MC_LEXER_H_
+#define SRC_MC_LEXER_H_
+
+#include <vector>
+
+#include "src/mc/token.h"
+#include "src/support/diag.h"
+
+namespace ivy {
+
+class Lexer {
+ public:
+  // Lexes file `file_id` registered in `sm`. Errors (bad characters,
+  // unterminated literals) are reported to `diags`.
+  Lexer(const SourceManager& sm, int32_t file_id, DiagEngine* diags);
+
+  // Runs the lexer and returns all tokens, ending with kEof.
+  std::vector<Token> Lex();
+
+ private:
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool Match(char c);
+  SourceLoc Here() const;
+  void LexLineComment();
+  void LexBlockComment();
+  Token LexNumber();
+  Token LexIdentOrKeyword();
+  Token LexCharLit();
+  Token LexStrLit();
+  int64_t LexEscape();
+
+  const std::string& text_;
+  int32_t file_id_;
+  DiagEngine* diags_;
+  size_t pos_ = 0;
+  int32_t line_ = 1;
+  int32_t col_ = 1;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_MC_LEXER_H_

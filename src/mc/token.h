@@ -1,0 +1,120 @@
+// Token definitions for Mini-C ("MC"), the C kernel dialect accepted by the
+// Ivy tools. MC extends a C subset with first-class Deputy/CCount/BlockStop
+// annotations: `count(e)`, `bound(lo,hi)`, `nullterm`, `opt`, `trusted`,
+// `when(e)`, `blocking`, `blocking_if(param)`, `noblock`, `errcode(...)`,
+// `interrupt_handler`, and the statement blocks `trusted { }` and
+// `delayed_free { }`.
+#ifndef SRC_MC_TOKEN_H_
+#define SRC_MC_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/source.h"
+
+namespace ivy {
+
+enum class Tok {
+  kEof,
+  kIdent,
+  kIntLit,
+  kCharLit,
+  kStrLit,
+  // Type and declaration keywords.
+  kKwInt,
+  kKwChar,
+  kKwVoid,
+  kKwStruct,
+  kKwUnion,
+  kKwEnum,
+  kKwTypedef,
+  kKwExtern,
+  kKwStatic,
+  kKwConst,
+  kKwSizeof,
+  kKwNull,
+  // Statement keywords.
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwDo,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  // Ivy annotation keywords.
+  kKwCount,
+  kKwBound,
+  kKwNullterm,
+  kKwOpt,
+  kKwNonnull,
+  kKwTrusted,
+  kKwWhen,
+  kKwBlocking,
+  kKwBlockingIf,
+  kKwNoblock,
+  kKwErrcode,
+  kKwInterruptHandler,
+  kKwDelayedFree,
+  // Punctuation.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  kDot,
+  kArrow,
+  kStar,
+  kAmp,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kBang,
+  kTilde,
+  kLess,
+  kGreater,
+  kLessEq,
+  kGreaterEq,
+  kEqEq,
+  kBangEq,
+  kAmpAmp,
+  kPipePipe,
+  kPipe,
+  kCaret,
+  kShl,
+  kShr,
+  kAssign,
+  kPlusEq,
+  kMinusEq,
+  kStarEq,
+  kSlashEq,
+  kPercentEq,
+  kAmpEq,
+  kPipeEq,
+  kCaretEq,
+  kShlEq,
+  kShrEq,
+  kPlusPlus,
+  kMinusMinus,
+  kQuestion,
+  kColon,
+  kEllipsis,
+};
+
+// Returns a human-readable spelling for diagnostics ("'count'", "'<='", ...).
+const char* TokName(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  SourceLoc loc;
+  std::string text;     // identifier spelling or string literal contents
+  int64_t int_val = 0;  // integer/char literal value
+};
+
+}  // namespace ivy
+
+#endif  // SRC_MC_TOKEN_H_

@@ -1,0 +1,132 @@
+// Mini-C type representations, including Deputy's dependent pointer
+// annotations (§2.1 of the paper).
+//
+// A pointer type carries a `PtrAnnot` describing its bounds discipline:
+//   T*                 -- safe singleton pointer (count(1)), non-null
+//   T* count(e)        -- points to an array of `e` elements; `e` is an
+//                         expression over in-scope variables / sibling fields
+//   T* bound(lo, hi)   -- explicit bounds expressions
+//   T* nullterm        -- null-terminated sequence (strings)
+//   T* opt             -- may be null (null checks inserted at use)
+//   T* trusted         -- unchecked; assumed correct (counted by E1 stats)
+// Union members may carry `when(e)` guards; accesses check the guard.
+#ifndef SRC_MC_TYPES_H_
+#define SRC_MC_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/source.h"
+
+namespace ivy {
+
+struct Expr;
+struct Type;
+
+enum class TypeKind {
+  kVoid,
+  kInt,   // 64-bit signed
+  kChar,  // 8-bit
+  kPointer,
+  kArray,
+  kRecord,  // struct or union
+  kFunc,
+  kError,
+};
+
+enum class BoundsKind {
+  kSingle,    // exactly one element (default safe pointer)
+  kCount,     // count(e) elements
+  kBound,     // bound(lo, hi)
+  kNullterm,  // null-terminated
+};
+
+// Deputy annotation attached to a pointer type.
+struct PtrAnnot {
+  BoundsKind bounds = BoundsKind::kSingle;
+  Expr* count = nullptr;        // for kCount
+  Expr* lo = nullptr;           // for kBound
+  Expr* hi = nullptr;           // for kBound
+  bool opt = false;             // may be null
+  bool trusted = false;         // unchecked pointer
+};
+
+// A field of a struct or union.
+struct RecordField {
+  std::string name;
+  const Type* type = nullptr;
+  Expr* when = nullptr;  // union-member guard, scoped to the enclosing struct
+  int64_t offset = 0;    // byte offset, set by sema layout
+  int index = 0;
+  SourceLoc loc;
+};
+
+// A struct or union declaration; doubles as the canonical record type.
+struct RecordDecl {
+  std::string name;  // empty for inline (anonymous) unions
+  bool is_union = false;
+  bool complete = false;
+  std::vector<RecordField> fields;
+  int64_t size = 0;
+  int64_t align = 1;
+  SourceLoc loc;
+  // For inline unions: the struct whose fields are in scope for `when`.
+  RecordDecl* parent_struct = nullptr;
+  // Dense id assigned by sema; used as the CCount runtime type id.
+  int type_id = -1;
+
+  const RecordField* FindField(const std::string& field_name) const {
+    for (const RecordField& f : fields) {
+      if (f.name == field_name) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// A Mini-C type. Fat node: only the members for `kind` are meaningful.
+// Types are arena-allocated by Program and immutable after sema.
+struct Type {
+  TypeKind kind = TypeKind::kError;
+  // kPointer:
+  const Type* pointee = nullptr;
+  PtrAnnot annot;
+  // kArray:
+  const Type* elem = nullptr;
+  int64_t array_len = 0;
+  // kRecord:
+  RecordDecl* record = nullptr;
+  // kFunc:
+  const Type* ret = nullptr;
+  std::vector<const Type*> params;
+  bool varargs = false;  // printk-style trailing "..."
+
+  bool IsVoid() const { return kind == TypeKind::kVoid; }
+  bool IsChar() const { return kind == TypeKind::kChar; }
+  bool IsInteger() const { return kind == TypeKind::kInt || kind == TypeKind::kChar; }
+  bool IsPointer() const { return kind == TypeKind::kPointer; }
+  bool IsArray() const { return kind == TypeKind::kArray; }
+  bool IsRecord() const { return kind == TypeKind::kRecord; }
+  bool IsFunc() const { return kind == TypeKind::kFunc; }
+  bool IsError() const { return kind == TypeKind::kError; }
+  bool IsFuncPointer() const { return IsPointer() && pointee != nullptr && pointee->IsFunc(); }
+};
+
+// Byte size of a value of type `t`. Records must be laid out already.
+int64_t TypeSize(const Type* t);
+
+// Alignment requirement of `t` (1 for char, 8 for int/pointer).
+int64_t TypeAlign(const Type* t);
+
+// Structural "same type" check used for assignment compatibility and cast
+// legality. Ignores Deputy annotations (they are checked, not trusted).
+bool SameType(const Type* a, const Type* b);
+
+// Renders a type for diagnostics, e.g. "char * count(n)".
+std::string TypeToString(const Type* t);
+
+}  // namespace ivy
+
+#endif  // SRC_MC_TYPES_H_

@@ -1,0 +1,93 @@
+#include "src/stackcheck/stackcheck.h"
+
+namespace ivy {
+
+StackCheck::StackCheck(const CallGraph* cg, const IrModule* module, int64_t budget)
+    : cg_(cg), module_(module), budget_(budget) {}
+
+int64_t StackCheck::DepthOf(const FuncDecl* fn, std::set<const FuncDecl*>* on_path,
+                            std::set<std::string>* recursive) {
+  auto memo = memo_.find(fn);
+  if (memo != memo_.end()) {
+    return memo->second;
+  }
+  if (on_path->count(fn) != 0) {
+    // Recursion: unbounded statically; the whole cycle needs run-time checks.
+    recursive->insert(fn->name);
+    return 0;
+  }
+  int64_t frame = 0;
+  if (fn->func_id >= 0 && static_cast<size_t>(fn->func_id) < module_->funcs.size()) {
+    frame = module_->funcs[static_cast<size_t>(fn->func_id)].frame_size;
+  }
+  on_path->insert(fn);
+  int64_t deepest = 0;
+  for (const CallSite& site : cg_->SitesOf(fn)) {
+    for (const FuncDecl* callee : site.McCallees()) {
+      int64_t d = DepthOf(callee, on_path, recursive);
+      if (d > deepest) {
+        deepest = d;
+      }
+    }
+  }
+  on_path->erase(fn);
+  int64_t total = frame + deepest;
+  if (recursive->count(fn->name) == 0) {
+    memo_[fn] = total;
+  }
+  return total;
+}
+
+StackCheckReport StackCheck::Run(const std::vector<std::string>& entries) {
+  StackCheckReport report;
+  report.budget = budget_;
+  std::map<std::string, const FuncDecl*> by_name;
+  for (const FuncDecl* fn : cg_->DefinedFuncs()) {
+    by_name[fn->name] = fn;
+  }
+  std::vector<const FuncDecl*> roots;
+  if (entries.empty()) {
+    roots = cg_->DefinedFuncs();
+  } else {
+    for (const std::string& name : entries) {
+      auto it = by_name.find(name);
+      if (it != by_name.end()) {
+        roots.push_back(it->second);
+      }
+    }
+  }
+  for (const FuncDecl* fn : roots) {
+    std::set<const FuncDecl*> on_path;
+    int64_t depth = DepthOf(fn, &on_path, &report.recursive);
+    report.entry_depths[fn->name] = depth;
+    if (depth > report.worst_case) {
+      report.worst_case = depth;
+      report.worst_entry = fn->name;
+    }
+  }
+  report.fits_budget = report.worst_case <= budget_ && report.recursive.empty();
+  return report;
+}
+
+std::string StackCheckReport::ToString() const {
+  std::string out = "StackCheck: worst-case stack " + std::to_string(worst_case) +
+                    " bytes via '" + worst_entry + "' (budget " + std::to_string(budget) +
+                    ")\n";
+  out += std::string("  verdict: ") +
+         (fits_budget ? "every call chain fits the budget"
+                      : (recursive.empty() ? "BUDGET EXCEEDED"
+                                           : "recursion present: run-time checks required")) +
+         "\n";
+  for (const auto& [name, depth] : entry_depths) {
+    out += "    " + name + ": " + std::to_string(depth) + " bytes\n";
+  }
+  if (!recursive.empty()) {
+    out += "  recursive functions (need kCheckStack run-time checks):\n";
+    for (const std::string& f : recursive) {
+      out += "    " + f + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace ivy

@@ -1,0 +1,58 @@
+// StackCheck (§3.1, second future analysis): "the call graph built for
+// BlockStop can be used to prevent stack overflow. Given a sound call graph
+// and information about the size of each stack frame, as in the Capriccio
+// thread package, we can ensure that every possible chain of function calls
+// stays within its allotted 4 or 8 kB of stack space. ... For recursive
+// calls, run-time checks will be needed."
+//
+// Frame sizes come from lowering (IrFunc::frame_size); the worst-case depth
+// is the longest path in the call graph (indirect edges included). Functions
+// on call-graph cycles cannot be bounded statically and are reported as
+// needing the run-time check (the VM's kCheckStack trap).
+#ifndef SRC_STACKCHECK_STACKCHECK_H_
+#define SRC_STACKCHECK_STACKCHECK_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/callgraph.h"
+#include "src/ir/ir.h"
+
+namespace ivy {
+
+struct StackCheckReport {
+  // Worst-case stack bytes per entry point (conservative over all paths).
+  std::map<std::string, int64_t> entry_depths;
+  // Functions participating in recursion: need run-time checks.
+  std::set<std::string> recursive;
+  int64_t worst_case = 0;
+  std::string worst_entry;
+  int64_t budget = 8192;  // the paper's 4 or 8 kB
+  bool fits_budget = false;
+
+  std::string ToString() const;
+};
+
+class StackCheck {
+ public:
+  StackCheck(const CallGraph* cg, const IrModule* module, int64_t budget = 8192);
+
+  // Analyzes the given entry points (default: every defined function is a
+  // potential kernel entry; syscalls and IRQ handlers are reported first).
+  StackCheckReport Run(const std::vector<std::string>& entries);
+
+ private:
+  int64_t DepthOf(const FuncDecl* fn, std::set<const FuncDecl*>* on_path,
+                  std::set<std::string>* recursive);
+
+  const CallGraph* cg_;
+  const IrModule* module_;
+  int64_t budget_;
+  std::map<const FuncDecl*, int64_t> memo_;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_STACKCHECK_STACKCHECK_H_

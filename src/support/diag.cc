@@ -1,0 +1,65 @@
+#include "src/support/diag.h"
+
+namespace ivy {
+
+void DiagEngine::Error(SourceLoc loc, const std::string& msg, const std::string& tool) {
+  Add(Severity::kError, loc, msg, tool);
+}
+
+void DiagEngine::Warning(SourceLoc loc, const std::string& msg, const std::string& tool) {
+  Add(Severity::kWarning, loc, msg, tool);
+}
+
+void DiagEngine::Note(SourceLoc loc, const std::string& msg, const std::string& tool) {
+  Add(Severity::kNote, loc, msg, tool);
+}
+
+void DiagEngine::Add(Severity sev, SourceLoc loc, const std::string& msg,
+                     const std::string& tool) {
+  diags_.push_back(Diagnostic{sev, loc, msg, tool});
+  if (sev == Severity::kError) {
+    ++errors_;
+  } else if (sev == Severity::kWarning) {
+    ++warnings_;
+  }
+}
+
+int DiagEngine::CountFor(const std::string& tool, Severity sev) const {
+  int n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.tool == tool && d.severity == sev) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string DiagEngine::Render() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    switch (d.severity) {
+      case Severity::kError:
+        out += "error";
+        break;
+      case Severity::kWarning:
+        out += "warning";
+        break;
+      case Severity::kNote:
+        out += "note";
+        break;
+    }
+    out += "[" + d.tool + "] " + sm_->Render(d.loc) + ": " + d.message + "\n";
+  }
+  return out;
+}
+
+bool DiagEngine::Contains(const std::string& needle) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ivy

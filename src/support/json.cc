@@ -1,0 +1,433 @@
+#include "src/support/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ivy {
+
+Json Json::MakeBool(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::MakeInt(int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::MakeDouble(double v) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::MakeString(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::MakeArray() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::MakeObject() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::AsBool(bool def) const { return kind_ == Kind::kBool ? bool_ : def; }
+
+int64_t Json::AsInt(int64_t def) const {
+  if (kind_ == Kind::kInt) {
+    return int_;
+  }
+  if (kind_ == Kind::kDouble) {
+    return static_cast<int64_t>(double_);
+  }
+  return def;
+}
+
+double Json::AsDouble(double def) const {
+  if (kind_ == Kind::kDouble) {
+    return double_;
+  }
+  if (kind_ == Kind::kInt) {
+    return static_cast<double>(int_);
+  }
+  return def;
+}
+
+const std::string& Json::AsString() const {
+  static const std::string kEmpty;
+  return kind_ == Kind::kString ? string_ : kEmpty;
+}
+
+Json& Json::Append(Json v) {
+  kind_ = Kind::kArray;
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+size_t Json::size() const {
+  if (kind_ == Kind::kArray) {
+    return array_.size();
+  }
+  if (kind_ == Kind::kObject) {
+    return object_.size();
+  }
+  return 0;
+}
+
+const Json& Json::At(size_t i) const {
+  static const Json kNull;
+  return i < array_.size() ? array_[i] : kNull;
+}
+
+Json& Json::operator[](const std::string& key) {
+  kind_ = Kind::kObject;
+  return object_[key];
+}
+
+const Json* Json::Find(const std::string& key) const {
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent >= 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Kind::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", double_);
+      *out += buf;
+      break;
+    }
+    case Kind::kString:
+      EscapeString(string_, out);
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& v : array_) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        newline(depth + 1);
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) {
+        newline(depth);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        newline(depth + 1);
+        EscapeString(k, out);
+        *out += indent >= 0 ? ": " : ":";
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) {
+        newline(depth);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent JSON parser.
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  Json Parse() {
+    Json v = ParseValue();
+    SkipWs();
+    if (!failed_ && pos_ != text_.size()) {
+      Fail("trailing characters");
+    }
+    return failed_ ? Json() : v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void Fail(const std::string& why) {
+    if (!failed_) {
+      failed_ = true;
+      *error_ = why + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Json ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return Json();
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      return Json::MakeString(ParseString());
+    }
+    if (c == 't' || c == 'f') {
+      return ParseKeyword();
+    }
+    if (c == 'n') {
+      return ParseNull();
+    }
+    return ParseNumber();
+  }
+
+  Json ParseObject() {
+    Consume('{');
+    Json obj = Json::MakeObject();
+    SkipWs();
+    if (Consume('}')) {
+      return obj;
+    }
+    while (!failed_) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail("expected object key");
+        break;
+      }
+      std::string key = ParseString();
+      if (!Consume(':')) {
+        Fail("expected ':'");
+        break;
+      }
+      obj[key] = ParseValue();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        break;
+      }
+      Fail("expected ',' or '}'");
+    }
+    return obj;
+  }
+
+  Json ParseArray() {
+    Consume('[');
+    Json arr = Json::MakeArray();
+    SkipWs();
+    if (Consume(']')) {
+      return arr;
+    }
+    while (!failed_) {
+      arr.Append(ParseValue());
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        break;
+      }
+      Fail("expected ',' or ']'");
+    }
+    return arr;
+  }
+
+  std::string ParseString() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'u': {
+            // Only ASCII escapes are produced by our writer.
+            if (pos_ + 4 <= text_.size()) {
+              std::string hex = text_.substr(pos_, 4);
+              pos_ += 4;
+              out.push_back(static_cast<char>(std::strtol(hex.c_str(), nullptr, 16)));
+            }
+            break;
+          }
+          default:
+            out.push_back(e);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unterminated string");
+    } else {
+      ++pos_;  // closing quote
+    }
+    return out;
+  }
+
+  Json ParseKeyword() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Json::MakeBool(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Json::MakeBool(false);
+    }
+    Fail("bad keyword");
+    return Json();
+  }
+
+  Json ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Json();
+    }
+    Fail("bad keyword");
+    return Json();
+  }
+
+  Json ParseNumber() {
+    size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      Fail("expected value");
+      return Json();
+    }
+    std::string num = text_.substr(start, pos_ - start);
+    if (is_double) {
+      return Json::MakeDouble(std::strtod(num.c_str(), nullptr));
+    }
+    return Json::MakeInt(std::strtoll(num.c_str(), nullptr, 10));
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+Json Json::Parse(const std::string& text, std::string* error) {
+  std::string local_error;
+  JsonParser parser(text, error ? error : &local_error);
+  return parser.Parse();
+}
+
+}  // namespace ivy

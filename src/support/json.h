@@ -1,0 +1,70 @@
+// Minimal JSON reader/writer used by the annotation repository (annodb).
+//
+// The paper (§3.2) proposes a collaborative database of source-code facts; we
+// serialize it as JSON. This is a small, strict, self-contained implementation:
+// UTF-8 pass-through strings, 64-bit integers, doubles, arrays, objects.
+#ifndef SRC_SUPPORT_JSON_H_
+#define SRC_SUPPORT_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ivy {
+
+// A JSON value. Objects keep keys sorted (std::map) so serialization is
+// deterministic, which keeps annodb diffs and golden tests stable.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  static Json MakeBool(bool b);
+  static Json MakeInt(int64_t v);
+  static Json MakeDouble(double v);
+  static Json MakeString(std::string s);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool AsBool(bool def = false) const;
+  int64_t AsInt(int64_t def = 0) const;
+  double AsDouble(double def = 0.0) const;
+  const std::string& AsString() const;
+
+  // Array access. Append returns the new element.
+  Json& Append(Json v);
+  size_t size() const;
+  const Json& At(size_t i) const;
+
+  // Object access. operator[] inserts null on miss (mutable form only).
+  Json& operator[](const std::string& key);
+  const Json* Find(const std::string& key) const;
+  const std::map<std::string, Json>& object() const { return object_; }
+  const std::vector<Json>& array() const { return array_; }
+
+  // Serialization. `indent` < 0 means compact single-line output.
+  std::string Dump(int indent = 2) const;
+
+  // Parses `text`; on failure returns null value and sets *error.
+  static Json Parse(const std::string& text, std::string* error);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_SUPPORT_JSON_H_

@@ -1,0 +1,39 @@
+#include "src/support/source.h"
+
+namespace ivy {
+
+int32_t SourceManager::AddFile(std::string name, std::string text) {
+  files_.push_back(File{std::move(name), std::move(text)});
+  return static_cast<int32_t>(files_.size()) - 1;
+}
+
+std::string SourceManager::Render(const SourceLoc& loc) const {
+  if (!loc.IsValid() || loc.file >= file_count()) {
+    return "<unknown>";
+  }
+  return files_[loc.file].name + ":" + std::to_string(loc.line) + ":" + std::to_string(loc.col);
+}
+
+std::string SourceManager::LineAt(const SourceLoc& loc) const {
+  if (!loc.IsValid() || loc.file >= file_count() || loc.line <= 0) {
+    return "";
+  }
+  const std::string& text = files_[loc.file].text;
+  int32_t line = 1;
+  size_t start = 0;
+  while (line < loc.line) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      return "";
+    }
+    start = nl + 1;
+    ++line;
+  }
+  size_t end = text.find('\n', start);
+  if (end == std::string::npos) {
+    end = text.size();
+  }
+  return text.substr(start, end - start);
+}
+
+}  // namespace ivy

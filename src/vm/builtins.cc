@@ -1,0 +1,97 @@
+#include "src/vm/builtins.h"
+
+#include <unordered_map>
+
+namespace ivy {
+
+namespace {
+
+struct BuiltinInfo {
+  const char* name;
+  Builtin id;
+  bool blocking;
+  int blocking_if_param;
+};
+
+constexpr BuiltinInfo kBuiltins[] = {
+    {"kmalloc", Builtin::kKmalloc, false, 1},
+    {"kfree", Builtin::kKfree, false, -1},
+    {"memset", Builtin::kMemset, false, -1},
+    {"memcpy", Builtin::kMemcpy, false, -1},
+    {"printk", Builtin::kPrintk, false, -1},
+    {"panic", Builtin::kPanic, false, -1},
+    {"__assert", Builtin::kAssert, false, -1},
+    {"local_irq_save", Builtin::kLocalIrqSave, false, -1},
+    {"local_irq_restore", Builtin::kLocalIrqRestore, false, -1},
+    {"local_irq_disable", Builtin::kLocalIrqDisable, false, -1},
+    {"local_irq_enable", Builtin::kLocalIrqEnable, false, -1},
+    {"irqs_disabled", Builtin::kIrqsDisabled, false, -1},
+    {"spin_lock", Builtin::kSpinLock, false, -1},
+    {"spin_unlock", Builtin::kSpinUnlock, false, -1},
+    {"spin_lock_irqsave", Builtin::kSpinLockIrqsave, false, -1},
+    {"spin_unlock_irqrestore", Builtin::kSpinUnlockIrqrestore, false, -1},
+    {"mutex_lock", Builtin::kMutexLock, true, -1},
+    {"mutex_unlock", Builtin::kMutexUnlock, false, -1},
+    {"might_sleep", Builtin::kMightSleep, true, -1},
+    {"schedule", Builtin::kSchedule, true, -1},
+    {"msleep", Builtin::kMsleep, true, -1},
+    {"udelay", Builtin::kUdelay, false, -1},
+    {"wait_event", Builtin::kWaitEvent, true, -1},
+    {"wake_up", Builtin::kWakeUp, false, -1},
+    {"wait_for_completion", Builtin::kWaitForCompletion, true, -1},
+    {"complete", Builtin::kComplete, false, -1},
+    {"copy_to_user", Builtin::kCopyToUser, true, -1},
+    {"copy_from_user", Builtin::kCopyFromUser, true, -1},
+    {"assert_nonatomic", Builtin::kAssertNonatomic, false, -1},
+    {"trigger_irq", Builtin::kTriggerIrq, false, -1},
+    {"atomic_inc", Builtin::kAtomicInc, false, -1},
+    {"atomic_dec_and_test", Builtin::kAtomicDecAndTest, false, -1},
+    {"__cycles", Builtin::kCycles, false, -1},
+    {"__rc_of", Builtin::kRcOf, false, -1},
+    {"__good_frees", Builtin::kGoodFrees, false, -1},
+    {"__bad_frees", Builtin::kBadFrees, false, -1},
+    {"context_switch", Builtin::kContextSwitch, false, -1},
+};
+
+static_assert(sizeof(kBuiltins) / sizeof(kBuiltins[0]) == static_cast<size_t>(kNumBuiltins),
+              "builtin table out of sync with enum");
+
+}  // namespace
+
+int BuiltinIdForName(const std::string& name) {
+  static const auto* kMap = [] {
+    auto* m = new std::unordered_map<std::string, int>();
+    for (const BuiltinInfo& b : kBuiltins) {
+      (*m)[b.name] = static_cast<int>(b.id);
+    }
+    return m;
+  }();
+  auto it = kMap->find(name);
+  return it == kMap->end() ? -1 : it->second;
+}
+
+const char* BuiltinName(Builtin b) {
+  int idx = static_cast<int>(b);
+  if (idx < 0 || idx >= kNumBuiltins) {
+    return "?";
+  }
+  return kBuiltins[idx].name;
+}
+
+bool BuiltinIsBlocking(Builtin b) {
+  int idx = static_cast<int>(b);
+  if (idx < 0 || idx >= kNumBuiltins) {
+    return false;
+  }
+  return kBuiltins[idx].blocking;
+}
+
+int BuiltinBlockingIfParam(Builtin b) {
+  int idx = static_cast<int>(b);
+  if (idx < 0 || idx >= kNumBuiltins) {
+    return -1;
+  }
+  return kBuiltins[idx].blocking_if_param;
+}
+
+}  // namespace ivy

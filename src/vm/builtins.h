@@ -1,0 +1,74 @@
+// The kernel substrate API: builtin ("intrinsic") functions the VM provides
+// to Mini-C programs. These model the parts of Linux the paper's tools treat
+// specially: the allocator (kmalloc/kfree — CCount's hooks, §2.2), the
+// blocking primitives (BlockStop's seeds, §2.3), IRQ/spinlock state, and the
+// paper's run-time check function that panics when interrupts are disabled.
+//
+// The Mini-C declarations (with their Deputy/BlockStop annotations) live in
+// the prelude source (src/kernel/prelude.cc); this header is the C++ side.
+#ifndef SRC_VM_BUILTINS_H_
+#define SRC_VM_BUILTINS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ivy {
+
+enum class Builtin : int32_t {
+  kKmalloc = 0,          // void* kmalloc(int size, int flags) blocking_if(flags)
+  kKfree,                // void kfree(void* opt p)
+  kMemset,               // void memset(char* count(n) p, int c, int n)
+  kMemcpy,               // void memcpy(char* count(n) dst, char* count(n) src, int n)
+  kPrintk,               // int printk(char* nullterm fmt, ...)
+  kPanic,                // void panic(char* nullterm msg)
+  kAssert,               // void __assert(int cond)
+  kLocalIrqSave,         // int local_irq_save()
+  kLocalIrqRestore,      // void local_irq_restore(int flags)
+  kLocalIrqDisable,      // void local_irq_disable()
+  kLocalIrqEnable,       // void local_irq_enable()
+  kIrqsDisabled,         // int irqs_disabled()
+  kSpinLock,             // void spin_lock(int* lock)
+  kSpinUnlock,           // void spin_unlock(int* lock)
+  kSpinLockIrqsave,      // int spin_lock_irqsave(int* lock)
+  kSpinUnlockIrqrestore, // void spin_unlock_irqrestore(int* lock, int flags)
+  kMutexLock,            // void mutex_lock(int* m) blocking
+  kMutexUnlock,          // void mutex_unlock(int* m)
+  kMightSleep,           // void might_sleep() blocking
+  kSchedule,             // void schedule() blocking
+  kMsleep,               // void msleep(int ms) blocking
+  kUdelay,               // void udelay(int us)  (busy wait; not blocking)
+  kWaitEvent,            // void wait_event(int* q) blocking
+  kWakeUp,               // void wake_up(int* q)
+  kWaitForCompletion,    // void wait_for_completion(int* c) blocking
+  kComplete,             // void complete(int* c)
+  kCopyToUser,           // int copy_to_user(int uaddr, char* count(n) src, int n) blocking
+  kCopyFromUser,         // int copy_from_user(char* count(n) dst, int uaddr, int n) blocking
+  kAssertNonatomic,      // void assert_nonatomic()  -- §2.3's runtime check
+  kTriggerIrq,           // void trigger_irq(irq_handler* h, int arg)
+  kAtomicInc,            // void atomic_inc(int* v)
+  kAtomicDecAndTest,     // int atomic_dec_and_test(int* v)
+  kCycles,               // int __cycles()
+  kRcOf,                 // int __rc_of(void* opt p)
+  kGoodFrees,            // int __good_frees()
+  kBadFrees,             // int __bad_frees()
+  kContextSwitch,        // void context_switch(void* prev, void* next)
+  kCount_,               // sentinel
+};
+
+constexpr int kNumBuiltins = static_cast<int>(Builtin::kCount_);
+
+// Returns the builtin id for `name`, or -1. Used as Sema's BuiltinResolver.
+int BuiltinIdForName(const std::string& name);
+
+// Human-readable name for reports.
+const char* BuiltinName(Builtin b);
+
+// True if the builtin unconditionally may block (BlockStop seed set).
+bool BuiltinIsBlocking(Builtin b);
+
+// Returns the parameter index whose GFP_WAIT bit controls blocking, or -1.
+int BuiltinBlockingIfParam(Builtin b);
+
+}  // namespace ivy
+
+#endif  // SRC_VM_BUILTINS_H_

@@ -1,0 +1,218 @@
+#include "src/vm/heap.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ivy {
+
+Heap::Heap(Memory* mem, const TypeLayoutRegistry* layouts, bool ccount_enabled,
+           int rc_width_bits)
+    : mem_(mem),
+      layouts_(layouts),
+      ccount_(ccount_enabled),
+      rc_mask_(rc_width_bits >= 8 ? 0xff
+                                  : static_cast<uint8_t>((1u << rc_width_bits) - 1)),
+      bump_(mem->heap_base) {}
+
+uint8_t Heap::MaskRc(uint8_t raw) const { return raw & rc_mask_; }
+
+uint64_t Heap::Alloc(int64_t size, int32_t type_id) {
+  if (size <= 0) {
+    size = 1;
+  }
+  int64_t rounded = (size + 15) / 16 * 16;
+  uint64_t base = 0;
+  auto bin = free_bins_.find(rounded);
+  if (bin != free_bins_.end() && !bin->second.empty()) {
+    base = bin->second.back();
+    bin->second.pop_back();
+  } else {
+    if (bump_ + static_cast<uint64_t>(rounded) > mem_->size()) {
+      return 0;  // OOM
+    }
+    base = bump_;
+    bump_ += static_cast<uint64_t>(rounded);
+  }
+  // Zero the storage: mandatory for CCount so that the first pointer write
+  // into the object does not decrement a random chunk's counter.
+  mem_->ZeroRange(base, static_cast<uint64_t>(rounded));
+  HeapObject obj;
+  obj.base = base;
+  obj.size = rounded;
+  obj.type_id = type_id;
+  obj.state = HeapObject::State::kLive;
+  objects_[base] = obj;
+  live_ranges_[base] = base + static_cast<uint64_t>(rounded);
+  ++stats_.allocs;
+  stats_.bytes_live += rounded;
+  stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_live);
+  return base;
+}
+
+void Heap::RcWrite(uint64_t old_value, uint64_t new_value) {
+  if (!ccount_) {
+    return;
+  }
+  // Increment-before-decrement, per the paper, so a chunk referenced by both
+  // values never transits through zero.
+  if (mem_->Countable(new_value)) {
+    mem_->RcSet(new_value, MaskRc(static_cast<uint8_t>(mem_->Rc(new_value) + 1)));
+    ++stats_.rc_increments;
+  }
+  if (mem_->Countable(old_value)) {
+    mem_->RcSet(old_value, MaskRc(static_cast<uint8_t>(mem_->Rc(old_value) - 1)));
+    ++stats_.rc_decrements;
+  }
+}
+
+const HeapObject* Heap::Find(uint64_t addr) const {
+  auto it = live_ranges_.upper_bound(addr);
+  if (it == live_ranges_.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (addr >= it->second) {
+    return nullptr;
+  }
+  auto obj = objects_.find(it->first);
+  return obj == objects_.end() ? nullptr : &obj->second;
+}
+
+const HeapObject* Heap::FindBase(uint64_t base) const {
+  auto it = objects_.find(base);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+int64_t Heap::InboundRefs(const HeapObject& obj) const {
+  int64_t sum = 0;
+  for (uint64_t a = obj.base; a < obj.base + static_cast<uint64_t>(obj.size); a += 16) {
+    sum += MaskRc(mem_->Rc(a));
+  }
+  return sum;
+}
+
+void Heap::DecOutgoing(const HeapObject& obj) {
+  if (!ccount_) {
+    return;
+  }
+  auto drop_slot = [&](uint64_t addr) {
+    int64_t v = mem_->Read(addr, 8);
+    uint64_t uv = static_cast<uint64_t>(v);
+    if (mem_->Countable(uv)) {
+      mem_->RcSet(uv, MaskRc(static_cast<uint8_t>(mem_->Rc(uv) - 1)));
+      ++stats_.rc_decrements;
+    }
+    // Zero the slot so a later (erroneous) rewrite or double scan cannot
+    // decrement the same target twice.
+    mem_->Write(addr, 0, 8);
+  };
+  if (obj.type_id == kTypeIdAllPtr) {
+    for (int64_t off = 0; off + 8 <= obj.size; off += 8) {
+      drop_slot(obj.base + static_cast<uint64_t>(off));
+    }
+    return;
+  }
+  if (obj.type_id < 0) {
+    return;  // kTypeIdNoPtr / kTypeIdUnknown: nothing we can scan
+  }
+  const TypeLayout* layout = layouts_->Get(obj.type_id);
+  if (layout == nullptr || layout->stride <= 0) {
+    return;
+  }
+  for (int64_t rec = 0; rec + layout->stride <= obj.size; rec += layout->stride) {
+    for (int64_t off : layout->ptr_offsets) {
+      drop_slot(obj.base + static_cast<uint64_t>(rec + off));
+    }
+  }
+}
+
+void Heap::FinishFree(HeapObject* obj, SourceLoc loc) {
+  int64_t inbound = InboundRefs(*obj);
+  ++stats_.frees_attempted;
+  if (inbound != 0) {
+    // Bad free: dangling references remain. Log and leak (soundness).
+    obj->state = HeapObject::State::kLeaked;
+    live_ranges_.erase(obj->base);
+    ++stats_.frees_bad;
+    auto key = std::make_pair(loc.file, loc.line);
+    BadFreeSite& site = bad_free_sites_[key];
+    site.loc = loc;
+    ++site.count;
+    site.inbound_refs = inbound;
+    return;
+  }
+  obj->state = HeapObject::State::kFreed;
+  live_ranges_.erase(obj->base);
+  stats_.bytes_live -= obj->size;
+  free_bins_[obj->size].push_back(obj->base);
+  ++stats_.frees_good;
+}
+
+Heap::FreeResult Heap::Free(uint64_t p, SourceLoc loc) {
+  auto it = objects_.find(p);
+  if (it == objects_.end() || it->second.state != HeapObject::State::kLive) {
+    ++stats_.frees_attempted;
+    ++stats_.frees_bad;
+    auto key = std::make_pair(loc.file, loc.line);
+    BadFreeSite& site = bad_free_sites_[key];
+    site.loc = loc;
+    ++site.count;
+    return FreeResult::kInvalid;
+  }
+  if (!delayed_.empty()) {
+    delayed_.back().push_back({p, loc});
+    ++stats_.frees_deferred;
+    return FreeResult::kDeferred;
+  }
+  DecOutgoing(it->second);
+  int64_t before_bad = stats_.frees_bad;
+  FinishFree(&it->second, loc);
+  return stats_.frees_bad == before_bad ? FreeResult::kOk : FreeResult::kBad;
+}
+
+void Heap::PushDelayedScope() { delayed_.emplace_back(); }
+
+int Heap::PopDelayedScope() {
+  if (delayed_.empty()) {
+    return 0;
+  }
+  std::vector<std::pair<uint64_t, SourceLoc>> pending = std::move(delayed_.back());
+  delayed_.pop_back();
+  // Phase 1: drop every queued object's outgoing references, so mutually
+  // referencing (cyclic) structures reach zero before any check runs.
+  std::set<uint64_t> seen;
+  std::vector<std::pair<HeapObject*, SourceLoc>> unique;
+  for (auto& [base, loc] : pending) {
+    if (!seen.insert(base).second) {
+      continue;  // duplicate free in the same scope: counted once
+    }
+    auto it = objects_.find(base);
+    if (it == objects_.end() || it->second.state != HeapObject::State::kLive) {
+      ++stats_.frees_attempted;
+      ++stats_.frees_bad;
+      continue;
+    }
+    DecOutgoing(it->second);
+    unique.push_back({&it->second, loc});
+  }
+  // Phase 2: check and release.
+  int bad = 0;
+  for (auto& [obj, loc] : unique) {
+    int64_t before = stats_.frees_bad;
+    FinishFree(obj, loc);
+    if (stats_.frees_bad != before) {
+      ++bad;
+    }
+  }
+  return bad;
+}
+
+double Heap::GoodFreeRatio() const {
+  if (stats_.frees_attempted == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(stats_.frees_good) /
+         static_cast<double>(stats_.frees_attempted);
+}
+
+}  // namespace ivy

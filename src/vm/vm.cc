@@ -1,0 +1,881 @@
+#include "src/vm/vm.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace ivy {
+
+namespace {
+constexpr int64_t kGfpWait = 1;  // GFP_WAIT bit (prelude's enum value)
+}
+
+Vm::Vm(const IrModule* module, const TypeLayoutRegistry* layouts, VmConfig cfg)
+    : module_(module), layouts_(layouts), cfg_(cfg) {
+  SetupMemory();
+  for (const IrFunc& f : module_->funcs) {
+    if (f.decl != nullptr) {
+      func_ids_[f.decl->name] = f.decl->func_id;
+    }
+  }
+}
+
+void Vm::SetupMemory() {
+  mem_ = std::make_unique<Memory>(cfg_.mem_bytes);
+  // Rodata: string literals after the globals.
+  uint64_t addr = (module_->globals_end + 15) / 16 * 16;
+  string_addrs_.clear();
+  for (const std::string& s : module_->string_pool) {
+    string_addrs_.push_back(addr);
+    for (size_t i = 0; i < s.size(); ++i) {
+      mem_->Write(addr + i, static_cast<unsigned char>(s[i]), 1);
+    }
+    mem_->Write(addr + s.size(), 0, 1);
+    addr = (addr + s.size() + 1 + 7) / 8 * 8;
+  }
+  mem_->globals_end = addr;
+  mem_->stack_base = (addr + 4095) / 4096 * 4096;
+  mem_->stack_size = cfg_.stack_bytes;
+  mem_->heap_base = mem_->stack_base + mem_->stack_size;
+  stack_top_ = mem_->stack_base;
+  heap_ = std::make_unique<Heap>(mem_.get(), layouts_, cfg_.ccount, cfg_.rc_width_bits);
+  // Global initializers (constants and string literals).
+  for (const GlobalSlot& g : module_->globals) {
+    const Expr* init = g.decl != nullptr ? g.decl->init : nullptr;
+    if (init == nullptr) {
+      continue;
+    }
+    if (init->is_const) {
+      mem_->Write(g.addr, init->int_val, g.decl->type->IsChar() ? 1 : 8);
+    } else if (init->kind == ExprKind::kStrLit) {
+      // Find the string in the pool (lowering interned it when the global
+      // was lowered; globals are set up before any code runs, so search).
+      for (size_t i = 0; i < module_->string_pool.size(); ++i) {
+        if (module_->string_pool[i] == init->str_val) {
+          mem_->Write(g.addr, static_cast<int64_t>(string_addrs_[i]), 8);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Vm::ChargeRc(int64_t n) {
+  cycles_ += n * (cfg_.smp ? cfg_.cost.rc_op_atomic : cfg_.cost.rc_op);
+}
+
+void Vm::ValidAccess(uint64_t addr, uint64_t bytes, SourceLoc loc) {
+  if (!mem_->Valid(addr, bytes)) {
+    throw Trap{addr < 4096 ? TrapKind::kNullDeref : TrapKind::kMemFault, loc,
+               "access at address " + std::to_string(addr)};
+  }
+}
+
+std::string Vm::ReadCString(uint64_t addr, size_t cap) {
+  std::string out;
+  while (out.size() < cap && mem_->Valid(addr, 1)) {
+    char c = static_cast<char>(mem_->Read(addr, 1));
+    if (c == 0) {
+      break;
+    }
+    out.push_back(c);
+    ++addr;
+  }
+  return out;
+}
+
+void Vm::DoStorePtr(uint64_t addr, int64_t value, SourceLoc loc) {
+  ValidAccess(addr, 8, loc);
+  if (heap_->ccount()) {
+    bool tracked = cfg_.track_locals || !mem_->InStack(addr);
+    if (tracked) {
+      int64_t old = mem_->Read(addr, 8);
+      heap_->RcWrite(static_cast<uint64_t>(old), static_cast<uint64_t>(value));
+      ChargeRc(2);
+    }
+  }
+  mem_->Write(addr, value, 8);
+  cycles_ += cfg_.cost.store;
+}
+
+const std::vector<int64_t>* Vm::PtrOffsetsFor(uint64_t addr, uint64_t n, uint64_t* obj_base) {
+  // Heap object?
+  const HeapObject* obj = heap_->Find(addr);
+  if (obj != nullptr) {
+    *obj_base = obj->base;
+    if (obj->type_id >= 0) {
+      const TypeLayout* layout = layouts_->Get(obj->type_id);
+      if (layout != nullptr && layout->stride > 0) {
+        // Expand the per-record offsets across the object into scratch.
+        scratch_offsets_.clear();
+        for (int64_t rec = 0; rec + layout->stride <= obj->size; rec += layout->stride) {
+          for (int64_t off : layout->ptr_offsets) {
+            scratch_offsets_.push_back(rec + off);
+          }
+        }
+        return &scratch_offsets_;
+      }
+    }
+    if (obj->type_id == kTypeIdAllPtr) {
+      scratch_offsets_.clear();
+      for (int64_t off = 0; off + 8 <= obj->size; off += 8) {
+        scratch_offsets_.push_back(off);
+      }
+      return &scratch_offsets_;
+    }
+    scratch_offsets_.clear();
+    return &scratch_offsets_;  // no pointers known
+  }
+  // Global?
+  for (const GlobalSlot& g : module_->globals) {
+    if (addr >= g.addr && addr < g.addr + static_cast<uint64_t>(g.size)) {
+      *obj_base = g.addr;
+      return &g.ptr_offsets;
+    }
+  }
+  *obj_base = addr;
+  scratch_offsets_.clear();
+  return &scratch_offsets_;
+}
+
+void Vm::TypedMemWrite(uint64_t dst, uint64_t n) {
+  if (!heap_->ccount()) {
+    return;
+  }
+  if (mem_->InStack(dst) && !cfg_.track_locals) {
+    return;
+  }
+  uint64_t base = 0;
+  const std::vector<int64_t>* offsets = PtrOffsetsFor(dst, n, &base);
+  for (int64_t off : *offsets) {
+    uint64_t slot = base + static_cast<uint64_t>(off);
+    if (slot >= dst && slot + 8 <= dst + n) {
+      int64_t old = mem_->Read(slot, 8);
+      if (mem_->Countable(static_cast<uint64_t>(old))) {
+        heap_->RcWrite(static_cast<uint64_t>(old), 0);
+        ChargeRc(1);
+      }
+    }
+  }
+}
+
+void Vm::TypedMemReinc(uint64_t dst, uint64_t n) {
+  if (!heap_->ccount()) {
+    return;
+  }
+  if (mem_->InStack(dst) && !cfg_.track_locals) {
+    return;
+  }
+  uint64_t base = 0;
+  const std::vector<int64_t>* offsets = PtrOffsetsFor(dst, n, &base);
+  for (int64_t off : *offsets) {
+    uint64_t slot = base + static_cast<uint64_t>(off);
+    if (slot >= dst && slot + 8 <= dst + n) {
+      int64_t v = mem_->Read(slot, 8);
+      if (mem_->Countable(static_cast<uint64_t>(v))) {
+        heap_->RcWrite(0, static_cast<uint64_t>(v));
+        ChargeRc(1);
+      }
+    }
+  }
+}
+
+void Vm::CheckMightSleep(SourceLoc loc, const char* what) {
+  ++might_sleep_checks_;
+  if (!cfg_.atomic_sleep_check) {
+    return;
+  }
+  if (!irq_enabled_ || in_irq_ > 0 || preempt_depth_ > 0) {
+    throw Trap{TrapKind::kMightSleepAtomic, loc,
+               std::string(what) + " called in atomic context (irqs " +
+                   (irq_enabled_ ? "on" : "off") + ", in_irq=" + std::to_string(in_irq_) +
+                   ", preempt=" + std::to_string(preempt_depth_) + ")"};
+  }
+}
+
+void Vm::AcquireLock(uint64_t lock_addr, bool is_spin, SourceLoc loc) {
+  if (held_set_.count(lock_addr) != 0) {
+    throw Trap{TrapKind::kDeadlock, loc,
+               "recursive acquisition of lock @" + std::to_string(lock_addr)};
+  }
+  for (uint64_t held : held_locks_) {
+    lock_order_edges_.insert({held, lock_addr});
+  }
+  held_locks_.push_back(lock_addr);
+  held_set_.insert(lock_addr);
+  LockUsage& usage = lock_usage_[lock_addr];
+  if (in_irq_ > 0) {
+    usage.in_irq = true;
+  } else if (irq_enabled_) {
+    usage.process_irqs_on = true;
+  } else {
+    usage.process_irqs_off = true;
+  }
+  ValidAccess(lock_addr, 8, loc);
+  mem_->Write(lock_addr, 1, 8);
+  if (is_spin) {
+    ++preempt_depth_;
+  }
+  cycles_ += cfg_.cost.lock_op;
+}
+
+void Vm::ReleaseLock(uint64_t lock_addr, bool is_spin, SourceLoc loc) {
+  auto it = std::find(held_locks_.rbegin(), held_locks_.rend(), lock_addr);
+  if (it == held_locks_.rend()) {
+    throw Trap{TrapKind::kAssertFail, loc,
+               "release of lock @" + std::to_string(lock_addr) + " that is not held"};
+  }
+  held_locks_.erase(std::next(it).base());
+  held_set_.erase(lock_addr);
+  ValidAccess(lock_addr, 8, loc);
+  mem_->Write(lock_addr, 0, 8);
+  if (is_spin) {
+    --preempt_depth_;
+  }
+  cycles_ += cfg_.cost.lock_op;
+}
+
+VmResult Vm::Call(const std::string& name, const std::vector<int64_t>& args) {
+  auto it = func_ids_.find(name);
+  if (it == func_ids_.end()) {
+    VmResult r;
+    r.trap = TrapKind::kBadIndirectCall;
+    r.trap_msg = "no such function: " + name;
+    return r;
+  }
+  return CallId(it->second, args);
+}
+
+VmResult Vm::CallId(int func_id, const std::vector<int64_t>& args) {
+  VmResult r;
+  try {
+    r.value = ExecFunction(func_id, args);
+    r.ok = true;
+  } catch (const Trap& t) {
+    r.ok = false;
+    r.trap = t.kind;
+    r.trap_loc = t.loc;
+    r.trap_msg = t.msg;
+  }
+  r.cycles = cycles_;
+  r.steps = steps_;
+  return r;
+}
+
+void Vm::PushFrame(std::vector<Frame>* frames, int func_id, const std::vector<int64_t>& args,
+                   int ret_dst) {
+  if (func_id < 0 || static_cast<size_t>(func_id) >= module_->funcs.size()) {
+    throw Trap{TrapKind::kBadIndirectCall, SourceLoc{}, "bad function id"};
+  }
+  const IrFunc& fn = module_->funcs[static_cast<size_t>(func_id)];
+  if (fn.blocks.empty()) {
+    throw Trap{TrapKind::kBadIndirectCall, fn.decl != nullptr ? fn.decl->loc : SourceLoc{},
+               "call to undefined function '" +
+                   (fn.decl != nullptr ? fn.decl->name : "?") + "'"};
+  }
+  if (stack_top_ + static_cast<uint64_t>(fn.frame_size) >
+      mem_->stack_base + mem_->stack_size) {
+    throw Trap{TrapKind::kStackOverflow, fn.decl->loc, "kernel stack exhausted"};
+  }
+  Frame f;
+  f.fn = &fn;
+  f.base = stack_top_;
+  f.ret_dst = ret_dst;
+  f.delayed_at_entry = heap_->delayed_depth();
+  stack_top_ += static_cast<uint64_t>(fn.frame_size);
+  if (cfg_.track_locals && fn.frame_size > 0) {
+    // Zero the frame so pointer-slot tracking starts from a clean state.
+    mem_->ZeroRange(f.base, static_cast<uint64_t>(fn.frame_size));
+    cycles_ += fn.frame_size * cfg_.cost.zero_per_byte_q / 4;
+  }
+  f.regs.assign(static_cast<size_t>(fn.num_regs), 0);
+  for (size_t i = 0; i < fn.param_offsets.size() && i < args.size(); ++i) {
+    uint64_t slot = f.base + static_cast<uint64_t>(fn.param_offsets[i]);
+    if (cfg_.track_locals && heap_->ccount() && fn.param_sizes[i] == 8) {
+      // Pointer-typed parameter slots participate in counting.
+      bool is_ptr = false;
+      for (int64_t off : fn.ptr_slots) {
+        if (off == fn.param_offsets[i]) {
+          is_ptr = true;
+          break;
+        }
+      }
+      if (is_ptr) {
+        heap_->RcWrite(0, static_cast<uint64_t>(args[i]));
+        ChargeRc(1);
+      }
+    }
+    mem_->Write(slot, args[i], fn.param_sizes[i]);
+  }
+  cycles_ += cfg_.cost.call;
+  frames->push_back(std::move(f));
+}
+
+void Vm::PopFrameStack(const Frame& f) {
+  if (cfg_.track_locals && heap_->ccount()) {
+    // Drop references held by pointer slots in this frame.
+    for (int64_t off : f.fn->ptr_slots) {
+      int64_t v = mem_->Read(f.base + static_cast<uint64_t>(off), 8);
+      if (mem_->Countable(static_cast<uint64_t>(v))) {
+        heap_->RcWrite(static_cast<uint64_t>(v), 0);  // dec only
+        ChargeRc(1);
+      }
+    }
+  }
+  stack_top_ = f.base;
+  cycles_ += cfg_.cost.ret;
+}
+
+int64_t Vm::ExecFunction(int func_id, const std::vector<int64_t>& args) {
+  std::vector<Frame> frames;
+  PushFrame(&frames, func_id, args, -1);
+  int64_t result = 0;
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    const std::vector<Instr>& code = f.fn->blocks[static_cast<size_t>(f.block)].instrs;
+    if (f.ip >= code.size()) {
+      // Block fell off the end (empty continuation block): implicit return.
+      const Frame done = std::move(frames.back());
+      frames.pop_back();
+      PopFrameStack(done);
+      if (!frames.empty() && done.ret_dst >= 0) {
+        frames.back().regs[static_cast<size_t>(done.ret_dst)] = 0;
+      }
+      result = 0;
+      continue;
+    }
+    const Instr& in = code[f.ip++];
+    if (++steps_ > cfg_.max_steps) {
+      throw Trap{TrapKind::kTimeout, in.loc, "instruction budget exceeded"};
+    }
+    auto reg = [&f](int r) -> int64_t { return f.regs[static_cast<size_t>(r)]; };
+    switch (in.op) {
+      case Op::kConst:
+        f.regs[static_cast<size_t>(in.dst)] = in.imm;
+        cycles_ += cfg_.cost.op;
+        break;
+      case Op::kMove:
+        f.regs[static_cast<size_t>(in.dst)] = reg(in.a);
+        cycles_ += cfg_.cost.op;
+        break;
+      case Op::kUn: {
+        int64_t a = reg(in.a);
+        int64_t v = 0;
+        switch (in.un) {
+          case UnOp::kNeg:
+            v = -a;
+            break;
+          case UnOp::kLogNot:
+            v = a == 0 ? 1 : 0;
+            break;
+          case UnOp::kBitNot:
+            v = ~a;
+            break;
+        }
+        f.regs[static_cast<size_t>(in.dst)] = v;
+        cycles_ += cfg_.cost.op;
+        break;
+      }
+      case Op::kBin: {
+        int64_t a = reg(in.a);
+        int64_t b = reg(in.b);
+        int64_t v = 0;
+        switch (in.bin) {
+          case BinOp::kAdd:
+            v = a + b;
+            break;
+          case BinOp::kSub:
+            v = a - b;
+            break;
+          case BinOp::kMul:
+            v = a * b;
+            break;
+          case BinOp::kDiv:
+            if (b == 0) {
+              throw Trap{TrapKind::kDivByZero, in.loc, "division by zero"};
+            }
+            v = a / b;
+            break;
+          case BinOp::kRem:
+            if (b == 0) {
+              throw Trap{TrapKind::kDivByZero, in.loc, "remainder by zero"};
+            }
+            v = a % b;
+            break;
+          case BinOp::kShl:
+            v = a << (b & 63);
+            break;
+          case BinOp::kShr:
+            v = a >> (b & 63);
+            break;
+          case BinOp::kLt:
+            v = a < b;
+            break;
+          case BinOp::kGt:
+            v = a > b;
+            break;
+          case BinOp::kLe:
+            v = a <= b;
+            break;
+          case BinOp::kGe:
+            v = a >= b;
+            break;
+          case BinOp::kEq:
+            v = a == b;
+            break;
+          case BinOp::kNe:
+            v = a != b;
+            break;
+          case BinOp::kBitAnd:
+            v = a & b;
+            break;
+          case BinOp::kBitOr:
+            v = a | b;
+            break;
+          case BinOp::kBitXor:
+            v = a ^ b;
+            break;
+          case BinOp::kLogAnd:
+            v = (a != 0 && b != 0) ? 1 : 0;
+            break;
+          case BinOp::kLogOr:
+            v = (a != 0 || b != 0) ? 1 : 0;
+            break;
+          case BinOp::kNone:
+            break;
+        }
+        f.regs[static_cast<size_t>(in.dst)] = v;
+        cycles_ += cfg_.cost.op;
+        break;
+      }
+      case Op::kLoad: {
+        uint64_t addr = static_cast<uint64_t>(reg(in.a));
+        ValidAccess(addr, in.size, in.loc);
+        f.regs[static_cast<size_t>(in.dst)] = mem_->Read(addr, in.size);
+        cycles_ += cfg_.cost.load;
+        break;
+      }
+      case Op::kStore: {
+        uint64_t addr = static_cast<uint64_t>(reg(in.a));
+        ValidAccess(addr, in.size, in.loc);
+        mem_->Write(addr, reg(in.b), in.size);
+        cycles_ += cfg_.cost.store;
+        break;
+      }
+      case Op::kStorePtr:
+        DoStorePtr(static_cast<uint64_t>(reg(in.a)), reg(in.b), in.loc);
+        break;
+      case Op::kFrameAddr:
+        f.regs[static_cast<size_t>(in.dst)] = static_cast<int64_t>(f.base) + in.imm;
+        cycles_ += cfg_.cost.op;
+        break;
+      case Op::kGlobalAddr:
+        f.regs[static_cast<size_t>(in.dst)] = in.imm;
+        cycles_ += cfg_.cost.op;
+        break;
+      case Op::kFuncConst:
+        f.regs[static_cast<size_t>(in.dst)] =
+            static_cast<int64_t>(kFuncPtrBase + static_cast<uint64_t>(in.imm));
+        cycles_ += cfg_.cost.op;
+        break;
+      case Op::kStrConst:
+        f.regs[static_cast<size_t>(in.dst)] =
+            static_cast<int64_t>(string_addrs_[static_cast<size_t>(in.imm)]);
+        cycles_ += cfg_.cost.op;
+        break;
+      case Op::kCall: {
+        std::vector<int64_t> call_args;
+        call_args.reserve(in.args.size());
+        for (int r : in.args) {
+          call_args.push_back(reg(r));
+        }
+        PushFrame(&frames, static_cast<int>(in.imm), call_args, in.dst);
+        break;
+      }
+      case Op::kCallInd: {
+        uint64_t fp = static_cast<uint64_t>(reg(in.a));
+        if (fp < kFuncPtrBase || fp - kFuncPtrBase >= module_->funcs.size()) {
+          throw Trap{TrapKind::kBadIndirectCall, in.loc,
+                     "indirect call through invalid function pointer"};
+        }
+        std::vector<int64_t> call_args;
+        call_args.reserve(in.args.size());
+        for (int r : in.args) {
+          call_args.push_back(reg(r));
+        }
+        PushFrame(&frames, static_cast<int>(fp - kFuncPtrBase), call_args, in.dst);
+        break;
+      }
+      case Op::kIntrinsic: {
+        std::vector<int64_t> call_args;
+        call_args.reserve(in.args.size());
+        for (int r : in.args) {
+          call_args.push_back(reg(r));
+        }
+        int64_t v = DoIntrinsic(in, call_args);
+        if (in.dst >= 0) {
+          f.regs[static_cast<size_t>(in.dst)] = v;
+        }
+        cycles_ += cfg_.cost.intrinsic;
+        break;
+      }
+      case Op::kRet: {
+        // Unwind any delayed_free scopes this function opened but left open
+        // via an early return.
+        while (heap_->delayed_depth() > f.delayed_at_entry) {
+          heap_->PopDelayedScope();
+        }
+        int64_t value = in.a >= 0 ? reg(in.a) : 0;
+        const Frame done = std::move(frames.back());
+        frames.pop_back();
+        PopFrameStack(done);
+        if (frames.empty()) {
+          return value;
+        }
+        if (done.ret_dst >= 0) {
+          frames.back().regs[static_cast<size_t>(done.ret_dst)] = value;
+        }
+        result = value;
+        break;
+      }
+      case Op::kJump:
+        f.block = static_cast<int>(in.imm);
+        f.ip = 0;
+        cycles_ += cfg_.cost.op;
+        break;
+      case Op::kBranch:
+        f.block = reg(in.a) != 0 ? static_cast<int>(in.imm) : static_cast<int>(in.imm2);
+        f.ip = 0;
+        cycles_ += cfg_.cost.op;
+        break;
+      case Op::kCheckNonNull:
+        if (reg(in.a) == 0) {
+          throw Trap{TrapKind::kNullDeref, in.loc, "Deputy: null pointer"};
+        }
+        cycles_ += cfg_.cost.check;
+        break;
+      case Op::kCheckBounds: {
+        int64_t v = reg(in.a);
+        int64_t lo = in.b >= 0 ? reg(in.b) : 0;
+        int64_t hi = reg(in.c);
+        if (v < lo || v + in.imm > hi) {
+          throw Trap{TrapKind::kBounds, in.loc,
+                     "Deputy: bounds check failed (" + std::to_string(v) + " not in [" +
+                         std::to_string(lo) + ", " + std::to_string(hi) + "))"};
+        }
+        cycles_ += cfg_.cost.check_bounds;
+        break;
+      }
+      case Op::kCheckWhen:
+        if (reg(in.a) == 0) {
+          throw Trap{TrapKind::kUnionTag, in.loc, "Deputy: union when() guard failed"};
+        }
+        cycles_ += cfg_.cost.check;
+        break;
+      case Op::kCheckNtAdvance: {
+        uint64_t addr = static_cast<uint64_t>(reg(in.a));
+        ValidAccess(addr, 1, in.loc);
+        if (mem_->Read(addr, 1) == 0) {
+          throw Trap{TrapKind::kNtOverrun, in.loc,
+                     "Deputy: advancing nullterm pointer past terminator"};
+        }
+        cycles_ += cfg_.cost.check;
+        break;
+      }
+      case Op::kCheckStack:
+        if (static_cast<int64_t>(stack_top_ - mem_->stack_base) > cfg_.stack_limit) {
+          throw Trap{TrapKind::kStackOverflow, in.loc, "StackCheck: stack budget exceeded"};
+        }
+        cycles_ += cfg_.cost.check;
+        break;
+      case Op::kDelayedPush:
+        heap_->PushDelayedScope();
+        cycles_ += cfg_.cost.op;
+        break;
+      case Op::kDelayedPop:
+        heap_->PopDelayedScope();
+        cycles_ += cfg_.cost.op;
+        break;
+      case Op::kTrap:
+        throw Trap{static_cast<TrapKind>(in.imm), in.loc, "explicit trap"};
+    }
+  }
+  return result;
+}
+
+int64_t Vm::DoIntrinsic(const Instr& in, const std::vector<int64_t>& args) {
+  auto arg = [&args](size_t i) -> int64_t { return i < args.size() ? args[i] : 0; };
+  switch (static_cast<Builtin>(in.imm)) {
+    case Builtin::kKmalloc: {
+      int64_t size = arg(0);
+      int64_t flags = arg(1);
+      if ((flags & kGfpWait) != 0) {
+        CheckMightSleep(in.loc, "kmalloc(GFP_WAIT)");
+      }
+      uint64_t p = heap_->Alloc(size, in.alloc_type_id);
+      cycles_ += cfg_.cost.kmalloc + size * cfg_.cost.zero_per_byte_q / 4;
+      return static_cast<int64_t>(p);
+    }
+    case Builtin::kKfree: {
+      uint64_t p = static_cast<uint64_t>(arg(0));
+      if (p == 0) {
+        return 0;  // kfree(NULL) is a no-op, as in Linux
+      }
+      cycles_ += cfg_.cost.kfree;
+      if (heap_->ccount()) {
+        const HeapObject* obj = heap_->FindBase(p);
+        if (obj != nullptr) {
+          cycles_ += (obj->size / 32 + 1) * cfg_.cost.free_scan_per_32b;
+        }
+      }
+      heap_->Free(p, in.loc);
+      return 0;
+    }
+    case Builtin::kMemset: {
+      uint64_t p = static_cast<uint64_t>(arg(0));
+      int64_t c = arg(1);
+      uint64_t n = static_cast<uint64_t>(arg(2));
+      if (n == 0) {
+        return 0;
+      }
+      ValidAccess(p, n, in.loc);
+      TypedMemWrite(p, n);
+      for (uint64_t i = 0; i < n; ++i) {
+        mem_->Write(p + i, c & 0xff, 1);
+      }
+      cycles_ += static_cast<int64_t>(n) * cfg_.cost.copy_per_byte_q / 4 + 4;
+      return 0;
+    }
+    case Builtin::kMemcpy: {
+      uint64_t dst = static_cast<uint64_t>(arg(0));
+      uint64_t src = static_cast<uint64_t>(arg(1));
+      uint64_t n = static_cast<uint64_t>(arg(2));
+      if (n == 0) {
+        return 0;
+      }
+      ValidAccess(dst, n, in.loc);
+      ValidAccess(src, n, in.loc);
+      TypedMemWrite(dst, n);
+      std::memmove(mem_->data() + dst, mem_->data() + src, n);
+      TypedMemReinc(dst, n);
+      cycles_ += static_cast<int64_t>(n) * cfg_.cost.copy_per_byte_q / 4 + 4;
+      return 0;
+    }
+    case Builtin::kPrintk: {
+      std::string fmt = ReadCString(static_cast<uint64_t>(arg(0)));
+      std::string out;
+      size_t argi = 1;
+      for (size_t i = 0; i < fmt.size(); ++i) {
+        if (fmt[i] != '%' || i + 1 >= fmt.size()) {
+          out.push_back(fmt[i]);
+          continue;
+        }
+        char spec = fmt[++i];
+        char buf[32];
+        switch (spec) {
+          case 'd':
+            std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(arg(argi++)));
+            out += buf;
+            break;
+          case 'x':
+            std::snprintf(buf, sizeof buf, "%llx",
+                          static_cast<unsigned long long>(arg(argi++)));
+            out += buf;
+            break;
+          case 'c':
+            out.push_back(static_cast<char>(arg(argi++)));
+            break;
+          case 's':
+            out += ReadCString(static_cast<uint64_t>(arg(argi++)));
+            break;
+          case '%':
+            out.push_back('%');
+            break;
+          default:
+            out.push_back('%');
+            out.push_back(spec);
+        }
+      }
+      log_ += out;
+      cycles_ += static_cast<int64_t>(out.size()) * cfg_.cost.printk_per_char_q / 4 + 8;
+      return static_cast<int64_t>(out.size());
+    }
+    case Builtin::kPanic:
+      throw Trap{TrapKind::kPanic, in.loc,
+                 "panic: " + ReadCString(static_cast<uint64_t>(arg(0)))};
+    case Builtin::kAssert:
+      if (arg(0) == 0) {
+        throw Trap{TrapKind::kAssertFail, in.loc, "__assert failed"};
+      }
+      return 0;
+    case Builtin::kLocalIrqSave: {
+      int64_t prev = irq_enabled_ ? 1 : 0;
+      irq_enabled_ = false;
+      cycles_ += cfg_.cost.irq_op;
+      return prev;
+    }
+    case Builtin::kLocalIrqRestore:
+      irq_enabled_ = arg(0) != 0;
+      cycles_ += cfg_.cost.irq_op;
+      return 0;
+    case Builtin::kLocalIrqDisable:
+      irq_enabled_ = false;
+      cycles_ += cfg_.cost.irq_op;
+      return 0;
+    case Builtin::kLocalIrqEnable:
+      irq_enabled_ = true;
+      cycles_ += cfg_.cost.irq_op;
+      return 0;
+    case Builtin::kIrqsDisabled:
+      cycles_ += cfg_.cost.op;
+      return irq_enabled_ ? 0 : 1;
+    case Builtin::kSpinLock:
+      AcquireLock(static_cast<uint64_t>(arg(0)), /*is_spin=*/true, in.loc);
+      return 0;
+    case Builtin::kSpinUnlock:
+      ReleaseLock(static_cast<uint64_t>(arg(0)), /*is_spin=*/true, in.loc);
+      return 0;
+    case Builtin::kSpinLockIrqsave: {
+      int64_t prev = irq_enabled_ ? 1 : 0;
+      irq_enabled_ = false;
+      cycles_ += cfg_.cost.irq_op;
+      AcquireLock(static_cast<uint64_t>(arg(0)), /*is_spin=*/true, in.loc);
+      return prev;
+    }
+    case Builtin::kSpinUnlockIrqrestore:
+      ReleaseLock(static_cast<uint64_t>(arg(0)), /*is_spin=*/true, in.loc);
+      irq_enabled_ = arg(1) != 0;
+      cycles_ += cfg_.cost.irq_op;
+      return 0;
+    case Builtin::kMutexLock:
+      CheckMightSleep(in.loc, "mutex_lock");
+      AcquireLock(static_cast<uint64_t>(arg(0)), /*is_spin=*/false, in.loc);
+      return 0;
+    case Builtin::kMutexUnlock:
+      ReleaseLock(static_cast<uint64_t>(arg(0)), /*is_spin=*/false, in.loc);
+      return 0;
+    case Builtin::kMightSleep:
+      CheckMightSleep(in.loc, "might_sleep");
+      return 0;
+    case Builtin::kSchedule:
+      CheckMightSleep(in.loc, "schedule");
+      cycles_ += cfg_.cost.context_switch;
+      ++ctx_switches_;
+      return 0;
+    case Builtin::kMsleep:
+      CheckMightSleep(in.loc, "msleep");
+      cycles_ += arg(0) * 1000;
+      return 0;
+    case Builtin::kUdelay:
+      cycles_ += arg(0) * 100;
+      return 0;
+    case Builtin::kWaitEvent:
+      CheckMightSleep(in.loc, "wait_event");
+      cycles_ += cfg_.cost.context_switch;
+      return 0;
+    case Builtin::kWakeUp:
+      ValidAccess(static_cast<uint64_t>(arg(0)), 8, in.loc);
+      mem_->Write(static_cast<uint64_t>(arg(0)), 1, 8);
+      cycles_ += cfg_.cost.op * 4;
+      return 0;
+    case Builtin::kWaitForCompletion: {
+      CheckMightSleep(in.loc, "wait_for_completion");
+      uint64_t c = static_cast<uint64_t>(arg(0));
+      ValidAccess(c, 8, in.loc);
+      mem_->Write(c, 0, 8);  // consume
+      cycles_ += cfg_.cost.context_switch;
+      return 0;
+    }
+    case Builtin::kComplete:
+      ValidAccess(static_cast<uint64_t>(arg(0)), 8, in.loc);
+      mem_->Write(static_cast<uint64_t>(arg(0)), 1, 8);
+      cycles_ += cfg_.cost.op * 4;
+      return 0;
+    case Builtin::kCopyToUser: {
+      CheckMightSleep(in.loc, "copy_to_user");
+      uint64_t uaddr = static_cast<uint64_t>(arg(0));
+      uint64_t src = static_cast<uint64_t>(arg(1));
+      uint64_t n = static_cast<uint64_t>(arg(2));
+      if (n > 0) {
+        ValidAccess(src, n, in.loc);
+        if (uaddr + n > user_mem_.size()) {
+          user_mem_.resize(std::min<uint64_t>(uaddr + n, 16ull << 20), 0);
+        }
+        if (uaddr + n <= user_mem_.size()) {
+          std::memcpy(user_mem_.data() + uaddr, mem_->data() + src, n);
+        }
+        cycles_ += static_cast<int64_t>(n) * cfg_.cost.user_copy_per_byte_q / 4 + 8;
+      }
+      return 0;
+    }
+    case Builtin::kCopyFromUser: {
+      CheckMightSleep(in.loc, "copy_from_user");
+      uint64_t dst = static_cast<uint64_t>(arg(0));
+      uint64_t uaddr = static_cast<uint64_t>(arg(1));
+      uint64_t n = static_cast<uint64_t>(arg(2));
+      if (n > 0) {
+        ValidAccess(dst, n, in.loc);
+        TypedMemWrite(dst, n);
+        for (uint64_t i = 0; i < n; ++i) {
+          uint8_t byte = uaddr + i < user_mem_.size() ? user_mem_[uaddr + i] : 0;
+          mem_->Write(dst + i, byte, 1);
+        }
+        cycles_ += static_cast<int64_t>(n) * cfg_.cost.user_copy_per_byte_q / 4 + 8;
+      }
+      return 0;
+    }
+    case Builtin::kAssertNonatomic:
+      cycles_ += cfg_.cost.check;
+      if (!irq_enabled_ || in_irq_ > 0) {
+        throw Trap{TrapKind::kPanic, in.loc,
+                   "assert_nonatomic: called with interrupts disabled"};
+      }
+      return 0;
+    case Builtin::kTriggerIrq: {
+      uint64_t h = static_cast<uint64_t>(arg(0));
+      if (h < kFuncPtrBase || h - kFuncPtrBase >= module_->funcs.size()) {
+        throw Trap{TrapKind::kBadIndirectCall, in.loc, "trigger_irq: bad handler"};
+      }
+      bool saved = irq_enabled_;
+      irq_enabled_ = false;
+      ++in_irq_;
+      cycles_ += cfg_.cost.irq_entry;
+      ExecFunction(static_cast<int>(h - kFuncPtrBase), {arg(1)});
+      --in_irq_;
+      irq_enabled_ = saved;
+      return 0;
+    }
+    case Builtin::kAtomicInc: {
+      uint64_t p = static_cast<uint64_t>(arg(0));
+      ValidAccess(p, 8, in.loc);
+      mem_->Write(p, mem_->Read(p, 8) + 1, 8);
+      cycles_ += cfg_.cost.atomic_op;
+      return 0;
+    }
+    case Builtin::kAtomicDecAndTest: {
+      uint64_t p = static_cast<uint64_t>(arg(0));
+      ValidAccess(p, 8, in.loc);
+      int64_t v = mem_->Read(p, 8) - 1;
+      mem_->Write(p, v, 8);
+      cycles_ += cfg_.cost.atomic_op;
+      return v == 0 ? 1 : 0;
+    }
+    case Builtin::kCycles:
+      return cycles_;
+    case Builtin::kRcOf:
+      return heap_->RcOf(static_cast<uint64_t>(arg(0)));
+    case Builtin::kGoodFrees:
+      return heap_->stats().frees_good;
+    case Builtin::kBadFrees:
+      return heap_->stats().frees_bad;
+    case Builtin::kContextSwitch:
+      cycles_ += cfg_.cost.context_switch;
+      ++ctx_switches_;
+      return 0;
+    case Builtin::kCount_:
+      break;
+  }
+  throw Trap{TrapKind::kUnreachable, in.loc, "unknown intrinsic"};
+}
+
+}  // namespace ivy

@@ -1,0 +1,149 @@
+// Tests for the §3.2 annotation repository and its JSON substrate.
+#include <gtest/gtest.h>
+
+#include "src/analysis/callgraph.h"
+#include "src/analysis/pointsto.h"
+#include "src/annodb/annodb.h"
+#include "src/driver/compiler.h"
+#include "src/support/json.h"
+
+namespace ivy {
+namespace {
+
+TEST(Json, ScalarRoundTrip) {
+  std::string err;
+  EXPECT_EQ(Json::Parse("42", &err).AsInt(), 42);
+  EXPECT_EQ(Json::Parse("-17", &err).AsInt(), -17);
+  EXPECT_TRUE(Json::Parse("true", &err).AsBool());
+  EXPECT_FALSE(Json::Parse("false", &err).AsBool(true));
+  EXPECT_TRUE(Json::Parse("null", &err).is_null());
+  EXPECT_DOUBLE_EQ(Json::Parse("2.5", &err).AsDouble(), 2.5);
+  EXPECT_EQ(Json::Parse("\"a\\nb\"", &err).AsString(), "a\nb");
+}
+
+TEST(Json, NestedStructures) {
+  std::string err;
+  Json j = Json::Parse(R"({"a": [1, 2, {"b": "c"}], "d": {}})", &err);
+  EXPECT_TRUE(err.empty()) << err;
+  const Json* a = j.Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->At(1).AsInt(), 2);
+  EXPECT_EQ(a->At(2).Find("b")->AsString(), "c");
+}
+
+TEST(Json, DumpParseIdentity) {
+  Json j = Json::MakeObject();
+  j["name"] = Json::MakeString("kmalloc");
+  j["blocking"] = Json::MakeBool(true);
+  Json arr = Json::MakeArray();
+  arr.Append(Json::MakeInt(-12));
+  arr.Append(Json::MakeInt(-22));
+  j["codes"] = std::move(arr);
+  std::string text = j.Dump();
+  std::string err;
+  Json back = Json::Parse(text, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(back.Dump(), text);
+}
+
+TEST(Json, ErrorsReported) {
+  std::string err;
+  Json::Parse("{broken", &err);
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  Json::Parse("[1, 2", &err);
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  Json::Parse("\"unterminated", &err);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, EscapesInDump) {
+  Json j = Json::MakeString("tab\there \"quoted\"\n");
+  std::string text = j.Dump(-1);
+  std::string err;
+  EXPECT_EQ(Json::Parse(text, &err).AsString(), "tab\there \"quoted\"\n");
+}
+
+const char* kSmallKernel = R"(
+  struct item { struct item* opt next; int v; };
+  int pool_lock;
+  int get_item(struct item* it) errcode(-1) {
+    if (!it) { return -1; }
+    return it->v;
+  }
+  void reaper(void) blocking { msleep(5); }
+)";
+
+TEST(AnnoDb, ExtractCapturesAttributes) {
+  auto comp = CompileOne(kSmallKernel, ToolConfig{});
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  AnnoDb db = AnnoDb::Extract(comp->prog, *comp->sema, comp->module);
+  ASSERT_EQ(db.funcs().count("reaper"), 1u);
+  EXPECT_TRUE(db.funcs().at("reaper").blocking);
+  ASSERT_EQ(db.funcs().count("get_item"), 1u);
+  EXPECT_EQ(db.funcs().at("get_item").errcodes, std::vector<int64_t>({-1}));
+  ASSERT_EQ(db.records().count("item"), 1u);
+  EXPECT_EQ(db.records().at("item").ptr_offsets, std::vector<int64_t>({0}));
+}
+
+TEST(AnnoDb, JsonRoundTripPreservesFacts) {
+  auto comp = CompileOne(kSmallKernel, ToolConfig{});
+  ASSERT_TRUE(comp->ok);
+  AnnoDb db = AnnoDb::Extract(comp->prog, *comp->sema, comp->module);
+  std::string err;
+  AnnoDb back = AnnoDb::FromJson(Json::Parse(db.ToJson().Dump(), &err));
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(back.funcs().size(), db.funcs().size());
+  EXPECT_TRUE(back.funcs().at("reaper").blocking);
+  EXPECT_EQ(back.records().at("item").size, db.records().at("item").size);
+}
+
+TEST(AnnoDb, MergeFillsGapsAndUnionsFacts) {
+  Json a = Json::MakeObject();
+  a["functions"]["f"]["blocking"] = Json::MakeBool(false);
+  Json b = Json::MakeObject();
+  b["functions"]["f"]["blocking"] = Json::MakeBool(true);
+  b["functions"]["g"]["blocking"] = Json::MakeBool(false);
+  AnnoDb da = AnnoDb::FromJson(a);
+  AnnoDb dbb = AnnoDb::FromJson(b);
+  int added = da.Merge(dbb);
+  EXPECT_EQ(added, 1);                       // g is new
+  EXPECT_TRUE(da.funcs().at("f").blocking);  // blocking OR-ed conservatively
+}
+
+TEST(AnnoDb, ApplyAttributesEnablesAnalysis) {
+  // An unannotated module + a repository entry = BlockStop finds the bug.
+  const char* module_src = R"(
+    int lk;
+    void vendor_wait(void);
+    void isr_path(void) {
+      spin_lock(&lk);
+      vendor_wait();
+      spin_unlock(&lk);
+    }
+  )";
+  Json contrib = Json::MakeObject();
+  contrib["functions"]["vendor_wait"]["blocking"] = Json::MakeBool(true);
+  AnnoDb db = AnnoDb::FromJson(contrib);
+
+  auto comp = CompileOne(module_src, ToolConfig{});
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  PointsTo pt(&comp->prog, comp->sema.get(), true);
+  pt.Solve();
+  {
+    CallGraph cg = CallGraph::Build(comp->prog, *comp->sema, pt);
+    BlockStop before(&comp->prog, comp->sema.get(), &cg);
+    EXPECT_TRUE(before.Run().violations.empty()) << "no facts, no findings";
+  }
+  EXPECT_EQ(db.ApplyAttributes(&comp->prog), 1);
+  {
+    CallGraph cg = CallGraph::Build(comp->prog, *comp->sema, pt);
+    BlockStop after(&comp->prog, comp->sema.get(), &cg);
+    EXPECT_EQ(after.Run().violations.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ivy

@@ -1,0 +1,60 @@
+// hbench harness integration: the suite matches Table 1's 21 rows, results
+// are deterministic, and the bandwidth/latency shape holds.
+#include <gtest/gtest.h>
+
+#include "src/hbench/hbench.h"
+#include "src/kernel/corpus.h"
+
+namespace ivy {
+namespace {
+
+TEST(Hbench, SuiteMatchesTable1Rows) {
+  const std::vector<HbenchSpec>& suite = HbenchSuite();
+  ASSERT_EQ(suite.size(), 21u);
+  // The paper's exact row names, in order.
+  const char* expected[] = {
+      "bw_bzero",  "bw_file_rd", "bw_mem_cp", "bw_mem_rd",   "bw_mem_wr",  "bw_mmap_rd",
+      "bw_pipe",   "bw_tcp",     "lat_connect", "lat_ctx",   "lat_ctx2",   "lat_fs",
+      "lat_fslayer", "lat_mmap", "lat_pipe",  "lat_proc",    "lat_rpc",    "lat_sig",
+      "lat_syscall", "lat_tcp",  "lat_udp"};
+  for (size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name, std::string(expected[i]));
+  }
+}
+
+TEST(Hbench, MeasurementsDeterministic) {
+  ToolConfig cfg;
+  auto comp = CompileKernel(cfg);
+  ASSERT_TRUE(comp->ok);
+  const HbenchSpec& spec = HbenchSuite()[8];  // lat_connect
+  int64_t a = MeasureCycles(*comp, spec);
+  int64_t b = MeasureCycles(*comp, spec);
+  EXPECT_GT(a, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Hbench, DeputizedNeverFasterAndShapeHolds) {
+  ToolConfig base;
+  base.deputy = false;
+  ToolConfig deputy;
+  std::vector<HbenchResult> results = RunHbenchComparison(base, deputy);
+  ASSERT_EQ(results.size(), 21u);
+  double bw_worst = 0;
+  double lat_worst = 0;
+  for (const HbenchResult& r : results) {
+    ASSERT_GT(r.base_cycles, 0) << r.name;
+    ASSERT_GT(r.tool_cycles, 0) << r.name;
+    EXPECT_GE(r.relative, 0.999) << r.name << ": deterministic VM can't speed up";
+    EXPECT_LT(r.relative, 2.0) << r.name << ": overhead out of plausible range";
+    if (r.name.rfind("bw_", 0) == 0) {
+      bw_worst = std::max(bw_worst, r.relative);
+    } else {
+      lat_worst = std::max(lat_worst, r.relative);
+    }
+  }
+  EXPECT_LT(bw_worst, 1.10) << "bandwidth rows must stay near 1.0 (Table 1)";
+  EXPECT_GT(lat_worst, 1.10) << "latency rows must carry visible check cost";
+}
+
+}  // namespace
+}  // namespace ivy

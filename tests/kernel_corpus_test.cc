@@ -1,0 +1,93 @@
+// Compiles and boots the synthetic kernel corpus under every tool
+// configuration — the reproduction's core integration test.
+#include <gtest/gtest.h>
+
+#include "src/kernel/corpus.h"
+
+namespace ivy {
+namespace {
+
+TEST(KernelCorpus, CompilesWithDeputy) {
+  ToolConfig cfg;
+  auto comp = CompileKernel(cfg);
+  EXPECT_TRUE(comp->ok) << comp->Errors();
+  EXPECT_GT(comp->check_stats.TotalEmitted(), 0);
+  EXPECT_GT(comp->check_stats.TotalDischarged(), 0);
+}
+
+TEST(KernelCorpus, CompilesWithErasure) {
+  ToolConfig cfg;
+  cfg.deputy = false;
+  auto comp = CompileKernel(cfg);
+  EXPECT_TRUE(comp->ok) << comp->Errors();
+  EXPECT_EQ(comp->check_stats.TotalEmitted(), 0);
+}
+
+TEST(KernelCorpus, BootsAndRunsCleanly) {
+  ToolConfig cfg;
+  auto comp = CompileKernel(cfg);
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  VmResult boot = vm->Call("boot_kernel", {5});
+  ASSERT_TRUE(boot.ok) << TrapKindName(boot.trap) << " @ "
+                       << comp->sm.Render(boot.trap_loc) << ": " << boot.trap_msg;
+  EXPECT_NE(vm->log().find("ivy-linux booted"), std::string::npos);
+}
+
+TEST(KernelCorpus, BootVerifiesAllFreesUnderCCount) {
+  ToolConfig cfg;
+  cfg.ccount = true;
+  auto comp = CompileKernel(cfg);
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  VmResult boot = vm->Call("boot_kernel", {10});
+  ASSERT_TRUE(boot.ok) << TrapKindName(boot.trap) << " @ "
+                       << comp->sm.Render(boot.trap_loc) << ": " << boot.trap_msg;
+  const HeapStats& stats = vm->heap().stats();
+  EXPECT_GT(stats.frees_attempted, 100);
+  EXPECT_EQ(stats.frees_bad, 0) << "boot frees must all verify (E3)";
+}
+
+TEST(KernelCorpus, LightUseHasResidualBadFrees) {
+  ToolConfig cfg;
+  cfg.ccount = true;
+  auto comp = CompileKernel(cfg);
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  ASSERT_TRUE(vm->Call("boot_kernel", {5}).ok);
+  VmResult use = vm->Call("light_use", {64});
+  ASSERT_TRUE(use.ok) << TrapKindName(use.trap) << " @ "
+                      << comp->sm.Render(use.trap_loc) << ": " << use.trap_msg;
+  const HeapStats& stats = vm->heap().stats();
+  EXPECT_GT(stats.frees_bad, 0) << "the tcp_reset bad-free path must fire";
+  double ratio = vm->heap().GoodFreeRatio();
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LT(ratio, 1.0);
+}
+
+TEST(KernelCorpus, HbenchEntryPointsRun) {
+  ToolConfig cfg;
+  auto comp = CompileKernel(cfg);
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  ASSERT_TRUE(vm->Call("boot_kernel", {2}).ok);
+  ASSERT_TRUE(vm->Call("hb_setup").ok);
+  const char* benches[] = {
+      "hb_bw_file_rd", "hb_bw_mem_rd",  "hb_bw_mem_wr",   "hb_bw_mmap_rd", "hb_bw_pipe",
+      "hb_bw_tcp",     "hb_lat_connect", "hb_lat_ctx",    "hb_lat_ctx2",   "hb_lat_fs",
+      "hb_lat_fslayer", "hb_lat_mmap",  "hb_lat_pipe",    "hb_lat_proc",   "hb_lat_rpc",
+      "hb_lat_sig",    "hb_lat_syscall", "hb_lat_tcp",    "hb_lat_udp",
+  };
+  for (const char* name : benches) {
+    VmResult r = vm->Call(name, {4});
+    EXPECT_TRUE(r.ok) << name << ": " << TrapKindName(r.trap) << " @ "
+                      << comp->sm.Render(r.trap_loc) << ": " << r.trap_msg;
+  }
+  VmResult bz = vm->Call("hb_bw_bzero", {4096, 4});
+  EXPECT_TRUE(bz.ok) << bz.trap_msg;
+  VmResult cp = vm->Call("hb_bw_mem_cp", {4096, 4});
+  EXPECT_TRUE(cp.ok) << cp.trap_msg;
+}
+
+}  // namespace
+}  // namespace ivy

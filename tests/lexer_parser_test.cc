@@ -1,0 +1,216 @@
+// Frontend unit tests: lexer token coverage and parser structure/precedence.
+#include <gtest/gtest.h>
+
+#include "src/driver/compiler.h"
+#include "src/mc/lexer.h"
+
+namespace ivy {
+namespace {
+
+std::vector<Token> LexAll(const std::string& text) {
+  SourceManager sm;
+  int32_t id = sm.AddFile("t.mc", text);
+  DiagEngine diags(&sm);
+  Lexer lexer(sm, id, &diags);
+  return lexer.Lex();
+}
+
+TEST(Lexer, PunctuationAndOperators) {
+  auto toks = LexAll("+ - * / % << >> <= >= == != && || ++ -- -> ... += <<=");
+  std::vector<Tok> kinds;
+  for (const Token& t : toks) {
+    kinds.push_back(t.kind);
+  }
+  std::vector<Tok> expect = {Tok::kPlus,    Tok::kMinus,   Tok::kStar,      Tok::kSlash,
+                             Tok::kPercent, Tok::kShl,     Tok::kShr,       Tok::kLessEq,
+                             Tok::kGreaterEq, Tok::kEqEq,  Tok::kBangEq,    Tok::kAmpAmp,
+                             Tok::kPipePipe, Tok::kPlusPlus, Tok::kMinusMinus, Tok::kArrow,
+                             Tok::kEllipsis, Tok::kPlusEq, Tok::kShlEq,     Tok::kEof};
+  EXPECT_EQ(kinds, expect);
+}
+
+TEST(Lexer, IntLiterals) {
+  auto toks = LexAll("0 42 0xff 0X10");
+  EXPECT_EQ(toks[0].int_val, 0);
+  EXPECT_EQ(toks[1].int_val, 42);
+  EXPECT_EQ(toks[2].int_val, 255);
+  EXPECT_EQ(toks[3].int_val, 16);
+}
+
+TEST(Lexer, CharAndStringEscapes) {
+  auto toks = LexAll(R"('a' '\n' '\0' "hi\tthere\n")");
+  EXPECT_EQ(toks[0].int_val, 'a');
+  EXPECT_EQ(toks[1].int_val, '\n');
+  EXPECT_EQ(toks[2].int_val, 0);
+  EXPECT_EQ(toks[3].text, "hi\tthere\n");
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto toks = LexAll("a // line\n /* block\n spanning */ b");
+  ASSERT_EQ(toks.size(), 3u);  // a, b, eof
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  auto toks = LexAll("int interrupts count counter");
+  EXPECT_EQ(toks[0].kind, Tok::kKwInt);
+  EXPECT_EQ(toks[1].kind, Tok::kIdent);
+  EXPECT_EQ(toks[2].kind, Tok::kKwCount);
+  EXPECT_EQ(toks[3].kind, Tok::kIdent);
+}
+
+TEST(Lexer, SourceLocations) {
+  auto toks = LexAll("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.col, 3);
+}
+
+TEST(Lexer, UnterminatedStringReported) {
+  SourceManager sm;
+  int32_t id = sm.AddFile("t.mc", "\"abc");
+  DiagEngine diags(&sm);
+  Lexer lexer(sm, id, &diags);
+  lexer.Lex();
+  EXPECT_GT(diags.error_count(), 0);
+}
+
+// Parser structure tests exercised through compilation.
+int64_t Eval(const std::string& expr) {
+  auto comp = CompileOne("int main(void) { return " + expr + "; }", ToolConfig{});
+  EXPECT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  VmResult r = vm->Call("main");
+  EXPECT_TRUE(r.ok) << r.trap_msg;
+  return r.value;
+}
+
+struct PrecCase {
+  const char* expr;
+  int64_t expected;
+};
+
+class PrecedenceTest : public ::testing::TestWithParam<PrecCase> {};
+
+TEST_P(PrecedenceTest, MatchesC) {
+  EXPECT_EQ(Eval(GetParam().expr), GetParam().expected) << GetParam().expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, PrecedenceTest,
+    ::testing::Values(PrecCase{"2 + 3 * 4", 14}, PrecCase{"(2 + 3) * 4", 20},
+                      PrecCase{"10 - 4 - 3", 3}, PrecCase{"2 << 3 + 1", 32},
+                      PrecCase{"7 & 3 | 8", 11}, PrecCase{"1 | 2 ^ 3", 1},
+                      PrecCase{"6 / 2 % 2", 1}, PrecCase{"1 < 2 == 1", 1},
+                      PrecCase{"0 || 1 && 0", 0}, PrecCase{"!0 + !5", 1},
+                      PrecCase{"~0 & 15", 15}, PrecCase{"-3 * -4", 12},
+                      PrecCase{"1 ? 2 : 3", 2}, PrecCase{"0 ? 2 : 1 ? 4 : 5", 4},
+                      PrecCase{"100 >> 2 >> 1", 12}, PrecCase{"5 % 3 + 1", 3}));
+
+TEST(Parser, TypedefsAndCasts) {
+  const char* src = R"(
+    typedef int my_int;
+    typedef char byte;
+    int main(void) {
+      my_int x = 300;
+      byte b = (byte)x;     // truncates
+      return (my_int)b;
+    }
+  )";
+  auto comp = CompileOne(src, ToolConfig{});
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  EXPECT_EQ(vm->Call("main").value, 300 & 0xff);
+}
+
+TEST(Parser, NestedStructsAndArrays) {
+  const char* src = R"(
+    struct inner { int a; int b; };
+    struct outer { struct inner pair[3]; int tail; };
+    int main(void) {
+      struct outer o;
+      for (int i = 0; i < 3; i++) { o.pair[i].a = i; o.pair[i].b = i * 10; }
+      o.tail = 5;
+      return o.pair[2].a + o.pair[1].b + o.tail;  // 2 + 10 + 5
+    }
+  )";
+  auto comp = CompileOne(src, ToolConfig{});
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  EXPECT_EQ(vm->Call("main").value, 17);
+}
+
+TEST(Parser, MultiDeclaratorsAndForScopes) {
+  const char* src = R"(
+    int main(void) {
+      int a = 1, b = 2, c;
+      c = a + b;
+      for (int a = 10; a < 12; a++) { c += a; }  // shadowing
+      return c + a;  // 3+10+11 + 1
+    }
+  )";
+  auto comp = CompileOne(src, ToolConfig{});
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  EXPECT_EQ(vm->Call("main").value, 25);
+}
+
+TEST(Parser, AnnotationKeywordsAsFieldNames) {
+  const char* src = R"(
+    struct q { int count; int opt; int when; };
+    int main(void) {
+      struct q v;
+      v.count = 1; v.opt = 2; v.when = 3;
+      return v.count + v.opt + v.when;
+    }
+  )";
+  auto comp = CompileOne(src, ToolConfig{});
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  EXPECT_EQ(vm->Call("main").value, 6);
+}
+
+TEST(Parser, EnumWithExplicitValues) {
+  const char* src = R"(
+    enum flags { A = 1 << 4, B, C = A | B };
+    int main(void) { return C; }
+  )";
+  auto comp = CompileOne(src, ToolConfig{});
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  EXPECT_EQ(vm->Call("main").value, 16 | 17);
+}
+
+TEST(Parser, FunctionAttributesParse) {
+  const char* src = R"(
+    void helper(int flags) blocking_if(flags);
+    void sleeper(void) blocking;
+    int checked(void) noblock errcode(-1, -12) { assert_nonatomic(); return 0; }
+    void handler(int x) interrupt_handler { }
+    int main(void) { return checked(); }
+  )";
+  auto comp = CompileOne(src, ToolConfig{});
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  FuncDecl* checked = comp->sema->func_map().at("checked");
+  EXPECT_TRUE(checked->attrs.noblock);
+  ASSERT_EQ(checked->attrs.errcodes.size(), 2u);
+  EXPECT_EQ(checked->attrs.errcodes[0], -1);
+  FuncDecl* helper = comp->sema->func_map().at("helper");
+  EXPECT_EQ(helper->attrs.blocking_if_param, 0);
+  EXPECT_TRUE(comp->sema->func_map().at("handler")->attrs.interrupt_handler);
+}
+
+TEST(Parser, ErrorRecoveryContinues) {
+  // Two errors in distinct declarations should both be reported.
+  const char* src = R"(
+    int f(void) { return @; }
+    int g(void) { return #; }
+  )";
+  auto comp = CompileOne(src, ToolConfig{});
+  EXPECT_FALSE(comp->ok);
+  EXPECT_GE(comp->diags->error_count(), 2);
+}
+
+}  // namespace
+}  // namespace ivy

@@ -1,0 +1,273 @@
+// End-to-end pipeline tests: source -> parse -> sema -> lower -> execute.
+// These are the smoke tests that every other module's tests build on.
+#include <gtest/gtest.h>
+
+#include "src/driver/compiler.h"
+
+namespace ivy {
+namespace {
+
+// Compiles with default tools (Deputy on) and runs `main()`.
+VmResult RunProgram(const std::string& src, ToolConfig cfg = ToolConfig{}) {
+  auto comp = CompileOne(src, cfg);
+  EXPECT_TRUE(comp->ok) << comp->Errors();
+  if (!comp->ok) {
+    return VmResult{};
+  }
+  auto vm = MakeVm(*comp);
+  return vm->Call("main");
+}
+
+int64_t RunValue(const std::string& src) {
+  VmResult r = RunProgram(src);
+  EXPECT_TRUE(r.ok) << TrapKindName(r.trap) << ": " << r.trap_msg;
+  return r.value;
+}
+
+TEST(Pipeline, ReturnsConstant) {
+  EXPECT_EQ(RunValue("int main(void) { return 42; }"), 42);
+}
+
+TEST(Pipeline, Arithmetic) {
+  EXPECT_EQ(RunValue("int main(void) { return (3 + 4) * 5 - 10 / 2; }"), 30);
+  EXPECT_EQ(RunValue("int main(void) { return 17 % 5; }"), 2);
+  EXPECT_EQ(RunValue("int main(void) { return 1 << 10; }"), 1024);
+  EXPECT_EQ(RunValue("int main(void) { return -7 + 3; }"), -4);
+  EXPECT_EQ(RunValue("int main(void) { return ~0 & 0xff; }"), 255);
+}
+
+TEST(Pipeline, Comparisons) {
+  EXPECT_EQ(RunValue("int main(void) { return 3 < 4; }"), 1);
+  EXPECT_EQ(RunValue("int main(void) { return 4 <= 3; }"), 0);
+  EXPECT_EQ(RunValue("int main(void) { return (1 == 1) + (2 != 3); }"), 2);
+}
+
+TEST(Pipeline, ShortCircuit) {
+  // The right operand of && must not run when the left is false.
+  const char* src = R"(
+    int g;
+    int bump(void) { g = g + 1; return 1; }
+    int main(void) {
+      int r = 0 && bump();
+      __assert(g == 0);
+      r = 1 || bump();
+      __assert(g == 0);
+      r = 1 && bump();
+      __assert(g == 1);
+      return r;
+    }
+  )";
+  EXPECT_EQ(RunValue(src), 1);
+}
+
+TEST(Pipeline, LocalsAndLoops) {
+  const char* src = R"(
+    int main(void) {
+      int sum = 0;
+      for (int i = 0; i < 10; i++) {
+        sum += i;
+      }
+      int j = 0;
+      while (j < 5) { sum = sum + 1; j++; }
+      do { sum = sum + 1; } while (0);
+      return sum;
+    }
+  )";
+  EXPECT_EQ(RunValue(src), 45 + 5 + 1);
+}
+
+TEST(Pipeline, BreakContinue) {
+  const char* src = R"(
+    int main(void) {
+      int sum = 0;
+      for (int i = 0; i < 100; i++) {
+        if (i % 2 == 0) { continue; }
+        if (i > 10) { break; }
+        sum += i;
+      }
+      return sum;  // 1+3+5+7+9 = 25
+    }
+  )";
+  EXPECT_EQ(RunValue(src), 25);
+}
+
+TEST(Pipeline, FunctionsAndRecursion) {
+  const char* src = R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main(void) { return fib(12); }
+  )";
+  EXPECT_EQ(RunValue(src), 144);
+}
+
+TEST(Pipeline, PointersAndAddressOf) {
+  const char* src = R"(
+    void set(int* p, int v) { *p = v; }
+    int main(void) {
+      int x = 1;
+      set(&x, 99);
+      return x;
+    }
+  )";
+  EXPECT_EQ(RunValue(src), 99);
+}
+
+TEST(Pipeline, ArraysWithCountedLoop) {
+  const char* src = R"(
+    int main(void) {
+      int a[8];
+      for (int i = 0; i < 8; i++) { a[i] = i * i; }
+      int sum = 0;
+      for (int i = 0; i < 8; i++) { sum += a[i]; }
+      return sum;  // 0+1+4+...+49 = 140
+    }
+  )";
+  EXPECT_EQ(RunValue(src), 140);
+}
+
+TEST(Pipeline, StructsAndFields) {
+  const char* src = R"(
+    struct point { int x; int y; char tag; };
+    int main(void) {
+      struct point p;
+      p.x = 3; p.y = 4; p.tag = 'z';
+      struct point* q = &p;
+      q->x = q->x * 10;
+      return p.x + p.y + (q->tag == 'z');
+    }
+  )";
+  EXPECT_EQ(RunValue(src), 35);
+}
+
+TEST(Pipeline, CharSemantics) {
+  const char* src = R"(
+    int main(void) {
+      char c = 300;    // truncates to 44
+      char d = 'A';
+      return c + d;    // 44 + 65
+    }
+  )";
+  EXPECT_EQ(RunValue(src), 109);
+}
+
+TEST(Pipeline, KmallocRoundTrip) {
+  const char* src = R"(
+    struct node { int value; struct node* next; };
+    int main(void) {
+      struct node* n = (struct node*)kmalloc(sizeof(struct node), GFP_KERNEL);
+      if (!n) { return -1; }
+      n->value = 7;
+      int v = n->value;
+      kfree(n);
+      return v;
+    }
+  )";
+  EXPECT_EQ(RunValue(src), 7);
+}
+
+TEST(Pipeline, EnumsAndTernary) {
+  const char* src = R"(
+    enum { A = 5, B, C = 10 };
+    int main(void) { return (B == 6) ? A + C : 0; }
+  )";
+  EXPECT_EQ(RunValue(src), 15);
+}
+
+TEST(Pipeline, GlobalsWithInit) {
+  const char* src = R"(
+    int counter = 100;
+    int table[4];
+    int main(void) {
+      table[0] = counter;
+      counter += 1;
+      return table[0] + counter;
+    }
+  )";
+  EXPECT_EQ(RunValue(src), 201);
+}
+
+TEST(Pipeline, StringsAndPrintk) {
+  const char* src = R"(
+    int main(void) {
+      printk("hello %s %d\n", "world", 42);
+      return 0;
+    }
+  )";
+  ToolConfig cfg;
+  auto comp = CompileOne(src, cfg);
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  VmResult r = vm->Call("main");
+  ASSERT_TRUE(r.ok) << r.trap_msg;
+  EXPECT_EQ(vm->log(), "hello world 42\n");
+}
+
+TEST(Pipeline, FunctionPointers) {
+  const char* src = R"(
+    typedef int binop(int a, int b);
+    int add(int a, int b) { return a + b; }
+    int mul(int a, int b) { return a * b; }
+    int apply(binop* f, int x, int y) { return f(x, y); }
+    int main(void) {
+      binop* f = add;
+      int r = apply(f, 2, 3);
+      f = mul;
+      return r + apply(f, 2, 3);  // 5 + 6
+    }
+  )";
+  EXPECT_EQ(RunValue(src), 11);
+}
+
+TEST(Pipeline, SizeofAndLayout) {
+  const char* src = R"(
+    struct s { char c; int x; char d; };
+    int main(void) { return sizeof(struct s) + sizeof(int) + sizeof(char*); }
+  )";
+  // char(1) pad(7) int(8) char(1) pad(7) = 24; + 8 + 8.
+  EXPECT_EQ(RunValue(src), 40);
+}
+
+TEST(Pipeline, DivByZeroTraps) {
+  const char* src = "int main(void) { int z = 0; return 5 / z; }";
+  VmResult r = RunProgram(src);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.trap, TrapKind::kDivByZero);
+}
+
+TEST(Pipeline, ParseErrorsReported) {
+  auto comp = CompileOne("int main(void) { return 1 + ; }", ToolConfig{});
+  EXPECT_FALSE(comp->ok);
+  EXPECT_GT(comp->diags->error_count(), 0);
+}
+
+TEST(Pipeline, SemaUndeclaredIdentifier) {
+  auto comp = CompileOne("int main(void) { return nope; }", ToolConfig{});
+  EXPECT_FALSE(comp->ok);
+  EXPECT_TRUE(comp->diags->Contains("undeclared"));
+}
+
+TEST(Pipeline, ErasureSemantics) {
+  // The same program must behave identically with tools off (erasure).
+  const char* src = R"(
+    int main(void) {
+      int a[4];
+      int sum = 0;
+      for (int i = 0; i < 4; i++) { a[i] = i; sum += a[i]; }
+      return sum;
+    }
+  )";
+  ToolConfig off;
+  off.deputy = false;
+  auto comp = CompileOne(src, off);
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  VmResult r = vm->Call("main");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 6);
+  EXPECT_EQ(comp->check_stats.TotalEmitted(), 0);
+}
+
+}  // namespace
+}  // namespace ivy

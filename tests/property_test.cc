@@ -1,0 +1,243 @@
+// Property-based and parameterized sweeps over core invariants:
+//  * constant folding agrees with VM evaluation on random expressions,
+//  * Deputy bounds checks trap exactly when the index is out of range,
+//  * the refcount shadow balances (increments - decrements = live refs),
+//  * counter-width wraparound misses occur exactly at k * 2^width,
+//  * erasure: tool configuration never changes a correct program's result.
+#include <gtest/gtest.h>
+
+#include "src/driver/compiler.h"
+#include "src/support/rng.h"
+
+namespace ivy {
+namespace {
+
+// --- random expression evaluation vs host semantics -------------------------
+
+struct ExprGen {
+  Rng rng;
+  explicit ExprGen(uint64_t seed) : rng(seed) {}
+
+  // Generates an expression and its host-evaluated value. Divisions are
+  // avoided (trap semantics differ from UB); shifts are bounded.
+  std::string Gen(int depth, int64_t* value) {
+    if (depth <= 0 || rng.Chance(1, 3)) {
+      int64_t v = rng.Range(-50, 50);
+      *value = v;
+      if (v < 0) {
+        return "(0 - " + std::to_string(-v) + ")";
+      }
+      return std::to_string(v);
+    }
+    int64_t a = 0;
+    int64_t b = 0;
+    std::string ea = Gen(depth - 1, &a);
+    std::string eb = Gen(depth - 1, &b);
+    switch (rng.Below(6)) {
+      case 0:
+        *value = a + b;
+        return "(" + ea + " + " + eb + ")";
+      case 1:
+        *value = a - b;
+        return "(" + ea + " - " + eb + ")";
+      case 2:
+        *value = a * b;
+        return "(" + ea + " * " + eb + ")";
+      case 3:
+        *value = a < b;
+        return "(" + ea + " < " + eb + ")";
+      case 4:
+        *value = (a != 0 && b != 0) ? 1 : 0;
+        return "(" + ea + " && " + eb + ")";
+      default:
+        *value = a == b;
+        return "(" + ea + " == " + eb + ")";
+    }
+  }
+};
+
+class ExprEvalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprEvalProperty, VmMatchesHost) {
+  ExprGen gen(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  for (int i = 0; i < 8; ++i) {
+    int64_t expected = 0;
+    std::string expr = gen.Gen(4, &expected);
+    auto comp = CompileOne("int main(void) { return " + expr + "; }", ToolConfig{});
+    ASSERT_TRUE(comp->ok) << expr << "\n" << comp->Errors();
+    auto vm = MakeVm(*comp);
+    VmResult r = vm->Call("main");
+    ASSERT_TRUE(r.ok) << expr;
+    EXPECT_EQ(r.value, expected) << expr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprEvalProperty, ::testing::Range(1, 9));
+
+// --- bounds checks: trap iff out of range -----------------------------------
+
+class BoundsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsProperty, TrapExactlyWhenOutOfRange) {
+  int idx = GetParam();
+  std::string src = R"(
+    int get(int* count(n) a, int n, int i) { return a[i]; }
+    int main(void) {
+      int v[8];
+      for (int i = 0; i < 8; i++) { v[i] = i * 3; }
+      return get(v, 8, )" + std::to_string(idx) + R"();
+    }
+  )";
+  auto comp = CompileOne(src, ToolConfig{});
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  VmResult r = vm->Call("main");
+  if (idx >= 0 && idx < 8) {
+    ASSERT_TRUE(r.ok) << "index " << idx << " wrongly trapped";
+    EXPECT_EQ(r.value, idx * 3);
+  } else {
+    ASSERT_FALSE(r.ok) << "index " << idx << " wrongly allowed";
+    EXPECT_EQ(r.trap, TrapKind::kBounds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Indices, BoundsProperty,
+                         ::testing::Values(-3, -1, 0, 1, 4, 7, 8, 9, 100));
+
+// --- refcount balance over random linked structures -------------------------
+
+class RcBalanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RcBalanceProperty, IncrementsBalanceDecrements) {
+  // Build a random singly-linked list, then tear it down with nulling frees;
+  // all frees must verify and the shadow must balance.
+  int n = GetParam();
+  std::string src = R"(
+    struct node { struct node* opt next; int v; };
+    struct node* opt head;
+    int main(void) {
+      for (int i = 0; i < )" + std::to_string(n) + R"(; i++) {
+        struct node* x = (struct node*)kmalloc(sizeof(struct node), GFP_KERNEL);
+        x->next = head;
+        head = x;
+      }
+      while (head) {
+        struct node* dead = head;
+        head = dead->next;
+        dead->next = null;
+        kfree(dead);
+      }
+      return __bad_frees();
+    }
+  )";
+  ToolConfig cfg;
+  cfg.ccount = true;
+  auto comp = CompileOne(src, cfg);
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  VmResult r = vm->Call("main");
+  ASSERT_TRUE(r.ok) << r.trap_msg;
+  EXPECT_EQ(r.value, 0);
+  const HeapStats& stats = vm->heap().stats();
+  EXPECT_EQ(stats.frees_good, n);
+  EXPECT_EQ(stats.rc_increments, stats.rc_decrements)
+      << "every reference created must be released";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RcBalanceProperty, ::testing::Values(1, 2, 7, 32, 100));
+
+// --- wraparound misses at exactly k * 2^width -------------------------------
+
+struct WrapCase {
+  int width;
+  int refs;
+  bool missed;  // expected: free wrongly accepted
+};
+
+class WrapProperty : public ::testing::TestWithParam<WrapCase> {};
+
+TEST_P(WrapProperty, MissExactlyAtMultiples) {
+  const WrapCase& c = GetParam();
+  std::string src = R"(
+    struct cell { int v; };
+    struct cell* opt table[600];
+    int main(void) {
+      struct cell* x = (struct cell*)kmalloc(sizeof(struct cell), GFP_KERNEL);
+      for (int i = 0; i < )" + std::to_string(c.refs) + R"(; i++) { table[i] = x; }
+      kfree(x);
+      return __bad_frees();
+    }
+  )";
+  ToolConfig cfg;
+  cfg.ccount = true;
+  cfg.rc_width_bits = c.width;
+  auto comp = CompileOne(src, cfg);
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  auto vm = MakeVm(*comp);
+  VmResult r = vm->Call("main");
+  ASSERT_TRUE(r.ok) << r.trap_msg;
+  EXPECT_EQ(r.value == 0, c.missed) << "width=" << c.width << " refs=" << c.refs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WrapProperty,
+                         ::testing::Values(WrapCase{8, 256, true}, WrapCase{8, 255, false},
+                                           WrapCase{8, 257, false}, WrapCase{8, 512, true},
+                                           WrapCase{4, 16, true}, WrapCase{4, 15, false},
+                                           WrapCase{4, 48, true}, WrapCase{6, 64, true},
+                                           WrapCase{6, 63, false}));
+
+// --- erasure: tool configs agree on correct programs ------------------------
+
+class EraseProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EraseProperty, AllConfigsSameResult) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  int n = static_cast<int>(rng.Range(1, 12));
+  int mul = static_cast<int>(rng.Range(1, 5));
+  std::string src = R"(
+    struct box { int v; struct box* opt next; };
+    int run(int n, int mul) {
+      struct box* opt head = null;
+      int sum = 0;
+      for (int i = 0; i < n; i++) {
+        struct box* b = (struct box*)kmalloc(sizeof(struct box), GFP_KERNEL);
+        b->v = i * mul;
+        b->next = head;
+        head = b;
+      }
+      while (head) {
+        struct box* d = head;
+        sum += d->v;
+        head = d->next;
+        d->next = null;
+        kfree(d);
+      }
+      return sum;
+    }
+    int main(void) { return run()" +
+                    std::to_string(n) + ", " + std::to_string(mul) + R"(); }
+  )";
+  int64_t reference = 0;
+  bool first = true;
+  for (int mode = 0; mode < 4; ++mode) {
+    ToolConfig cfg;
+    cfg.deputy = (mode & 1) != 0;
+    cfg.ccount = (mode & 2) != 0;
+    auto comp = CompileOne(src, cfg);
+    ASSERT_TRUE(comp->ok) << comp->Errors();
+    auto vm = MakeVm(*comp);
+    VmResult r = vm->Call("main");
+    ASSERT_TRUE(r.ok) << "mode " << mode << ": " << r.trap_msg;
+    if (first) {
+      reference = r.value;
+      first = false;
+    } else {
+      EXPECT_EQ(r.value, reference) << "mode " << mode;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EraseProperty, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace ivy
