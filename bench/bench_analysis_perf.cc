@@ -4,10 +4,17 @@
 // apply sound static analysis tools at a large scale") rests on tool speed.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "src/analysis/callgraph.h"
 #include "src/analysis/pointsto.h"
 #include "src/blockstop/blockstop.h"
+#include "src/errcheck/errcheck.h"
 #include "src/kernel/corpus.h"
+#include "src/locksafe/locksafe.h"
+#include "src/stackcheck/stackcheck.h"
+#include "src/tool/pipeline.h"
 
 namespace {
 
@@ -43,15 +50,97 @@ BENCHMARK(BM_PointsToFieldSensitive);
 void BM_BlockStopFull(benchmark::State& state) {
   auto comp = ivy::CompileKernel(ivy::ToolConfig{});
   for (auto _ : state) {
-    ivy::PointsTo pt(&comp->prog, comp->sema.get(), false);
-    pt.Solve();
-    ivy::CallGraph cg = ivy::CallGraph::Build(comp->prog, *comp->sema, pt);
-    ivy::BlockStop bs(&comp->prog, comp->sema.get(), &cg);
+    ivy::AnalysisContext ctx(comp.get(), /*field_sensitive=*/false);
+    ivy::BlockStop bs(&comp->prog, comp->sema.get(), &ctx.callgraph());
     ivy::BlockStopReport report = bs.Run();
     benchmark::DoNotOptimize(report.violations.size());
   }
 }
 BENCHMARK(BM_BlockStopFull);
+
+// The seed's pattern: every tool rebuilds the points-to results and the call
+// graph privately (4 solves + 4 graph constructions per multi-tool run).
+void BM_FourToolsRebuildPerTool(benchmark::State& state) {
+  auto comp = ivy::CompileKernel(ivy::ToolConfig{});
+  for (auto _ : state) {
+    int64_t sink = 0;
+    {
+      ivy::PointsTo pt(&comp->prog, comp->sema.get(), false);
+      pt.Solve();
+      ivy::CallGraph cg = ivy::CallGraph::Build(comp->prog, *comp->sema, pt);
+      sink += ivy::BlockStop(&comp->prog, comp->sema.get(), &cg).Run().violations.size();
+    }
+    {
+      ivy::PointsTo pt(&comp->prog, comp->sema.get(), false);
+      pt.Solve();
+      ivy::CallGraph cg = ivy::CallGraph::Build(comp->prog, *comp->sema, pt);
+      sink += ivy::LockSafe(&comp->prog, comp->sema.get(), &cg).Run().deadlock_cycles.size();
+    }
+    {
+      ivy::PointsTo pt(&comp->prog, comp->sema.get(), false);
+      pt.Solve();
+      ivy::CallGraph cg = ivy::CallGraph::Build(comp->prog, *comp->sema, pt);
+      sink += ivy::StackCheck(&cg, &comp->module).Run({"boot_kernel"}).worst_case;
+    }
+    {
+      ivy::PointsTo pt(&comp->prog, comp->sema.get(), false);
+      pt.Solve();
+      ivy::CallGraph cg = ivy::CallGraph::Build(comp->prog, *comp->sema, pt);
+      sink += ivy::ErrCheck(&comp->prog, comp->sema.get(), &cg).Run().findings.size();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_FourToolsRebuildPerTool);
+
+// The pipeline: same four tools, one shared AnalysisContext. The explicit
+// check is the acceptance criterion — the call graph is computed exactly
+// once per run.
+void BM_FourToolsSharedPipeline(benchmark::State& state) {
+  ivy::Pipeline pipeline = ivy::PipelineBuilder()
+                               .Tool("blockstop")
+                               .Tool("locksafe")
+                               .Tool("stackcheck",
+                                     ivy::ToolOptions().Set("entries", "boot_kernel"))
+                               .Tool("errcheck")
+                               .FieldSensitive(false)
+                               .Parallel(false)  // measure the cache, not the threads
+                               .Build();
+  auto comp = ivy::CompileKernel(pipeline.config());
+  for (auto _ : state) {
+    auto ctx = pipeline.MakeContext(comp.get());
+    ivy::PipelineResult result = pipeline.RunTools(*ctx);
+    // Not assert(): RelWithDebInfo defines NDEBUG, and this check must hold
+    // in exactly the configuration benchmarks run in.
+    if (result.callgraph_builds != 1 || result.pointsto_builds != 1) {
+      std::fprintf(stderr, "FATAL: shared cache regressed (callgraph %dx, points-to %dx)\n",
+                   result.callgraph_builds, result.pointsto_builds);
+      std::abort();
+    }
+    benchmark::DoNotOptimize(result.findings.size());
+  }
+}
+BENCHMARK(BM_FourToolsSharedPipeline);
+
+// Same pipeline with the std::async scheduler enabled.
+void BM_FourToolsSharedPipelineParallel(benchmark::State& state) {
+  ivy::Pipeline pipeline = ivy::PipelineBuilder()
+                               .Tool("blockstop")
+                               .Tool("locksafe")
+                               .Tool("stackcheck",
+                                     ivy::ToolOptions().Set("entries", "boot_kernel"))
+                               .Tool("errcheck")
+                               .FieldSensitive(false)
+                               .Parallel(true)
+                               .Build();
+  auto comp = ivy::CompileKernel(pipeline.config());
+  for (auto _ : state) {
+    auto ctx = pipeline.MakeContext(comp.get());
+    ivy::PipelineResult result = pipeline.RunTools(*ctx);
+    benchmark::DoNotOptimize(result.findings.size());
+  }
+}
+BENCHMARK(BM_FourToolsSharedPipelineParallel);
 
 void BM_VmBoot(benchmark::State& state) {
   auto comp = ivy::CompileKernel(ivy::ToolConfig{});

@@ -5,10 +5,9 @@
 // paper) and prints the violation and silenced-false-positive reports.
 #include <cstdio>
 
-#include "src/analysis/callgraph.h"
-#include "src/analysis/pointsto.h"
 #include "src/blockstop/blockstop.h"
 #include "src/kernel/corpus.h"
+#include "src/tool/analysis_context.h"
 
 int main() {
   ivy::ToolConfig cfg;
@@ -20,10 +19,8 @@ int main() {
 
   // The paper's configuration: a simple (field-insensitive) points-to
   // analysis, made sound by Deputy/CCount's type safety.
-  ivy::PointsTo pt(&comp->prog, comp->sema.get(), /*field_sensitive=*/false);
-  pt.Solve();
-  ivy::CallGraph cg = ivy::CallGraph::Build(comp->prog, *comp->sema, pt);
-  ivy::BlockStop bs(&comp->prog, comp->sema.get(), &cg);
+  ivy::AnalysisContext ctx(comp.get(), /*field_sensitive=*/false);
+  ivy::BlockStop bs(&comp->prog, comp->sema.get(), &ctx.callgraph());
   ivy::BlockStopReport report = bs.Run();
 
   std::printf("E4: BlockStop (paper: 2 apparent bugs; FPs silenced by 15 runtime checks)\n");

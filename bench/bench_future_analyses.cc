@@ -4,12 +4,11 @@
 // ErrCheck (error-code checking at call sites).
 #include <cstdio>
 
-#include "src/analysis/callgraph.h"
-#include "src/analysis/pointsto.h"
 #include "src/errcheck/errcheck.h"
 #include "src/kernel/corpus.h"
 #include "src/locksafe/locksafe.h"
 #include "src/stackcheck/stackcheck.h"
+#include "src/tool/analysis_context.h"
 
 int main() {
   ivy::ToolConfig cfg;
@@ -18,9 +17,8 @@ int main() {
     std::fprintf(stderr, "compile failed\n%s", comp->Errors().c_str());
     return 1;
   }
-  ivy::PointsTo pt(&comp->prog, comp->sema.get(), /*field_sensitive=*/true);
-  pt.Solve();
-  ivy::CallGraph cg = ivy::CallGraph::Build(comp->prog, *comp->sema, pt);
+  ivy::AnalysisContext ctx(comp.get(), /*field_sensitive=*/true);
+  const ivy::CallGraph& cg = ctx.callgraph();
 
   std::printf("F1: the paper's proposed future analyses, running on the corpus\n");
   std::printf("================================================================\n\n");

@@ -2,35 +2,36 @@
 // merge a second researcher's contribution, and apply the merged facts to an
 // unannotated module so the analyses work on it without source changes.
 //
+// The export side runs through the unified pipeline: one AnalysisContext,
+// every tool's findings merged into the database JSON alongside the facts.
+//
 // Build & run:  ./build/examples/example_annodb_tool
 #include <cstdio>
 
-#include "src/analysis/callgraph.h"
-#include "src/analysis/pointsto.h"
 #include "src/annodb/annodb.h"
-#include "src/blockstop/blockstop.h"
 #include "src/kernel/corpus.h"
+#include "src/tool/pipeline.h"
 
 int main() {
-  // 1. Export: analyze the kernel and extract every fact the tools learned.
-  ivy::ToolConfig cfg;
-  auto comp = ivy::CompileKernel(cfg);
+  // 1. Export: analyze the kernel with the full tool suite and extract
+  // every fact (and finding) the tools learned.
+  ivy::Pipeline pipeline = ivy::PipelineBuilder().AllTools().FieldSensitive(false).Build();
+  auto comp = pipeline.Compile(ivy::KernelSources());
   if (!comp->ok) {
-    std::fprintf(stderr, "compile failed\n");
+    std::fprintf(stderr, "compile failed\n%s", comp->Errors().c_str());
     return 1;
   }
-  ivy::PointsTo pt(&comp->prog, comp->sema.get(), false);
-  pt.Solve();
-  ivy::CallGraph cg = ivy::CallGraph::Build(comp->prog, *comp->sema, pt);
-  ivy::BlockStop bs(&comp->prog, comp->sema.get(), &cg);
-  ivy::BlockStopReport report = bs.Run();
-  ivy::AnnoDb db = ivy::AnnoDb::Extract(comp->prog, *comp->sema, comp->module, &report);
-  std::string json = db.ToJson().Dump();
-  std::printf("exported annotation repository: %zu functions, %zu records, %zu bytes JSON\n",
-              db.funcs().size(), db.records().size(), json.size());
+  auto ctx = pipeline.MakeContext(comp.get());
+  ivy::PipelineResult result = pipeline.RunTools(*ctx);
+  ivy::AnnoDb db = ivy::AnnoDb::Extract(*ctx, &result);
+  const ivy::Json j = db.ToJson();
+  std::string json = j.Dump();
+  std::printf(
+      "exported annotation repository: %zu functions, %zu records, %zu findings, %zu bytes "
+      "JSON\n",
+      db.funcs().size(), db.records().size(), db.findings().size(), json.size());
 
   // Show a couple of representative entries.
-  const ivy::Json j = db.ToJson();
   for (const char* name : {"read_chan", "kmalloc", "udp_sendmsg"}) {
     if (const ivy::Json* funcs = j.Find("functions")) {
       if (const ivy::Json* f = funcs->Find(name)) {
@@ -61,22 +62,24 @@ int main() {
       spin_unlock_irqrestore(&dma_lock, flags);
     }
   )";
+  ivy::ToolConfig cfg;
   auto module = ivy::CompileOne(unannotated, cfg);
   if (!module->ok) {
     std::fprintf(stderr, "module failed\n%s", module->Errors().c_str());
     return 1;
   }
   int applied = loaded.ApplyAttributes(&module->prog);
-  ivy::PointsTo pt2(&module->prog, module->sema.get(), false);
-  pt2.Solve();
-  ivy::CallGraph cg2 = ivy::CallGraph::Build(module->prog, *module->sema, pt2);
-  ivy::BlockStop bs2(&module->prog, module->sema.get(), &cg2);
-  ivy::BlockStopReport r2 = bs2.Run();
   std::printf("applied repository facts to the unannotated module: %d functions updated\n",
               applied);
-  std::printf("BlockStop on it: %zu violation(s)\n", r2.violations.size());
-  for (const ivy::BlockingViolation& v : r2.violations) {
-    std::printf("  %s -> %s (%s)\n", v.caller.c_str(), v.callee.c_str(), v.witness.c_str());
+
+  ivy::Pipeline bs_only = ivy::PipelineBuilder().Tool("blockstop").FieldSensitive(false).Build();
+  auto module_ctx = bs_only.MakeContext(module.get());
+  ivy::PipelineResult module_result = bs_only.RunTools(*module_ctx);
+  std::printf("BlockStop on it: %d violation(s)\n", module_result.ErrorCount());
+  for (const ivy::Finding& f : module_result.findings) {
+    if (f.severity == ivy::FindingSeverity::kError) {
+      std::printf("  %s\n", f.ToString(&module->sm).c_str());
+    }
   }
   return 0;
 }

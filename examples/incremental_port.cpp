@@ -11,7 +11,7 @@
 // Build & run:  ./build/examples/example_incremental_port
 #include <cstdio>
 
-#include "src/driver/compiler.h"
+#include "src/tool/pipeline.h"
 
 namespace {
 
@@ -68,8 +68,8 @@ const char* kStage2 = R"(
 )";
 
 void Stage(const char* name, const char* src) {
-  ivy::ToolConfig cfg;
-  auto comp = ivy::CompileOne(src, cfg);
+  static const ivy::Pipeline kPipeline = ivy::PipelineBuilder().Deputy(true).Build();
+  auto comp = kPipeline.Compile({ivy::SourceFile{"input.mc", src}});
   if (!comp->ok) {
     std::printf("%s: compile errors\n%s", name, comp->Errors().c_str());
     return;

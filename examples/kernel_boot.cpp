@@ -1,31 +1,31 @@
 // The paper's end-to-end story: compile the whole (synthetic) kernel with
-// all three soundness tools, boot it, run a workload, and print every tool's
-// report — Deputy's check statistics, CCount's free audit, and BlockStop's
-// violations.
+// every soundness tool, boot it, run a workload, and print one unified
+// report — all through the ToolPass pipeline, which computes the points-to
+// results and the call graph exactly once and shares them across tools.
 //
 // Build & run:  ./build/examples/example_kernel_boot
 #include <cstdio>
 
-#include "src/analysis/callgraph.h"
-#include "src/analysis/pointsto.h"
-#include "src/blockstop/blockstop.h"
 #include "src/kernel/corpus.h"
+#include "src/tool/pipeline.h"
 
 int main() {
-  ivy::ToolConfig cfg;
-  cfg.deputy = true;
-  cfg.ccount = true;
-  auto comp = ivy::CompileKernel(cfg);
+  ivy::Pipeline pipeline = ivy::PipelineBuilder()
+                               .Deputy(true)
+                               .CCount(true)
+                               .AllTools()
+                               .FieldSensitive(false)  // the paper's configuration
+                               .Build();
+  auto comp = pipeline.Compile(ivy::KernelSources());
   if (!comp->ok) {
     std::fprintf(stderr, "kernel failed to compile:\n%s", comp->Errors().c_str());
     return 1;
   }
   std::printf("kernel compiled: %zu functions, %zu records, %zu globals\n",
               comp->prog.funcs.size(), comp->prog.records.size(), comp->prog.globals.size());
-  std::printf("Deputy: %lld run-time checks, %lld discharged statically\n\n",
-              static_cast<long long>(comp->check_stats.TotalEmitted()),
-              static_cast<long long>(comp->check_stats.TotalDischarged()));
 
+  // Boot + workload first so the hybrid tools (ccount, locksafe) can validate
+  // the runtime behaviour too.
   auto vm = ivy::MakeVm(*comp);
   ivy::VmResult boot = vm->Call("boot_kernel", {50});
   if (!boot.ok) {
@@ -35,25 +35,19 @@ int main() {
   }
   std::printf("console output:\n%s\n", vm->log().c_str());
   ivy::VmResult use = vm->Call("light_use", {32});
-  std::printf("light use: %s (%lld cycles total, %lld context switches)\n",
+  std::printf("light use: %s (%lld cycles total, %lld context switches)\n\n",
               use.ok ? "ok" : "trapped", static_cast<long long>(vm->cycles()),
               static_cast<long long>(vm->context_switches()));
 
-  const ivy::HeapStats& heap = vm->heap().stats();
-  std::printf("\nCCount audit: %lld allocs, %lld frees (%lld verified good, %lld bad)\n",
-              static_cast<long long>(heap.allocs),
-              static_cast<long long>(heap.frees_attempted),
-              static_cast<long long>(heap.frees_good),
-              static_cast<long long>(heap.frees_bad));
-  for (const auto& [key, site] : vm->heap().bad_free_sites()) {
-    std::printf("  bad free at %s (%lld times) — object leaked, kernel kept running\n",
-                comp->sm.Render(site.loc).c_str(), static_cast<long long>(site.count));
-  }
+  // One pipeline run: every registered tool, one shared analysis cache.
+  auto ctx = pipeline.MakeContext(comp.get());
+  ctx->AttachVm(vm.get());
+  ivy::PipelineResult result = pipeline.RunTools(*ctx);
 
-  ivy::PointsTo pt(&comp->prog, comp->sema.get(), /*field_sensitive=*/false);
-  pt.Solve();
-  ivy::CallGraph cg = ivy::CallGraph::Build(comp->prog, *comp->sema, pt);
-  ivy::BlockStop bs(&comp->prog, comp->sema.get(), &cg);
-  std::printf("\n%s", bs.Run().ToString().c_str());
+  std::printf("%s", result.ToString(&comp->sm).c_str());
+  std::printf("\npipeline: %zu tools, %zu findings (%d errors); callgraph built %dx, "
+              "points-to built %dx\n",
+              result.results.size(), result.findings.size(), result.ErrorCount(),
+              result.callgraph_builds, result.pointsto_builds);
   return 0;
 }

@@ -9,7 +9,7 @@
 // Build & run:  ./build/examples/example_quickstart
 #include <cstdio>
 
-#include "src/driver/compiler.h"
+#include "src/tool/pipeline.h"
 
 namespace {
 
@@ -48,8 +48,8 @@ const char* kFixed = R"(
 
 int main() {
   std::printf("=== 1. Buggy routine under Deputy ===\n");
-  ivy::ToolConfig cfg;
-  auto buggy = ivy::CompileOne(kBuggy, cfg);
+  ivy::Pipeline deputy = ivy::PipelineBuilder().Deputy(true).Build();
+  auto buggy = deputy.Compile({ivy::SourceFile{"input.mc", kBuggy}});
   if (!buggy->ok) {
     std::printf("compile errors:\n%s", buggy->Errors().c_str());
     return 1;
@@ -67,7 +67,7 @@ int main() {
   }
 
   std::printf("\n=== 2. Fixed routine ===\n");
-  auto fixed = ivy::CompileOne(kFixed, cfg);
+  auto fixed = deputy.Compile({ivy::SourceFile{"input.mc", kFixed}});
   std::printf("compiled; %lld run-time checks inserted, %lld discharged statically\n",
               static_cast<long long>(fixed->check_stats.TotalEmitted()),
               static_cast<long long>(fixed->check_stats.TotalDischarged()));
@@ -77,9 +77,10 @@ int main() {
               static_cast<long long>(r2.value), static_cast<long long>(r2.cycles));
 
   std::printf("\n=== 3. Erasure semantics ===\n");
-  ivy::ToolConfig off;
-  off.deputy = false;
-  auto erased = ivy::CompileOne(kFixed, off);
+  auto erased = ivy::PipelineBuilder()
+                    .Deputy(false)
+                    .Build()
+                    .Compile({ivy::SourceFile{"input.mc", kFixed}});
   auto vm3 = ivy::MakeVm(*erased);
   ivy::VmResult r3 = vm3->Call("main");
   std::printf("tools off: result=%lld (same), cycles=%lld (checks erased)\n",

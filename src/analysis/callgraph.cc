@@ -14,7 +14,7 @@ const FuncDecl* NamedCallee(const Sema& sema, const Expr* callee) {
 
 }  // namespace
 
-CallGraph CallGraph::Build(const Program& prog, const Sema& sema, const PointsTo& pt) {
+CallGraph CallGraph::Build(const Program& /*prog*/, const Sema& sema, const PointsTo& pt) {
   CallGraph cg;
   for (const auto& [name, fn] : sema.func_map()) {
     if (fn->body == nullptr) {

@@ -1,10 +1,12 @@
 #include "src/annodb/annodb.h"
 
 #include "src/ccount/layouts.h"
+#include "src/tool/analysis_context.h"
+#include "src/tool/pipeline.h"
 
 namespace ivy {
 
-AnnoDb AnnoDb::Extract(const Program& prog, const Sema& sema, const IrModule& module,
+AnnoDb AnnoDb::Extract(const Program& prog, const Sema& sema, const IrModule& /*module*/,
                        const BlockStopReport* blockstop) {
   AnnoDb db;
   for (const auto& [name, fn] : sema.func_map()) {
@@ -43,6 +45,20 @@ AnnoDb AnnoDb::Extract(const Program& prog, const Sema& sema, const IrModule& mo
   return db;
 }
 
+AnnoDb AnnoDb::Extract(AnalysisContext& ctx, const PipelineResult* pipeline) {
+  const BlockStopReport* blockstop = nullptr;
+  if (pipeline != nullptr) {
+    if (const ToolResult* r = pipeline->ResultFor("blockstop")) {
+      blockstop = r->DetailAs<BlockStopReport>();
+    }
+  }
+  AnnoDb db = Extract(ctx.prog(), ctx.sema(), ctx.module(), blockstop);
+  if (pipeline != nullptr) {
+    db.SetFindings(pipeline->findings, &ctx.sm());
+  }
+  return db;
+}
+
 Json AnnoDb::ToJson() const {
   Json root = Json::MakeObject();
   Json& funcs = root["functions"];
@@ -77,6 +93,13 @@ Json AnnoDb::ToJson() const {
       offs.Append(Json::MakeInt(o));
     }
     j["ptr_offsets"] = std::move(offs);
+  }
+  if (!findings_.empty()) {
+    Json fs = Json::MakeArray();
+    for (const Finding& f : findings_) {
+      fs.Append(f.ToJson(findings_sm_));
+    }
+    root["findings"] = std::move(fs);
   }
   return root;
 }
@@ -130,6 +153,11 @@ AnnoDb AnnoDb::FromJson(const Json& j) {
       db.records_[name] = std::move(facts);
     }
   }
+  if (const Json* fs = j.Find("findings")) {
+    for (const Json& f : fs->array()) {
+      db.findings_.push_back(Finding::FromJson(f));
+    }
+  }
   return db;
 }
 
@@ -156,6 +184,13 @@ int AnnoDb::Merge(const AnnoDb& other) {
     if (records_.emplace(name, facts).second) {
       ++added;
     }
+  }
+  if (!other.findings_.empty()) {
+    findings_.insert(findings_.end(), other.findings_.begin(), other.findings_.end());
+    // Imported findings carry file ids from a *foreign* compilation;
+    // rendering them through this db's SourceManager would mislabel every
+    // location. Fall back to raw triples for the whole merged set.
+    findings_sm_ = nullptr;
   }
   return added;
 }

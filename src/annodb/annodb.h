@@ -25,8 +25,12 @@
 #include "src/ir/ir.h"
 #include "src/mc/ast.h"
 #include "src/support/json.h"
+#include "src/tool/finding.h"
 
 namespace ivy {
+
+class AnalysisContext;
+struct PipelineResult;
 
 struct FuncFacts {
   std::string name;
@@ -52,6 +56,12 @@ class AnnoDb {
   static AnnoDb Extract(const Program& prog, const Sema& sema, const IrModule& module,
                         const BlockStopReport* blockstop = nullptr);
 
+  // Pipeline-native extraction: pulls the may-block facts from the
+  // pipeline's blockstop result (when that pass ran) and attaches the
+  // merged unified findings, so one exported JSON carries both the facts
+  // and what the tools concluded from them (§3.2's shared repository).
+  static AnnoDb Extract(AnalysisContext& ctx, const PipelineResult* pipeline);
+
   // Serialization round trip.
   Json ToJson() const;
   static AnnoDb FromJson(const Json& j);
@@ -69,9 +79,22 @@ class AnnoDb {
   const std::map<std::string, FuncFacts>& funcs() const { return funcs_; }
   const std::map<std::string, RecordFacts>& records() const { return records_; }
 
+  // Unified tool findings carried alongside the facts (serialized under the
+  // "findings" key; survives the JSON round trip and Merge). The optional
+  // SourceManager (not owned; must outlive ToJson calls) lets the export
+  // render human-readable "at" locations — raw file ids are private to the
+  // exporting compilation and meaningless to a repository consumer.
+  void SetFindings(std::vector<Finding> findings, const SourceManager* sm = nullptr) {
+    findings_ = std::move(findings);
+    findings_sm_ = sm;
+  }
+  const std::vector<Finding>& findings() const { return findings_; }
+
  private:
   std::map<std::string, FuncFacts> funcs_;
   std::map<std::string, RecordFacts> records_;
+  std::vector<Finding> findings_;
+  const SourceManager* findings_sm_ = nullptr;
 };
 
 }  // namespace ivy

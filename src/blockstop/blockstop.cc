@@ -354,4 +354,26 @@ std::string BlockStopReport::ToString() const {
   return out;
 }
 
+std::vector<Finding> BlockStopReport::ToFindings() const {
+  std::vector<Finding> out;
+  auto convert = [](const BlockingViolation& v, FindingSeverity sev,
+                    const std::string& suffix) {
+    Finding f;
+    f.tool = "blockstop";
+    f.severity = sev;
+    f.loc = v.loc;
+    f.message = "call may block in atomic context" + suffix +
+                (v.via_indirect ? " [via function pointer]" : "");
+    f.witness = {v.caller, v.callee, v.witness};
+    return f;
+  };
+  for (const BlockingViolation& v : violations) {
+    out.push_back(convert(v, FindingSeverity::kError, ""));
+  }
+  for (const BlockingViolation& v : silenced) {
+    out.push_back(convert(v, FindingSeverity::kNote, " (silenced by run-time check)"));
+  }
+  return out;
+}
+
 }  // namespace ivy

@@ -26,6 +26,7 @@
 
 #include "src/analysis/callgraph.h"
 #include "src/mc/ast.h"
+#include "src/tool/finding.h"
 
 namespace ivy {
 
@@ -48,6 +49,10 @@ struct BlockStopReport {
   int runtime_checks = 0;  // functions carrying assert_nonatomic (noblock)
 
   std::string ToString() const;
+
+  // The unified-pipeline view: violations become errors, silenced false
+  // positives become notes; the witness chain is caller -> callee -> root.
+  std::vector<Finding> ToFindings() const;
 };
 
 class BlockStop {

@@ -8,6 +8,10 @@
 // records and arrays). The paper hand-described 32 layouts; we derive them
 // from the Mini-C declarations, which is what the authors say the annotation
 // repository (§3.2) should eventually provide.
+//
+// Pipeline integration: registered as the "ccount" ToolPass (see
+// src/tool/passes.cc) — layout metrics always, plus the VM's free-audit
+// findings when a finished run is attached to the AnalysisContext.
 #ifndef SRC_CCOUNT_LAYOUTS_H_
 #define SRC_CCOUNT_LAYOUTS_H_
 

@@ -8,6 +8,10 @@
 // so the check is *discharged* (counted, not emitted) — this is what keeps
 // the bandwidth benchmarks of Table 1 near 1.00 while latency paths, whose
 // pointer uses are scattered, keep their run-time checks.
+//
+// Pipeline integration: registered as the "deputy" ToolPass (see
+// src/tool/passes.cc) — surfaces CheckStats as metrics and the deputy
+// diagnostics as unified findings after lowering has run.
 #ifndef SRC_DEPUTY_FACTS_H_
 #define SRC_DEPUTY_FACTS_H_
 

@@ -1,57 +1,15 @@
 #include "src/driver/compiler.h"
 
-#include "src/kernel/prelude.h"
-#include "src/mc/lexer.h"
-#include "src/mc/parser.h"
-#include "src/vm/builtins.h"
+#include "src/tool/pipeline.h"
 
 namespace ivy {
 
+// Compile()/CompileOne() are compatibility shims over the unified pipeline:
+// the frontend sequence lives in Pipeline::Compile (src/tool/pipeline.cc),
+// and the flat ToolConfig maps onto a PipelineBuilder.
 std::unique_ptr<Compilation> Compile(const std::vector<SourceFile>& files,
                                      const ToolConfig& config) {
-  auto comp = std::make_unique<Compilation>();
-  comp->config = config;
-  comp->diags = std::make_unique<DiagEngine>(&comp->sm);
-
-  std::vector<int32_t> file_ids;
-  if (config.include_prelude) {
-    file_ids.push_back(comp->sm.AddFile("<prelude>", PreludeSource()));
-  }
-  for (const SourceFile& f : files) {
-    file_ids.push_back(comp->sm.AddFile(f.name, f.text));
-  }
-
-  // Lex + parse every file into one Program (whole-program merge).
-  for (int32_t id : file_ids) {
-    Lexer lexer(comp->sm, id, comp->diags.get());
-    Parser parser(&comp->prog, lexer.Lex(), comp->diags.get());
-    parser.ParseTranslationUnit();
-  }
-  if (!comp->diags->ok()) {
-    return comp;
-  }
-
-  comp->sema = std::make_unique<Sema>(&comp->prog, comp->diags.get(),
-                                      [](const std::string& name) {
-                                        return BuiltinIdForName(name);
-                                      });
-  if (!comp->sema->Run()) {
-    return comp;
-  }
-
-  LowerOptions lopts;
-  lopts.deputy = config.deputy;
-  lopts.discharge = config.discharge;
-  Lowerer lowerer(&comp->prog, comp->sema.get(), comp->diags.get(), lopts);
-  comp->module = lowerer.Lower();
-  comp->check_stats = lowerer.check_stats();
-  if (!comp->diags->ok()) {
-    return comp;
-  }
-
-  comp->layouts = TypeLayoutRegistry::Build(comp->prog);
-  comp->ok = true;
-  return comp;
+  return PipelineBuilder::FromToolConfig(config).Build().Compile(files);
 }
 
 std::unique_ptr<Compilation> CompileOne(const std::string& text, const ToolConfig& config) {

@@ -30,6 +30,11 @@ struct SourceFile {
 
 // Which tools are enabled for a build+run. Deputy choices affect lowering
 // (check emission); CCount choices affect the VM run.
+//
+// This is the legacy flat bag; new code should configure builds through
+// PipelineBuilder (src/tool/pipeline.h), which adds per-tool option bags,
+// pass selection by registry name, and parallel scheduling. Compile() and
+// CompileOne() below delegate there.
 struct ToolConfig {
   bool deputy = true;
   bool discharge = true;
@@ -53,8 +58,9 @@ class Compilation {
   CheckStats check_stats;
   bool ok = false;
 
-  // Renders all diagnostics (for examples and error reporting).
-  std::string Errors() const { return diags->Render(); }
+  // Renders all diagnostics (for examples and error reporting). Null-safe:
+  // a default-constructed Compilation has no DiagEngine yet.
+  std::string Errors() const { return diags ? diags->Render() : std::string(); }
 };
 
 // Compiles `files` (prepending the prelude unless disabled). Never returns

@@ -155,4 +155,18 @@ std::string ErrCheckReport::ToString() const {
   return out;
 }
 
+std::vector<Finding> ErrCheckReport::ToFindings() const {
+  std::vector<Finding> out;
+  for (const ErrCheckFinding& e : findings) {
+    Finding f;
+    f.tool = "errcheck";
+    f.severity = FindingSeverity::kWarning;
+    f.loc = e.loc;
+    f.message = "error code from '" + e.callee + "' is " + e.kind;
+    f.witness = {e.caller, e.callee};
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
 }  // namespace ivy

@@ -21,6 +21,7 @@
 
 #include "src/analysis/callgraph.h"
 #include "src/mc/ast.h"
+#include "src/tool/finding.h"
 
 namespace ivy {
 
@@ -39,6 +40,10 @@ struct ErrCheckReport {
   int checked_sites = 0;         // call sites that do test the result
 
   std::string ToString() const;
+
+  // Unified-pipeline view: every unchecked error return is a warning with
+  // witness caller -> callee.
+  std::vector<Finding> ToFindings() const;
 };
 
 class ErrCheck {

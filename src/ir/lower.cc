@@ -720,7 +720,7 @@ void Lowerer::EmitWhenCheck(const Expr* member_expr, const LValue& union_lv, Sou
   ++check_stats_.when_emitted;
 }
 
-void Lowerer::EmitCallSiteChecks(const FuncDecl* callee, const Type* fty, const Expr* call,
+void Lowerer::EmitCallSiteChecks(const FuncDecl* /*callee*/, const Type* fty, const Expr* call,
                                  const std::vector<int>& arg_regs) {
   if (!DeputyOn(call)) {
     return;

@@ -213,4 +213,40 @@ std::string LockSafeReport::ToString() const {
   return out;
 }
 
+std::vector<Finding> LockSafeReport::ToFindings(const std::string& origin) const {
+  std::vector<Finding> out;
+  for (const auto& cycle : deadlock_cycles) {
+    Finding f;
+    f.tool = "locksafe";
+    f.severity = FindingSeverity::kError;
+    f.message = "potential deadlock: inconsistent lock order (" + origin + ")";
+    f.witness = cycle;
+    // Anchor the finding at an edge that is actually part of the cycle
+    // (held -> acquired matches a consecutive pair of cycle locks).
+    bool anchored = false;
+    for (size_t i = 0; i < cycle.size() && !anchored; ++i) {
+      const std::string& held = cycle[i];
+      const std::string& acquired = cycle[(i + 1) % cycle.size()];
+      for (const LockOrderEdge& e : edges) {
+        if (e.held == held && e.acquired == acquired) {
+          f.loc = e.loc;
+          anchored = true;
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(f));
+  }
+  for (const std::string& lock : irq_unsafe_locks) {
+    Finding f;
+    f.tool = "locksafe";
+    f.severity = FindingSeverity::kWarning;
+    f.message = "lock '" + lock + "' acquired in IRQ context and in process context with interrupts on (" +
+                origin + ")";
+    f.witness = {lock};
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
 }  // namespace ivy

@@ -22,6 +22,7 @@
 
 #include "src/analysis/callgraph.h"
 #include "src/mc/ast.h"
+#include "src/tool/finding.h"
 #include "src/vm/vm.h"
 
 namespace ivy {
@@ -42,6 +43,11 @@ struct LockSafeReport {
   int locks_seen = 0;
 
   std::string ToString() const;
+
+  // Unified-pipeline view: deadlock cycles are errors (witness = the lock
+  // cycle), IRQ-unsafe locks are warnings. `origin` distinguishes the static
+  // walk from the runtime validator in merged reports.
+  std::vector<Finding> ToFindings(const std::string& origin = "static") const;
 };
 
 class LockSafe {

@@ -90,4 +90,26 @@ std::string StackCheckReport::ToString() const {
   return out;
 }
 
+std::vector<Finding> StackCheckReport::ToFindings() const {
+  std::vector<Finding> out;
+  if (worst_case > budget) {
+    Finding f;
+    f.tool = "stackcheck";
+    f.severity = FindingSeverity::kError;
+    f.message = "worst-case stack " + std::to_string(worst_case) + " bytes exceeds budget " +
+                std::to_string(budget);
+    f.witness = {worst_entry};
+    out.push_back(std::move(f));
+  }
+  for (const std::string& fn : recursive) {
+    Finding f;
+    f.tool = "stackcheck";
+    f.severity = FindingSeverity::kWarning;
+    f.message = "function '" + fn + "' is recursive: stack bound needs run-time checks";
+    f.witness = {fn};
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
 }  // namespace ivy

@@ -19,6 +19,7 @@
 
 #include "src/analysis/callgraph.h"
 #include "src/ir/ir.h"
+#include "src/tool/finding.h"
 
 namespace ivy {
 
@@ -33,6 +34,11 @@ struct StackCheckReport {
   bool fits_budget = false;
 
   std::string ToString() const;
+
+  // Unified-pipeline view: a budget overrun is an error (witness = the worst
+  // entry point), each recursive function a warning (needs the run-time
+  // kCheckStack trap, as the paper prescribes).
+  std::vector<Finding> ToFindings() const;
 };
 
 class StackCheck {

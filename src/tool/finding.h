@@ -1,0 +1,100 @@
+// The unified finding record shared by every tool pass (the API half of the
+// paper's "suite of tools" story): one schema for what a tool reports — which
+// tool, how severe, where, what, and the witness chain explaining *why*
+// (e.g. the call path by which a callee may block). The six bespoke report
+// structs (BlockStopReport, LockSafeReport, ...) remain available as
+// tool-specific views through ToolResult::DetailAs<>, but everything that
+// crosses tool boundaries — merging, JSON export, the annotation repository —
+// speaks Finding.
+#ifndef SRC_TOOL_FINDING_H_
+#define SRC_TOOL_FINDING_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "src/support/json.h"
+#include "src/support/source.h"
+
+namespace ivy {
+
+class SourceManager;
+
+enum class FindingSeverity { kNote, kWarning, kError };
+
+const char* FindingSeverityName(FindingSeverity s);
+
+struct Finding {
+  std::string tool;
+  FindingSeverity severity = FindingSeverity::kWarning;
+  SourceLoc loc;
+  std::string message;
+  // The justification chain, innermost first (e.g. caller, callee, the
+  // blocking primitive at the root; or the lock cycle for a deadlock).
+  std::vector<std::string> witness;
+
+  // `sm` is optional: with it the JSON carries a rendered "at" location in
+  // addition to the raw file/line/col triple.
+  Json ToJson(const SourceManager* sm = nullptr) const;
+  static Finding FromJson(const Json& j);
+
+  std::string ToString(const SourceManager* sm = nullptr) const;
+};
+
+// What one pass returns: findings, scalar metrics (the counters the old
+// report structs carried), a one-paragraph summary, and the legacy
+// tool-specific report for callers that still want the full view.
+class ToolResult {
+ public:
+  ToolResult() = default;
+  explicit ToolResult(std::string tool) : tool_(std::move(tool)) {}
+
+  const std::string& tool() const { return tool_; }
+
+  void AddFinding(Finding f) { findings_.push_back(std::move(f)); }
+  const std::vector<Finding>& findings() const { return findings_; }
+  std::vector<Finding>& findings() { return findings_; }
+
+  // Findings at least as severe as `min`.
+  int CountAtLeast(FindingSeverity min) const;
+
+  void SetMetric(const std::string& key, int64_t v) { metrics_[key] = v; }
+  int64_t Metric(const std::string& key, int64_t def = 0) const;
+  const std::map<std::string, int64_t>& metrics() const { return metrics_; }
+
+  void set_summary(std::string s) { summary_ = std::move(s); }
+  const std::string& summary() const { return summary_; }
+
+  // Legacy view: stores the tool's original report struct. DetailAs is
+  // type-checked: asking for the wrong type (e.g. after a registered pass
+  // was shadowed by one storing a different report) returns nullptr.
+  template <typename T>
+  void SetDetail(T value) {
+    detail_ = std::make_shared<T>(std::move(value));
+    detail_type_ = &typeid(T);
+  }
+  template <typename T>
+  const T* DetailAs() const {
+    if (detail_type_ == nullptr || *detail_type_ != typeid(T)) {
+      return nullptr;
+    }
+    return static_cast<const T*>(detail_.get());
+  }
+
+  Json ToJson(const SourceManager* sm = nullptr) const;
+
+ private:
+  std::string tool_;
+  std::vector<Finding> findings_;
+  std::map<std::string, int64_t> metrics_;
+  std::string summary_;
+  std::shared_ptr<const void> detail_;
+  const std::type_info* detail_type_ = nullptr;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_TOOL_FINDING_H_

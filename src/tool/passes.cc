@@ -1,0 +1,284 @@
+// The six builtin tool passes: thin ToolPass adapters over the existing tool
+// modules, registered under the names the paper uses. Each pass pulls its
+// analyses from the shared AnalysisContext (never rebuilding them), converts
+// the tool's report to unified Findings, and keeps the original report
+// reachable through ToolResult::DetailAs<> for legacy callers.
+//
+// Adding a seventh tool is this file's pattern in ~30 lines: subclass
+// ToolPass, convert your report, add one ToolPassRegistrar. See
+// docs/ARCHITECTURE.md.
+#include <memory>
+#include <sstream>
+
+#include "src/blockstop/blockstop.h"
+#include "src/ccount/layouts.h"
+#include "src/deputy/facts.h"
+#include "src/errcheck/errcheck.h"
+#include "src/locksafe/locksafe.h"
+#include "src/stackcheck/stackcheck.h"
+#include "src/tool/analysis_context.h"
+#include "src/tool/registry.h"
+#include "src/vm/heap.h"
+#include "src/vm/vm.h"
+
+namespace ivy {
+namespace {
+
+// --------------------------------------------------------------------------
+// deputy: type-safety checks + static discharge (§2.1). The work happened at
+// lowering time; this pass surfaces the check statistics and the deputy
+// diagnostics through the unified schema.
+// --------------------------------------------------------------------------
+class DeputyPass : public ToolPass {
+ public:
+  std::string name() const override { return "deputy"; }
+
+  ToolResult Run(AnalysisContext& ctx) override {
+    ToolResult r(name());
+    const CheckStats& cs = ctx.comp().check_stats;
+    r.SetMetric("nonnull_emitted", cs.nonnull_emitted);
+    r.SetMetric("nonnull_discharged", cs.nonnull_discharged);
+    r.SetMetric("bounds_emitted", cs.bounds_emitted);
+    r.SetMetric("bounds_discharged", cs.bounds_discharged);
+    r.SetMetric("when_emitted", cs.when_emitted);
+    r.SetMetric("nt_emitted", cs.nt_emitted);
+    r.SetMetric("callsite_emitted", cs.callsite_emitted);
+    r.SetMetric("callsite_discharged", cs.callsite_discharged);
+    r.SetMetric("trusted_skipped", cs.trusted_skipped);
+    r.SetMetric("total_emitted", cs.TotalEmitted());
+    r.SetMetric("total_discharged", cs.TotalDischarged());
+    for (const Diagnostic& d : ctx.comp().diags->diagnostics()) {
+      if (d.tool != "deputy") {
+        continue;
+      }
+      Finding f;
+      f.tool = name();
+      f.severity = d.severity == Severity::kError ? FindingSeverity::kError
+                   : d.severity == Severity::kNote ? FindingSeverity::kNote
+                                                   : FindingSeverity::kWarning;
+      f.loc = d.loc;
+      f.message = d.message;
+      r.AddFinding(std::move(f));
+    }
+    r.set_summary("Deputy: " + std::to_string(cs.TotalEmitted()) + " run-time checks, " +
+                  std::to_string(cs.TotalDischarged()) + " discharged statically");
+    r.SetDetail(cs);
+    return r;
+  }
+};
+
+// --------------------------------------------------------------------------
+// ccount: the free audit (§2.2). The static half is the derived type-layout
+// registry; the dynamic half (bad frees observed by the VM) reports when a
+// finished run is attached to the context.
+// --------------------------------------------------------------------------
+class CCountPass : public ToolPass {
+ public:
+  std::string name() const override { return "ccount"; }
+
+  ToolResult Run(AnalysisContext& ctx) override {
+    ToolResult r(name());
+    const TypeLayoutRegistry& layouts = ctx.comp().layouts;
+    r.SetMetric("layouts", layouts.count());
+    r.SetMetric("pointer_bearing_layouts", layouts.PointerBearingCount());
+    std::string summary = "CCount: " + std::to_string(layouts.PointerBearingCount()) +
+                          " pointer-bearing layouts of " + std::to_string(layouts.count());
+    if (const Vm* vm = ctx.vm()) {
+      const HeapStats& hs = vm->heap().stats();
+      r.SetMetric("allocs", hs.allocs);
+      r.SetMetric("frees_attempted", hs.frees_attempted);
+      r.SetMetric("frees_good", hs.frees_good);
+      r.SetMetric("frees_bad", hs.frees_bad);
+      r.SetMetric("frees_deferred", hs.frees_deferred);
+      r.SetMetric("rc_increments", hs.rc_increments);
+      r.SetMetric("rc_decrements", hs.rc_decrements);
+      for (const auto& [key, site] : vm->heap().bad_free_sites()) {
+        Finding f;
+        f.tool = name();
+        f.severity = FindingSeverity::kWarning;
+        f.loc = site.loc;
+        f.message = "bad free (" + std::to_string(site.count) + "x, " +
+                    std::to_string(site.inbound_refs) +
+                    " residual references) — object leaked, kernel kept running";
+        r.AddFinding(std::move(f));
+      }
+      summary += "; " + std::to_string(hs.frees_good) + "/" +
+                 std::to_string(hs.frees_attempted) + " frees verified good";
+      r.SetDetail(hs);
+    }
+    r.set_summary(summary);
+    return r;
+  }
+};
+
+// --------------------------------------------------------------------------
+// blockstop (§2.3).
+// --------------------------------------------------------------------------
+class BlockStopPass : public ToolPass {
+ public:
+  std::string name() const override { return "blockstop"; }
+
+  std::vector<AnalysisKind> Requires() const override {
+    return {AnalysisKind::kPointsTo, AnalysisKind::kCallGraph};
+  }
+
+  ToolResult Run(AnalysisContext& ctx) override {
+    const CallGraph& cg = ctx.callgraph();
+    BlockStop bs(&ctx.prog(), &ctx.sema(), &cg);
+    BlockStopReport report = bs.Run();
+    ToolResult r(name());
+    for (Finding& f : report.ToFindings()) {
+      r.AddFinding(std::move(f));
+    }
+    r.SetMetric("defined_funcs", report.num_defined_funcs);
+    r.SetMetric("callgraph_edges", report.callgraph_edges);
+    r.SetMetric("indirect_sites", report.indirect_sites);
+    r.SetMetric("indirect_target_total", report.indirect_target_total);
+    r.SetMetric("mayblock_funcs", static_cast<int64_t>(report.mayblock.size()));
+    r.SetMetric("violations", static_cast<int64_t>(report.violations.size()));
+    r.SetMetric("silenced", static_cast<int64_t>(report.silenced.size()));
+    r.SetMetric("runtime_checks", report.runtime_checks);
+    r.set_summary(report.ToString());
+    r.SetDetail(std::move(report));
+    return r;
+  }
+};
+
+// --------------------------------------------------------------------------
+// locksafe (§3.1): static lock-order walk, plus the runtime validator when a
+// finished VM run is attached.
+// --------------------------------------------------------------------------
+class LockSafePass : public ToolPass {
+ public:
+  std::string name() const override { return "locksafe"; }
+
+  std::vector<AnalysisKind> Requires() const override {
+    return {AnalysisKind::kCallGraph};
+  }
+
+  ToolResult Run(AnalysisContext& ctx) override {
+    const CallGraph& cg = ctx.callgraph();
+    LockSafe ls(&ctx.prog(), &ctx.sema(), &cg);
+    LockSafeReport report = ls.Run();
+    ToolResult r(name());
+    for (Finding& f : report.ToFindings("static")) {
+      r.AddFinding(std::move(f));
+    }
+    r.SetMetric("locks_seen", report.locks_seen);
+    r.SetMetric("order_edges", static_cast<int64_t>(report.edges.size()));
+    r.SetMetric("deadlock_cycles", static_cast<int64_t>(report.deadlock_cycles.size()));
+    r.SetMetric("irq_unsafe_locks", static_cast<int64_t>(report.irq_unsafe_locks.size()));
+    std::string summary = report.ToString();
+    if (const Vm* vm = ctx.vm()) {
+      LockSafeReport rt = LockSafe::ValidateRuntime(*vm, ctx.module());
+      for (Finding& f : rt.ToFindings("runtime")) {
+        r.AddFinding(std::move(f));
+      }
+      r.SetMetric("runtime_deadlock_cycles",
+                  static_cast<int64_t>(rt.deadlock_cycles.size()));
+      r.SetMetric("runtime_irq_unsafe_locks",
+                  static_cast<int64_t>(rt.irq_unsafe_locks.size()));
+      summary += "  (runtime validation)\n" + rt.ToString();
+    }
+    r.set_summary(summary);
+    r.SetDetail(std::move(report));
+    return r;
+  }
+};
+
+// --------------------------------------------------------------------------
+// stackcheck (§3.1). Options: "budget" (bytes, default 8192 — the paper's
+// 8 kB), "entries" (comma-separated entry points; default all defined
+// functions, since any of them may be a kernel entry).
+// --------------------------------------------------------------------------
+class StackCheckPass : public ToolPass {
+ public:
+  std::string name() const override { return "stackcheck"; }
+
+  std::vector<AnalysisKind> Requires() const override {
+    return {AnalysisKind::kCallGraph};
+  }
+
+  ToolResult Run(AnalysisContext& ctx) override {
+    const CallGraph& cg = ctx.callgraph();
+    int64_t budget = options().GetInt("budget", 8192);
+    std::vector<std::string> entries;
+    if (options().Has("entries")) {
+      std::stringstream ss(options().GetString("entries"));
+      std::string entry;
+      while (std::getline(ss, entry, ',')) {
+        // Trim whitespace: "a, b" must mean {"a","b"} — a spaced name that
+        // silently matches nothing would under-analyze without a trace.
+        size_t first = entry.find_first_not_of(" \t");
+        size_t last = entry.find_last_not_of(" \t");
+        if (first != std::string::npos) {
+          entries.push_back(entry.substr(first, last - first + 1));
+        }
+      }
+    }
+    StackCheck sc(&cg, &ctx.module(), budget);
+    StackCheckReport report = sc.Run(entries);
+    ToolResult r(name());
+    for (Finding& f : report.ToFindings()) {
+      r.AddFinding(std::move(f));
+    }
+    r.SetMetric("worst_case", report.worst_case);
+    r.SetMetric("budget", report.budget);
+    r.SetMetric("entries", static_cast<int64_t>(report.entry_depths.size()));
+    r.SetMetric("recursive_funcs", static_cast<int64_t>(report.recursive.size()));
+    r.SetMetric("fits_budget", report.fits_budget ? 1 : 0);
+    r.set_summary(report.ToString());
+    r.SetDetail(std::move(report));
+    return r;
+  }
+};
+
+// --------------------------------------------------------------------------
+// errcheck (§3.1).
+// --------------------------------------------------------------------------
+class ErrCheckPass : public ToolPass {
+ public:
+  std::string name() const override { return "errcheck"; }
+
+  std::vector<AnalysisKind> Requires() const override {
+    return {AnalysisKind::kCallGraph};
+  }
+
+  ToolResult Run(AnalysisContext& ctx) override {
+    const CallGraph& cg = ctx.callgraph();
+    ErrCheck ec(&ctx.prog(), &ctx.sema(), &cg);
+    ErrCheckReport report = ec.Run();
+    ToolResult r(name());
+    for (Finding& f : report.ToFindings()) {
+      r.AddFinding(std::move(f));
+    }
+    r.SetMetric("err_returning_funcs", report.err_returning_funcs);
+    r.SetMetric("annotated_funcs", report.annotated_funcs);
+    r.SetMetric("inferred_funcs", report.inferred_funcs);
+    r.SetMetric("checked_sites", report.checked_sites);
+    r.SetMetric("unchecked_sites", static_cast<int64_t>(report.findings.size()));
+    r.set_summary(report.ToString());
+    r.SetDetail(std::move(report));
+    return r;
+  }
+};
+
+template <typename PassT>
+ToolRegistry::Factory FactoryFor() {
+  return [] { return std::make_unique<PassT>(); };
+}
+
+const ToolPassRegistrar kDeputyReg("deputy", FactoryFor<DeputyPass>());
+const ToolPassRegistrar kCCountReg("ccount", FactoryFor<CCountPass>());
+const ToolPassRegistrar kBlockStopReg("blockstop", FactoryFor<BlockStopPass>());
+const ToolPassRegistrar kLockSafeReg("locksafe", FactoryFor<LockSafePass>());
+const ToolPassRegistrar kStackCheckReg("stackcheck", FactoryFor<StackCheckPass>());
+const ToolPassRegistrar kErrCheckReg("errcheck", FactoryFor<ErrCheckPass>());
+
+}  // namespace
+
+// See registry.cc: referenced from ToolRegistry::Instance() so that linking
+// the registry always links the builtin passes (and their registrars) too.
+void EnsureBuiltinPassesLinked() {}
+
+}  // namespace ivy

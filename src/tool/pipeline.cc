@@ -1,0 +1,348 @@
+#include "src/tool/pipeline.h"
+
+#include <algorithm>
+#include <future>
+
+#include "src/kernel/prelude.h"
+#include "src/mc/lexer.h"
+#include "src/mc/parser.h"
+#include "src/tool/registry.h"
+#include "src/vm/builtins.h"
+
+namespace ivy {
+
+// ---------------------------------------------------------------------------
+// PipelineResult
+// ---------------------------------------------------------------------------
+
+const ToolResult* PipelineResult::ResultFor(const std::string& tool) const {
+  for (const ToolResult& r : results) {
+    if (r.tool() == tool) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+int PipelineResult::ErrorCount() const {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == FindingSeverity::kError) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Json PipelineResult::ToJson(const SourceManager* sm) const {
+  Json j = Json::MakeObject();
+  Json tools = Json::MakeArray();
+  for (const ToolResult& r : results) {
+    tools.Append(r.ToJson(sm));
+  }
+  j["tools"] = std::move(tools);
+  // Pipeline-level findings (configuration errors such as unknown tool
+  // names) belong to no ToolResult; everything else already lives under
+  // tools[].findings, and `findings` is their concatenation — serializing
+  // it too would double every record.
+  Json config = Json::MakeArray();
+  for (const Finding& f : findings) {
+    if (f.tool == "pipeline") {
+      config.Append(f.ToJson(sm));
+    }
+  }
+  if (config.size() > 0) {
+    j["pipeline_findings"] = std::move(config);
+  }
+  j["finding_count"] = Json::MakeInt(static_cast<int64_t>(findings.size()));
+  j["error_count"] = Json::MakeInt(ErrorCount());
+  j["parallel"] = Json::MakeBool(parallel);
+  j["pointsto_builds"] = Json::MakeInt(pointsto_builds);
+  j["callgraph_builds"] = Json::MakeInt(callgraph_builds);
+  return j;
+}
+
+std::string PipelineResult::ToString(const SourceManager* sm) const {
+  std::string out;
+  // Configuration errors first — they belong to no tool section and must
+  // not vanish from the human-readable report.
+  for (const Finding& f : findings) {
+    if (f.tool == "pipeline") {
+      out += f.ToString(sm) + "\n";
+    }
+  }
+  for (const ToolResult& r : results) {
+    out += "== " + r.tool() + " ==\n";
+    if (!r.summary().empty()) {
+      out += r.summary();
+      if (out.back() != '\n') {
+        out += '\n';
+      }
+    }
+    for (const Finding& f : r.findings()) {
+      out += "  " + f.ToString(sm) + "\n";
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline: frontend
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Compilation> Pipeline::Compile(const std::vector<SourceFile>& files) const {
+  auto comp = std::make_unique<Compilation>();
+  comp->config = config_;
+  comp->diags = std::make_unique<DiagEngine>(&comp->sm);
+
+  std::vector<int32_t> file_ids;
+  if (config_.include_prelude) {
+    file_ids.push_back(comp->sm.AddFile("<prelude>", PreludeSource()));
+  }
+  for (const SourceFile& f : files) {
+    file_ids.push_back(comp->sm.AddFile(f.name, f.text));
+  }
+
+  // Lex + parse every file into one Program (whole-program merge).
+  for (int32_t id : file_ids) {
+    Lexer lexer(comp->sm, id, comp->diags.get());
+    Parser parser(&comp->prog, lexer.Lex(), comp->diags.get());
+    parser.ParseTranslationUnit();
+  }
+  if (!comp->diags->ok()) {
+    return comp;
+  }
+
+  comp->sema = std::make_unique<Sema>(&comp->prog, comp->diags.get(),
+                                      [](const std::string& name) {
+                                        return BuiltinIdForName(name);
+                                      });
+  if (!comp->sema->Run()) {
+    return comp;
+  }
+
+  LowerOptions lopts;
+  lopts.deputy = config_.deputy;
+  lopts.discharge = config_.discharge;
+  Lowerer lowerer(&comp->prog, comp->sema.get(), comp->diags.get(), lopts);
+  comp->module = lowerer.Lower();
+  comp->check_stats = lowerer.check_stats();
+  if (!comp->diags->ok()) {
+    return comp;
+  }
+
+  comp->layouts = TypeLayoutRegistry::Build(comp->prog);
+  comp->ok = true;
+  return comp;
+}
+
+std::unique_ptr<AnalysisContext> Pipeline::MakeContext(Compilation* comp) const {
+  return std::make_unique<AnalysisContext>(comp, field_sensitive_);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline: pass scheduling
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Instantiates + configures the requested passes. Unknown names produce an
+// error finding instead of a pass.
+std::vector<std::unique_ptr<ToolPass>> MakePasses(
+    const std::vector<std::string>& tools,
+    const std::map<std::string, ToolOptions>& options,
+    std::vector<Finding>* errors) {
+  std::vector<std::unique_ptr<ToolPass>> passes;
+  for (const std::string& name : tools) {
+    std::unique_ptr<ToolPass> pass = ToolRegistry::Instance().Create(name);
+    if (pass == nullptr) {
+      Finding f;
+      f.tool = "pipeline";
+      f.severity = FindingSeverity::kError;
+      f.message = "unknown tool '" + name + "'";
+      errors->push_back(std::move(f));
+      continue;
+    }
+    auto it = options.find(name);
+    if (it != options.end()) {
+      pass->Configure(it->second);
+    }
+    passes.push_back(std::move(pass));
+  }
+  return passes;
+}
+
+// The union of every pass's Requires(), reduced to the strongest form
+// (callgraph implies pointsto).
+void RequiredAnalyses(const std::vector<std::unique_ptr<ToolPass>>& passes,
+                      bool* need_pt, bool* need_cg) {
+  *need_pt = false;
+  *need_cg = false;
+  for (const auto& pass : passes) {
+    for (AnalysisKind k : pass->Requires()) {
+      if (k == AnalysisKind::kPointsTo) {
+        *need_pt = true;
+      } else if (k == AnalysisKind::kCallGraph) {
+        *need_cg = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PipelineResult Pipeline::RunTools(AnalysisContext& ctx) const {
+  PipelineResult out;
+  out.parallel = parallel_;
+
+  std::vector<Finding> config_errors;
+  std::vector<std::unique_ptr<ToolPass>> passes =
+      MakePasses(tools_, options_, &config_errors);
+
+  // Warm the shared cache serially so parallel passes only ever read it.
+  bool need_pt = false;
+  bool need_cg = false;
+  RequiredAnalyses(passes, &need_pt, &need_cg);
+  if (need_cg) {
+    ctx.callgraph();
+  } else if (need_pt) {
+    ctx.pointsto();
+  }
+
+  std::vector<ToolResult> results(passes.size());
+  if (parallel_ && passes.size() > 1) {
+    std::vector<std::future<ToolResult>> futures;
+    futures.reserve(passes.size());
+    for (auto& pass : passes) {
+      ToolPass* p = pass.get();
+      futures.push_back(
+          std::async(std::launch::async, [p, &ctx] { return p->Run(ctx); }));
+    }
+    // Gathering by index keeps the merge order equal to the request order no
+    // matter which pass finished first.
+    for (size_t i = 0; i < futures.size(); ++i) {
+      results[i] = futures[i].get();
+    }
+  } else {
+    for (size_t i = 0; i < passes.size(); ++i) {
+      results[i] = passes[i]->Run(ctx);
+    }
+  }
+
+  out.findings = std::move(config_errors);
+  for (ToolResult& r : results) {
+    out.findings.insert(out.findings.end(), r.findings().begin(), r.findings().end());
+    out.results.push_back(std::move(r));
+  }
+  out.pointsto_builds = ctx.pointsto_builds();
+  out.callgraph_builds = ctx.callgraph_builds();
+  return out;
+}
+
+PipelineRun Pipeline::CompileAndRun(const std::vector<SourceFile>& files) const {
+  PipelineRun run;
+  run.comp = Compile(files);
+  if (!run.comp->ok) {
+    return run;
+  }
+  run.ctx = MakeContext(run.comp.get());
+  run.result = RunTools(*run.ctx);
+  return run;
+}
+
+std::vector<std::string> Pipeline::Plan() const {
+  std::vector<std::string> plan;
+  std::vector<Finding> ignored;
+  std::vector<std::unique_ptr<ToolPass>> passes = MakePasses(tools_, options_, &ignored);
+  bool need_pt = false;
+  bool need_cg = false;
+  RequiredAnalyses(passes, &need_pt, &need_cg);
+  if (need_pt || need_cg) {
+    plan.push_back("analysis:pointsto");
+  }
+  if (need_cg) {
+    plan.push_back("analysis:callgraph");
+  }
+  for (const auto& pass : passes) {
+    plan.push_back("pass:" + pass->name());
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// PipelineBuilder
+// ---------------------------------------------------------------------------
+
+PipelineBuilder& PipelineBuilder::Tool(const std::string& name) {
+  auto& tools = pipeline_.tools_;
+  if (std::find(tools.begin(), tools.end(), name) == tools.end()) {
+    tools.push_back(name);
+  }
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Tool(const std::string& name, ToolOptions opts) {
+  Tool(name);
+  pipeline_.options_[name] = std::move(opts);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::AllTools() {
+  for (const std::string& name : ToolRegistry::Instance().Names()) {
+    Tool(name);
+  }
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Parallel(bool on) {
+  pipeline_.parallel_ = on;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::FieldSensitive(bool on) {
+  pipeline_.field_sensitive_ = on;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Deputy(bool on) {
+  pipeline_.config_.deputy = on;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Discharge(bool on) {
+  pipeline_.config_.discharge = on;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::CCount(bool on) {
+  pipeline_.config_.ccount = on;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::Smp(bool on) {
+  pipeline_.config_.smp = on;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::TrackLocals(bool on) {
+  pipeline_.config_.track_locals = on;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::RcWidthBits(int bits) {
+  pipeline_.config_.rc_width_bits = bits;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::IncludePrelude(bool on) {
+  pipeline_.config_.include_prelude = on;
+  return *this;
+}
+
+PipelineBuilder PipelineBuilder::FromToolConfig(const ToolConfig& config) {
+  PipelineBuilder b;
+  b.pipeline_.config_ = config;
+  return b;
+}
+
+}  // namespace ivy

@@ -1,0 +1,121 @@
+// The unified tool pipeline (the driver redesign): a fluent PipelineBuilder
+// configures which passes run and with what options, Pipeline::Compile runs
+// the frontend (lex/parse/sema/lower — what the old free Compile() did), and
+// Pipeline::RunTools schedules every configured pass over one shared
+// AnalysisContext. Passes that declared their analyses via Requires() run in
+// parallel (std::async) — results are still merged in request order, so
+// parallel and serial runs produce byte-identical finding lists.
+//
+// The old entry points survive as shims: Compile()/CompileOne() in
+// src/driver/compiler.h delegate here, and the flat ToolConfig maps onto a
+// builder via PipelineBuilder::FromToolConfig.
+#ifndef SRC_TOOL_PIPELINE_H_
+#define SRC_TOOL_PIPELINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/driver/compiler.h"
+#include "src/tool/analysis_context.h"
+#include "src/tool/finding.h"
+#include "src/tool/tool_pass.h"
+
+namespace ivy {
+
+// Merged output of one RunTools call. `results` holds one entry per
+// configured pass in request order; `findings` is the concatenation of every
+// pass's findings in that same order (the deterministic merge).
+struct PipelineResult {
+  std::vector<ToolResult> results;
+  std::vector<Finding> findings;
+  bool parallel = false;
+  int pointsto_builds = 0;   // snapshot of the context counters after the run
+  int callgraph_builds = 0;
+
+  const ToolResult* ResultFor(const std::string& tool) const;
+  int ErrorCount() const;
+
+  Json ToJson(const SourceManager* sm = nullptr) const;
+  std::string ToString(const SourceManager* sm = nullptr) const;
+};
+
+// A compiled program together with the pipeline artifacts that analyzed it.
+struct PipelineRun {
+  std::unique_ptr<Compilation> comp;
+  std::unique_ptr<AnalysisContext> ctx;  // declared after comp: destroyed first
+  PipelineResult result;
+};
+
+class Pipeline {
+ public:
+  // Frontend only: source -> Compilation (never null; check ->ok).
+  std::unique_ptr<Compilation> Compile(const std::vector<SourceFile>& files) const;
+
+  // Context at this pipeline's configured points-to precision. Prefer this
+  // over constructing AnalysisContext directly so FieldSensitive() cannot
+  // silently diverge from the context the tools actually run against.
+  std::unique_ptr<AnalysisContext> MakeContext(Compilation* comp) const;
+
+  // Runs every configured pass over `ctx`. Unknown tool names become
+  // severity-error findings attributed to tool "pipeline".
+  PipelineResult RunTools(AnalysisContext& ctx) const;
+
+  // Compile + analyze in one step. If compilation fails, `result` is empty
+  // and `ctx` is null.
+  PipelineRun CompileAndRun(const std::vector<SourceFile>& files) const;
+
+  // The schedule RunTools would execute: required analyses first (in
+  // dependency order, each exactly once), then the passes in request order.
+  // Entries look like "analysis:callgraph" and "pass:blockstop".
+  std::vector<std::string> Plan() const;
+
+  const ToolConfig& config() const { return config_; }
+  const std::vector<std::string>& tools() const { return tools_; }
+  bool parallel() const { return parallel_; }
+  bool field_sensitive() const { return field_sensitive_; }
+
+ private:
+  friend class PipelineBuilder;
+
+  ToolConfig config_;                 // frontend + VM knobs (legacy bag)
+  std::vector<std::string> tools_;    // pass names, request order
+  std::map<std::string, ToolOptions> options_;
+  bool parallel_ = true;
+  bool field_sensitive_ = true;
+};
+
+class PipelineBuilder {
+ public:
+  // Enables a pass by registry name (deduplicated; first request wins the
+  // position, later options replace earlier ones).
+  PipelineBuilder& Tool(const std::string& name);
+  PipelineBuilder& Tool(const std::string& name, ToolOptions opts);
+  // Every registered pass, in sorted-name order.
+  PipelineBuilder& AllTools();
+
+  PipelineBuilder& Parallel(bool on);
+  PipelineBuilder& FieldSensitive(bool on);
+
+  // Frontend / VM knobs (the surviving ToolConfig fields).
+  PipelineBuilder& Deputy(bool on);
+  PipelineBuilder& Discharge(bool on);
+  PipelineBuilder& CCount(bool on);
+  PipelineBuilder& Smp(bool on);
+  PipelineBuilder& TrackLocals(bool on);
+  PipelineBuilder& RcWidthBits(int bits);
+  PipelineBuilder& IncludePrelude(bool on);
+
+  // Maps the legacy flat config onto a builder (the Compile() shim).
+  static PipelineBuilder FromToolConfig(const ToolConfig& config);
+
+  Pipeline Build() const { return pipeline_; }
+
+ private:
+  Pipeline pipeline_;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_TOOL_PIPELINE_H_

@@ -1,0 +1,41 @@
+#include "src/tool/registry.h"
+
+namespace ivy {
+
+// Defined in passes.cc. Calling it from Instance() forces the linker to pull
+// the passes translation unit (and its registrar objects) out of the static
+// library even when a binary only references the registry.
+void EnsureBuiltinPassesLinked();
+
+ToolRegistry& ToolRegistry::Instance() {
+  static ToolRegistry* registry = new ToolRegistry();
+  EnsureBuiltinPassesLinked();
+  return *registry;
+}
+
+void ToolRegistry::Register(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<ToolPass> ToolRegistry::Create(const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return nullptr;
+  }
+  return it->second();
+}
+
+std::vector<std::string> ToolRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+ToolPassRegistrar::ToolPassRegistrar(const std::string& name, ToolRegistry::Factory factory) {
+  ToolRegistry::Instance().Register(name, std::move(factory));
+}
+
+}  // namespace ivy

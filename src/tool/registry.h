@@ -1,0 +1,48 @@
+// String-keyed registry of tool passes. Tools self-register at static
+// initialization time (see the ToolPassRegistrar objects in passes.cc), so
+// adding a seventh tool is: implement ToolPass, declare one registrar —
+// no driver edits, no switch statements.
+#ifndef SRC_TOOL_REGISTRY_H_
+#define SRC_TOOL_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tool/tool_pass.h"
+
+namespace ivy {
+
+class ToolRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<ToolPass>()>;
+
+  static ToolRegistry& Instance();
+
+  // Last registration for a name wins (lets tests shadow a builtin).
+  void Register(const std::string& name, Factory factory);
+
+  // Fresh pass instance, or nullptr for an unknown tool.
+  std::unique_ptr<ToolPass> Create(const std::string& name) const;
+
+  bool Has(const std::string& name) const { return factories_.count(name) != 0; }
+
+  // All registered names, sorted (deterministic AllTools() pipelines).
+  std::vector<std::string> Names() const;
+
+ private:
+  ToolRegistry() = default;
+  std::map<std::string, Factory> factories_;
+};
+
+// Static self-registration hook:
+//   static ToolPassRegistrar reg("blockstop", [] { return std::make_unique<...>(); });
+struct ToolPassRegistrar {
+  ToolPassRegistrar(const std::string& name, ToolRegistry::Factory factory);
+};
+
+}  // namespace ivy
+
+#endif  // SRC_TOOL_REGISTRY_H_

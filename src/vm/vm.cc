@@ -98,7 +98,7 @@ void Vm::DoStorePtr(uint64_t addr, int64_t value, SourceLoc loc) {
   cycles_ += cfg_.cost.store;
 }
 
-const std::vector<int64_t>* Vm::PtrOffsetsFor(uint64_t addr, uint64_t n, uint64_t* obj_base) {
+const std::vector<int64_t>* Vm::PtrOffsetsFor(uint64_t addr, uint64_t /*n*/, uint64_t* obj_base) {
   // Heap object?
   const HeapObject* obj = heap_->Find(addr);
   if (obj != nullptr) {

@@ -1,11 +1,10 @@
 // Tests for the §3.2 annotation repository and its JSON substrate.
 #include <gtest/gtest.h>
 
-#include "src/analysis/callgraph.h"
-#include "src/analysis/pointsto.h"
 #include "src/annodb/annodb.h"
 #include "src/driver/compiler.h"
 #include "src/support/json.h"
+#include "src/tool/analysis_context.h"
 
 namespace ivy {
 namespace {
@@ -130,17 +129,17 @@ TEST(AnnoDb, ApplyAttributesEnablesAnalysis) {
 
   auto comp = CompileOne(module_src, ToolConfig{});
   ASSERT_TRUE(comp->ok) << comp->Errors();
-  PointsTo pt(&comp->prog, comp->sema.get(), true);
-  pt.Solve();
   {
-    CallGraph cg = CallGraph::Build(comp->prog, *comp->sema, pt);
-    BlockStop before(&comp->prog, comp->sema.get(), &cg);
+    // One AnalysisContext per program version: ApplyAttributes mutates the
+    // program, so the cached analyses must not be carried across it.
+    AnalysisContext ctx(comp.get(), /*field_sensitive=*/true);
+    BlockStop before(&comp->prog, comp->sema.get(), &ctx.callgraph());
     EXPECT_TRUE(before.Run().violations.empty()) << "no facts, no findings";
   }
   EXPECT_EQ(db.ApplyAttributes(&comp->prog), 1);
   {
-    CallGraph cg = CallGraph::Build(comp->prog, *comp->sema, pt);
-    BlockStop after(&comp->prog, comp->sema.get(), &cg);
+    AnalysisContext ctx(comp.get(), /*field_sensitive=*/true);
+    BlockStop after(&comp->prog, comp->sema.get(), &ctx.callgraph());
     EXPECT_EQ(after.Run().violations.size(), 1u);
   }
 }

@@ -3,10 +3,9 @@
 // silencing semantics.
 #include <gtest/gtest.h>
 
-#include "src/analysis/callgraph.h"
-#include "src/analysis/pointsto.h"
 #include "src/blockstop/blockstop.h"
 #include "src/driver/compiler.h"
+#include "src/tool/analysis_context.h"
 
 namespace ivy {
 namespace {
@@ -14,10 +13,8 @@ namespace {
 BlockStopReport Analyze(const std::string& src, bool field_sensitive = false) {
   auto comp = CompileOne(src, ToolConfig{});
   EXPECT_TRUE(comp->ok) << comp->Errors();
-  PointsTo pt(&comp->prog, comp->sema.get(), field_sensitive);
-  pt.Solve();
-  CallGraph cg = CallGraph::Build(comp->prog, *comp->sema, pt);
-  BlockStop bs(&comp->prog, comp->sema.get(), &cg);
+  AnalysisContext ctx(comp.get(), field_sensitive);
+  BlockStop bs(&comp->prog, comp->sema.get(), &ctx.callgraph());
   return bs.Run();
 }
 

@@ -2,29 +2,30 @@
 #include <gtest/gtest.h>
 
 #include "src/analysis/callgraph.h"
-#include "src/analysis/pointsto.h"
 #include "src/driver/compiler.h"
 #include "src/errcheck/errcheck.h"
 #include "src/kernel/corpus.h"
 #include "src/locksafe/locksafe.h"
 #include "src/stackcheck/stackcheck.h"
+#include "src/tool/analysis_context.h"
 
 namespace ivy {
 namespace {
 
+// The shared-cache idiom: one AnalysisContext per compilation, every tool
+// pulls the same memoized call graph.
 struct Analyzed {
   std::unique_ptr<Compilation> comp;
-  std::unique_ptr<PointsTo> pt;
-  std::unique_ptr<CallGraph> cg;
+  std::unique_ptr<AnalysisContext> ctx;
+  const CallGraph* cg = nullptr;
 };
 
 Analyzed Build(const std::string& src) {
   Analyzed a;
   a.comp = CompileOne(src, ToolConfig{});
   EXPECT_TRUE(a.comp->ok) << a.comp->Errors();
-  a.pt = std::make_unique<PointsTo>(&a.comp->prog, a.comp->sema.get(), true);
-  a.pt->Solve();
-  a.cg = std::make_unique<CallGraph>(CallGraph::Build(a.comp->prog, *a.comp->sema, *a.pt));
+  a.ctx = std::make_unique<AnalysisContext>(a.comp.get(), /*field_sensitive=*/true);
+  a.cg = &a.ctx->callgraph();
   return a;
 }
 
@@ -36,7 +37,7 @@ TEST(LockSafe, DetectsAbbaInversion) {
     void path2(void) { spin_lock(&lb); spin_lock(&la); spin_unlock(&la); spin_unlock(&lb); }
   )";
   Analyzed a = Build(src);
-  LockSafe ls(&a.comp->prog, a.comp->sema.get(), a.cg.get());
+  LockSafe ls(&a.comp->prog, a.comp->sema.get(), a.cg);
   LockSafeReport r = ls.Run();
   ASSERT_EQ(r.deadlock_cycles.size(), 1u);
   EXPECT_EQ(r.deadlock_cycles[0].size(), 2u);
@@ -50,7 +51,7 @@ TEST(LockSafe, ConsistentOrderIsClean) {
     void path2(void) { spin_lock(&la); spin_unlock(&la); spin_lock(&lb); spin_unlock(&lb); }
   )";
   Analyzed a = Build(src);
-  LockSafe ls(&a.comp->prog, a.comp->sema.get(), a.cg.get());
+  LockSafe ls(&a.comp->prog, a.comp->sema.get(), a.cg);
   EXPECT_TRUE(ls.Run().deadlock_cycles.empty());
 }
 
@@ -62,7 +63,7 @@ TEST(LockSafe, IrqVsProcessInvariant) {
     void reader(void) { spin_lock(&stats); spin_unlock(&stats); }  // irqs on!
   )";
   Analyzed a = Build(src);
-  LockSafe ls(&a.comp->prog, a.comp->sema.get(), a.cg.get());
+  LockSafe ls(&a.comp->prog, a.comp->sema.get(), a.cg);
   LockSafeReport r = ls.Run();
   ASSERT_EQ(r.irq_unsafe_locks.size(), 1u);
   EXPECT_EQ(r.irq_unsafe_locks[0], "stats");
@@ -79,7 +80,7 @@ TEST(LockSafe, IrqsaveUsageIsSafe) {
     }
   )";
   Analyzed a = Build(src);
-  LockSafe ls(&a.comp->prog, a.comp->sema.get(), a.cg.get());
+  LockSafe ls(&a.comp->prog, a.comp->sema.get(), a.cg);
   EXPECT_TRUE(ls.Run().irq_unsafe_locks.empty());
 }
 
@@ -108,7 +109,7 @@ TEST(StackCheck, SumsDeepestChain) {
     void top(void) { mid(); }
   )";
   Analyzed a = Build(src);
-  StackCheck sc(a.cg.get(), &a.comp->module, 8192);
+  StackCheck sc(a.cg, &a.comp->module, 8192);
   StackCheckReport r = sc.Run({"top"});
   EXPECT_TRUE(r.fits_budget);
   // leaf=64, mid=128+pad, top has no locals: depth = frames summed.
@@ -122,7 +123,7 @@ TEST(StackCheck, BudgetExceededFlagged) {
     void top(void) { huge(); }
   )";
   Analyzed a = Build(src);
-  StackCheck sc(a.cg.get(), &a.comp->module, 8192);
+  StackCheck sc(a.cg, &a.comp->module, 8192);
   StackCheckReport r = sc.Run({"top"});
   EXPECT_FALSE(r.fits_budget);
   EXPECT_GT(r.worst_case, 8192);
@@ -134,7 +135,7 @@ TEST(StackCheck, RecursionNeedsRuntimeChecks) {
     int top(void) { return fact(5); }
   )";
   Analyzed a = Build(src);
-  StackCheck sc(a.cg.get(), &a.comp->module, 8192);
+  StackCheck sc(a.cg, &a.comp->module, 8192);
   StackCheckReport r = sc.Run({"top"});
   EXPECT_FALSE(r.fits_budget);
   EXPECT_EQ(r.recursive.count("fact"), 1u);
@@ -152,7 +153,7 @@ TEST(StackCheck, IndirectCallsIncluded) {
     }
   )";
   Analyzed a = Build(src);
-  StackCheck sc(a.cg.get(), &a.comp->module, 8192);
+  StackCheck sc(a.cg, &a.comp->module, 8192);
   StackCheckReport r = sc.Run({"top"});
   EXPECT_GE(r.entry_depths["top"], 800);
 }
@@ -163,7 +164,7 @@ TEST(ErrCheck, DiscardedResultFlagged) {
     void careless(void) { may_fail(); }
   )";
   Analyzed a = Build(src);
-  ErrCheck ec(&a.comp->prog, a.comp->sema.get(), a.cg.get());
+  ErrCheck ec(&a.comp->prog, a.comp->sema.get(), a.cg);
   ErrCheckReport r = ec.Run();
   ASSERT_EQ(r.findings.size(), 1u);
   EXPECT_EQ(r.findings[0].kind, "discarded");
@@ -180,7 +181,7 @@ TEST(ErrCheck, TestedResultIsClean) {
     }
   )";
   Analyzed a = Build(src);
-  ErrCheck ec(&a.comp->prog, a.comp->sema.get(), a.cg.get());
+  ErrCheck ec(&a.comp->prog, a.comp->sema.get(), a.cg);
   ErrCheckReport r = ec.Run();
   EXPECT_TRUE(r.findings.empty());
   EXPECT_EQ(r.checked_sites, 1);
@@ -195,7 +196,7 @@ TEST(ErrCheck, NeverTestedAssignmentFlagged) {
     }
   )";
   Analyzed a = Build(src);
-  ErrCheck ec(&a.comp->prog, a.comp->sema.get(), a.cg.get());
+  ErrCheck ec(&a.comp->prog, a.comp->sema.get(), a.cg);
   ErrCheckReport r = ec.Run();
   ASSERT_EQ(r.findings.size(), 1u);
   EXPECT_EQ(r.findings[0].kind, "never-tested");
@@ -209,7 +210,7 @@ TEST(ErrCheck, NegativeConstantReturnsInferred) {
     void uses(void) { lookup(5); }
   )";
   Analyzed a = Build(src);
-  ErrCheck ec(&a.comp->prog, a.comp->sema.get(), a.cg.get());
+  ErrCheck ec(&a.comp->prog, a.comp->sema.get(), a.cg);
   ErrCheckReport r = ec.Run();
   EXPECT_EQ(r.inferred_funcs, 1);
   EXPECT_EQ(r.findings.size(), 1u);
@@ -221,16 +222,15 @@ TEST(ErrCheck, PropagatedReturnIsHandled) {
     int forwards(void) { return may_fail(); }   // caller will check
   )";
   Analyzed a = Build(src);
-  ErrCheck ec(&a.comp->prog, a.comp->sema.get(), a.cg.get());
+  ErrCheck ec(&a.comp->prog, a.comp->sema.get(), a.cg);
   EXPECT_TRUE(ec.Run().findings.empty());
 }
 
 TEST(FutureAnalyses, CorpusFindsPlantedIssues) {
   auto comp = CompileKernel(ToolConfig{});
   ASSERT_TRUE(comp->ok);
-  PointsTo pt(&comp->prog, comp->sema.get(), true);
-  pt.Solve();
-  CallGraph cg = CallGraph::Build(comp->prog, *comp->sema, pt);
+  AnalysisContext ctx(comp.get(), /*field_sensitive=*/true);
+  const CallGraph& cg = ctx.callgraph();
 
   LockSafe ls(&comp->prog, comp->sema.get(), &cg);
   LockSafeReport lr = ls.Run();
@@ -246,6 +246,9 @@ TEST(FutureAnalyses, CorpusFindsPlantedIssues) {
   ErrCheckReport er = ec.Run();
   EXPECT_GT(er.err_returning_funcs, 10);
   EXPECT_GT(er.findings.size(), 5u);
+
+  // All three tools shared one call graph build.
+  EXPECT_EQ(ctx.callgraph_builds(), 1);
 }
 
 }  // namespace

@@ -4,12 +4,11 @@
 // assume, and the run-time halves back up the static halves.
 #include <gtest/gtest.h>
 
-#include "src/analysis/callgraph.h"
-#include "src/analysis/pointsto.h"
 #include "src/annodb/annodb.h"
 #include "src/blockstop/blockstop.h"
 #include "src/driver/compiler.h"
 #include "src/kernel/corpus.h"
+#include "src/tool/analysis_context.h"
 
 namespace ivy {
 namespace {
@@ -91,10 +90,8 @@ TEST(Integration, AllToolsOnOneDriver) {
 
   // Static: the ring_push fn-ptr resolves, and no blocking-in-atomic exists
   // (kmalloc(GFP_KERNEL) happens outside the lock).
-  PointsTo pt(&comp->prog, comp->sema.get(), true);
-  pt.Solve();
-  CallGraph cg = CallGraph::Build(comp->prog, *comp->sema, pt);
-  BlockStop bs(&comp->prog, comp->sema.get(), &cg);
+  AnalysisContext ctx(comp.get(), /*field_sensitive=*/true);
+  BlockStop bs(&comp->prog, comp->sema.get(), &ctx.callgraph());
   BlockStopReport report = bs.Run();
   EXPECT_TRUE(report.violations.empty());
   EXPECT_EQ(report.mayblock.count("ring_create"), 1u);  // GFP_KERNEL alloc
@@ -178,10 +175,8 @@ TEST(Integration, CorpusRunsUnderEveryToolCombination) {
 TEST(Integration, AnnoDbRoundTripOnCorpus) {
   auto comp = CompileKernel(ToolConfig{});
   ASSERT_TRUE(comp->ok);
-  PointsTo pt(&comp->prog, comp->sema.get(), false);
-  pt.Solve();
-  CallGraph cg = CallGraph::Build(comp->prog, *comp->sema, pt);
-  BlockStop bs(&comp->prog, comp->sema.get(), &cg);
+  AnalysisContext ctx(comp.get(), /*field_sensitive=*/false);
+  BlockStop bs(&comp->prog, comp->sema.get(), &ctx.callgraph());
   BlockStopReport report = bs.Run();
   AnnoDb db = AnnoDb::Extract(comp->prog, *comp->sema, comp->module, &report);
   EXPECT_GT(db.funcs().size(), 100u);
