@@ -30,6 +30,18 @@ CallGraph CallGraph::Build(const Program& /*prog*/, const Sema& sema, const Poin
   for (const FuncDecl* fn : cg.defined_) {
     cg.Walk(fn, fn->body, sema, pt);
   }
+  // Reverse edges, deduplicated, callers in DefinedFuncs() order (the outer
+  // loop order) so worklist consumers stay deterministic.
+  std::set<std::pair<const FuncDecl*, const FuncDecl*>> seen;
+  for (const FuncDecl* fn : cg.defined_) {
+    for (const CallSite& site : cg.SitesOf(fn)) {
+      for (const FuncDecl* callee : site.McCallees()) {
+        if (seen.insert({callee, fn}).second) {
+          cg.callers_[callee].push_back(fn);
+        }
+      }
+    }
+  }
   return cg;
 }
 
@@ -100,6 +112,11 @@ void CallGraph::Walk(const FuncDecl* caller, const Stmt* s, const Sema& sema,
 const std::vector<CallSite>& CallGraph::SitesOf(const FuncDecl* fn) const {
   auto it = sites_.find(fn);
   return it == sites_.end() ? empty_ : it->second;
+}
+
+const std::vector<const FuncDecl*>& CallGraph::CallersOf(const FuncDecl* fn) const {
+  auto it = callers_.find(fn);
+  return it == callers_.end() ? empty_funcs_ : it->second;
 }
 
 std::set<const FuncDecl*> CallGraph::Callees(const FuncDecl* fn) const {

@@ -43,6 +43,12 @@ class CallGraph {
   const std::vector<const FuncDecl*>& DefinedFuncs() const { return defined_; }
   // Unique Mini-C callees of `fn` (through any site).
   std::set<const FuncDecl*> Callees(const FuncDecl* fn) const;
+  // Reverse adjacency: every defined function with a site (direct or
+  // indirect, irq dispatch included) that may enter `fn`. Deterministic:
+  // callers appear in DefinedFuncs() order, each once. Worklist solvers
+  // (e.g. BlockStop's sharded may-block propagation) use this to rescan only
+  // the callers of functions whose facts changed last round.
+  const std::vector<const FuncDecl*>& CallersOf(const FuncDecl* fn) const;
   int64_t edge_count() const { return edges_; }
   int64_t indirect_site_count() const { return indirect_sites_; }
   // Total candidate count across indirect sites (precision metric, A2).
@@ -57,7 +63,9 @@ class CallGraph {
   void WalkExpr(const FuncDecl* caller, const Expr* e, const Sema& sema, const PointsTo& pt);
 
   std::map<const FuncDecl*, std::vector<CallSite>> sites_;
+  std::map<const FuncDecl*, std::vector<const FuncDecl*>> callers_;
   std::vector<const FuncDecl*> defined_;
+  std::vector<const FuncDecl*> empty_funcs_;
   std::set<const FuncDecl*> irq_entries_;
   int64_t edges_ = 0;
   int64_t indirect_sites_ = 0;

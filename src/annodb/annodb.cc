@@ -1,5 +1,8 @@
 #include "src/annodb/annodb.h"
 
+#include <set>
+#include <tuple>
+
 #include "src/ccount/layouts.h"
 #include "src/tool/analysis_context.h"
 #include "src/tool/pipeline.h"
@@ -186,7 +189,21 @@ int AnnoDb::Merge(const AnnoDb& other) {
     }
   }
   if (!other.findings_.empty()) {
-    findings_.insert(findings_.end(), other.findings_.begin(), other.findings_.end());
+    // Dedup keyed on (tool, loc, message) — the repository policy from the
+    // ROADMAP. Known consequence: location-free findings with identical
+    // messages (e.g. two modules' stackcheck overruns quoting the same
+    // byte count) coalesce into one record even when their witness chains
+    // differ; the repository keeps the first witness it saw.
+    using FindingKey = std::tuple<std::string, int32_t, int32_t, int32_t, std::string>;
+    std::set<FindingKey> seen;
+    for (const Finding& f : findings_) {
+      seen.insert({f.tool, f.loc.file, f.loc.line, f.loc.col, f.message});
+    }
+    for (const Finding& f : other.findings_) {
+      if (seen.insert({f.tool, f.loc.file, f.loc.line, f.loc.col, f.message}).second) {
+        findings_.push_back(f);
+      }
+    }
     // Imported findings carry file ids from a *foreign* compilation;
     // rendering them through this db's SourceManager would mislabel every
     // location. Fall back to raw triples for the whole merged set.

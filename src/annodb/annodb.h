@@ -67,8 +67,9 @@ class AnnoDb {
   static AnnoDb FromJson(const Json& j);
 
   // Merge: facts from `other` fill gaps in this database; conflicting
-  // boolean facts are OR-ed (conservative for blocking). Returns number of
-  // new entries added.
+  // boolean facts are OR-ed (conservative for blocking). Findings are
+  // deduplicated on (tool, loc, message), so re-merging the same export is
+  // idempotent. Returns number of new entries added.
   int Merge(const AnnoDb& other);
 
   // Applies stored blocking/errcode attributes to functions of `prog` that

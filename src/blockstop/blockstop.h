@@ -16,6 +16,17 @@
 //      assert_nonatomic() run-time check) are filtered out; sites whose
 //      report disappears purely due to that filter are the "false positives
 //      silenced by run-time checks" of the paper (15 in their kernel).
+//
+// Two execution strategies produce byte-identical reports:
+//   - Run(): the serial reference — Gauss-Seidel rescan rounds over every
+//     defined function.
+//   - Run(sharder, wq): the sharded kernels — may-block propagates along a
+//     caller worklist (CallGraph::CallersOf) in parallel Jacobi rounds, and
+//     the context fixpoint becomes a parallel BFS that evaluates each
+//     (function, entry-state) pair exactly once. Both fixpoints are
+//     monotone, so they converge to the same sets as the serial loop;
+//     witnesses are assigned from the *final* may-block set and every
+//     violation list is sorted by a total order, so the bytes match too.
 #ifndef SRC_BLOCKSTOP_BLOCKSTOP_H_
 #define SRC_BLOCKSTOP_BLOCKSTOP_H_
 
@@ -29,6 +40,9 @@
 #include "src/tool/finding.h"
 
 namespace ivy {
+
+class FunctionSharder;
+class WorkQueue;
 
 struct BlockingViolation {
   SourceLoc loc;
@@ -47,6 +61,7 @@ struct BlockStopReport {
   int64_t indirect_sites = 0;
   int64_t indirect_target_total = 0;
   int runtime_checks = 0;  // functions carrying assert_nonatomic (noblock)
+  int context_rounds = 0;  // fixpoint rounds the strategy needed
 
   std::string ToString() const;
 
@@ -59,7 +74,12 @@ class BlockStop {
  public:
   BlockStop(const Program* prog, const Sema* sema, const CallGraph* cg);
 
+  // Serial reference implementation.
   BlockStopReport Run();
+
+  // Sharded kernels over `sharder` (which must partition this call graph's
+  // DefinedFuncs()) driven by `wq`. Byte-identical findings to Run().
+  BlockStopReport Run(const FunctionSharder& sharder, WorkQueue& wq);
 
   // True if `fn` may (transitively) block. Valid after Run().
   bool MayBlock(const FuncDecl* fn) const { return mayblock_.count(fn) != 0; }
@@ -75,10 +95,36 @@ class BlockStop {
     }
   };
 
+  // Everything evaluating one (function, entry-state) pair yields: context
+  // bits for Mini-C callees plus the violation candidates at atomic sites.
+  // Pure given the frozen may-block set, so serial rounds, sharded rounds
+  // and the BFS all agree per pair.
+  struct EntryEffects {
+    std::vector<std::pair<const FuncDecl*, uint8_t>> callee_bits;
+    std::vector<std::pair<const Expr*, BlockingViolation>> reported;
+    std::vector<std::pair<const Expr*, BlockingViolation>> silenced;
+  };
+  EntryEffects EvaluateEntry(const FuncDecl* fn, uint8_t entry_bit) const;
+
   // True if a call to `callee` with argument exprs `args` may block.
   bool CallMayBlock(const FuncDecl* callee, const std::vector<Expr*>& args,
                     const FuncDecl* caller) const;
-  void ComputeMayBlock();
+  // First blocking cause of `fn` under the current may-block set (site
+  // order), or nullptr. The shared predicate behind both propagation loops.
+  const FuncDecl* BlockingCauseOf(const FuncDecl* fn) const;
+  // The witness string for one may-block function under the *final* set —
+  // the single definition both the serial and sharded witness passes use,
+  // so wording changes cannot split the byte-identical contract.
+  std::string WitnessOf(const FuncDecl* fn) const;
+  void ComputeMayBlock();                                              // serial
+  void ComputeMayBlockSharded(const FunctionSharder& s, WorkQueue& wq);  // worklist
+  // Witnesses derived from the *final* may-block set: first cause in site
+  // order. Strategy-independent by construction.
+  void AssignWitnesses();
+  BlockStopReport ReportShell() const;
+  void FinishReport(BlockStopReport* report,
+                    std::map<const Expr*, BlockingViolation> reported,
+                    std::map<const Expr*, BlockingViolation> silenced) const;
   const CallSite* SiteFor(const Expr* e) const;
   void WalkExpr(const FuncDecl* fn, const Expr* e, IrqState* st, uint8_t entry_irq,
                 std::vector<std::pair<const Expr*, IrqState>>* out) const;

@@ -1,72 +1,243 @@
 #include "src/stackcheck/stackcheck.h"
 
+#include <algorithm>
+
+#include "src/tool/function_sharder.h"
+
 namespace ivy {
 
 StackCheck::StackCheck(const CallGraph* cg, const IrModule* module, int64_t budget)
     : cg_(cg), module_(module), budget_(budget) {}
 
-int64_t StackCheck::DepthOf(const FuncDecl* fn, std::set<const FuncDecl*>* on_path,
-                            std::set<std::string>* recursive) {
-  auto memo = memo_.find(fn);
-  if (memo != memo_.end()) {
-    return memo->second;
+void StackCheck::Prepare() {
+  if (prepared_) {
+    return;
   }
-  if (on_path->count(fn) != 0) {
-    // Recursion: unbounded statically; the whole cycle needs run-time checks.
-    recursive->insert(fn->name);
-    return 0;
+  prepared_ = true;
+  const std::vector<const FuncDecl*>& funcs = cg_->DefinedFuncs();
+  const int n = static_cast<int>(funcs.size());
+  for (int i = 0; i < n; ++i) {
+    func_index_[funcs[i]] = i;
   }
-  int64_t frame = 0;
-  if (fn->func_id >= 0 && static_cast<size_t>(fn->func_id) < module_->funcs.size()) {
-    frame = module_->funcs[static_cast<size_t>(fn->func_id)].frame_size;
-  }
-  on_path->insert(fn);
-  int64_t deepest = 0;
-  for (const CallSite& site : cg_->SitesOf(fn)) {
-    for (const FuncDecl* callee : site.McCallees()) {
-      int64_t d = DepthOf(callee, on_path, recursive);
-      if (d > deepest) {
-        deepest = d;
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+  std::vector<uint8_t> self_loop(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    for (const CallSite& site : cg_->SitesOf(funcs[static_cast<size_t>(i)])) {
+      for (const FuncDecl* callee : site.McCallees()) {
+        auto it = func_index_.find(callee);
+        if (it == func_index_.end()) {
+          continue;  // declared-only callee: no body, no frame
+        }
+        if (it->second == i) {
+          self_loop[static_cast<size_t>(i)] = 1;
+        }
+        adj[static_cast<size_t>(i)].push_back(it->second);
       }
     }
   }
-  on_path->erase(fn);
-  int64_t total = frame + deepest;
-  if (recursive->count(fn->name) == 0) {
-    memo_[fn] = total;
+
+  // Iterative Tarjan in DefinedFuncs() order: SCC ids and member lists come
+  // out the same no matter who asks, which is the root of the sharding
+  // determinism contract.
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> low(static_cast<size_t>(n), 0);
+  std::vector<uint8_t> on_stack(static_cast<size_t>(n), 0);
+  std::vector<int> stack;
+  scc_of_.assign(static_cast<size_t>(n), -1);
+  int next_index = 0;
+  struct Frame {
+    int v;
+    size_t edge;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<size_t>(root)] != -1) {
+      continue;
+    }
+    std::vector<Frame> dfs;
+    dfs.push_back({root, 0});
+    index[static_cast<size_t>(root)] = low[static_cast<size_t>(root)] = next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<size_t>(root)] = 1;
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const std::vector<int>& edges = adj[static_cast<size_t>(f.v)];
+      if (f.edge < edges.size()) {
+        int w = edges[f.edge++];
+        if (index[static_cast<size_t>(w)] == -1) {
+          index[static_cast<size_t>(w)] = low[static_cast<size_t>(w)] = next_index++;
+          stack.push_back(w);
+          on_stack[static_cast<size_t>(w)] = 1;
+          dfs.push_back({w, 0});
+        } else if (on_stack[static_cast<size_t>(w)]) {
+          low[static_cast<size_t>(f.v)] =
+              std::min(low[static_cast<size_t>(f.v)], index[static_cast<size_t>(w)]);
+        }
+      } else {
+        if (low[static_cast<size_t>(f.v)] == index[static_cast<size_t>(f.v)]) {
+          int scc = static_cast<int>(scc_members_.size());
+          scc_members_.emplace_back();
+          int w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<size_t>(w)] = 0;
+            scc_of_[static_cast<size_t>(w)] = scc;
+            scc_members_.back().push_back(w);
+          } while (w != f.v);
+          std::sort(scc_members_.back().begin(), scc_members_.back().end());
+        }
+        int v = f.v;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          low[static_cast<size_t>(dfs.back().v)] =
+              std::min(low[static_cast<size_t>(dfs.back().v)], low[static_cast<size_t>(v)]);
+        }
+      }
+    }
   }
-  return total;
+
+  const size_t scc_count = scc_members_.size();
+  scc_weight_.assign(scc_count, 0);
+  scc_cyclic_.assign(scc_count, 0);
+  scc_succs_.assign(scc_count, {});
+  for (size_t s = 0; s < scc_count; ++s) {
+    for (int v : scc_members_[s]) {
+      const FuncDecl* fn = funcs[static_cast<size_t>(v)];
+      int64_t frame = 0;
+      if (fn->func_id >= 0 && static_cast<size_t>(fn->func_id) < module_->funcs.size()) {
+        frame = module_->funcs[static_cast<size_t>(fn->func_id)].frame_size;
+      }
+      scc_weight_[s] += frame;
+      if (self_loop[static_cast<size_t>(v)]) {
+        scc_cyclic_[s] = 1;
+      }
+    }
+    if (scc_members_[s].size() > 1) {
+      scc_cyclic_[s] = 1;
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    for (int w : adj[static_cast<size_t>(v)]) {
+      int sv = scc_of_[static_cast<size_t>(v)];
+      int sw = scc_of_[static_cast<size_t>(w)];
+      if (sv != sw) {
+        scc_succs_[static_cast<size_t>(sv)].push_back(sw);
+      }
+    }
+  }
+  for (std::vector<int>& succs : scc_succs_) {
+    std::sort(succs.begin(), succs.end());
+    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+  }
 }
 
-StackCheckReport StackCheck::Run(const std::vector<std::string>& entries) {
-  StackCheckReport report;
-  report.budget = budget_;
+int64_t StackCheck::DepthOfScc(int scc, std::vector<int64_t>* memo) const {
+  int64_t& slot = (*memo)[static_cast<size_t>(scc)];
+  if (slot >= 0) {
+    return slot;
+  }
+  int64_t deepest = 0;
+  for (int succ : scc_succs_[static_cast<size_t>(scc)]) {
+    deepest = std::max(deepest, DepthOfScc(succ, memo));
+  }
+  slot = scc_weight_[static_cast<size_t>(scc)] + deepest;
+  return slot;
+}
+
+std::vector<const FuncDecl*> StackCheck::ResolveRoots(
+    const std::vector<std::string>& entries) const {
+  if (entries.empty()) {
+    return cg_->DefinedFuncs();
+  }
   std::map<std::string, const FuncDecl*> by_name;
   for (const FuncDecl* fn : cg_->DefinedFuncs()) {
     by_name[fn->name] = fn;
   }
   std::vector<const FuncDecl*> roots;
-  if (entries.empty()) {
-    roots = cg_->DefinedFuncs();
-  } else {
-    for (const std::string& name : entries) {
-      auto it = by_name.find(name);
-      if (it != by_name.end()) {
-        roots.push_back(it->second);
-      }
+  for (const std::string& name : entries) {
+    auto it = by_name.find(name);
+    if (it != by_name.end()) {
+      roots.push_back(it->second);
     }
   }
-  for (const FuncDecl* fn : roots) {
-    std::set<const FuncDecl*> on_path;
-    int64_t depth = DepthOf(fn, &on_path, &report.recursive);
-    report.entry_depths[fn->name] = depth;
-    if (depth > report.worst_case) {
-      report.worst_case = depth;
-      report.worst_entry = fn->name;
+  return roots;
+}
+
+StackCheckReport StackCheck::Reduce(const std::vector<const FuncDecl*>& roots,
+                                    const std::vector<int64_t>& root_depths) const {
+  StackCheckReport report;
+  report.budget = budget_;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    report.entry_depths[roots[i]->name] = root_depths[i];
+    if (root_depths[i] > report.worst_case) {
+      report.worst_case = root_depths[i];
+      report.worst_entry = roots[i]->name;
+    }
+  }
+  // Recursive functions: members of cyclic SCCs reachable from any root.
+  std::vector<uint8_t> seen(scc_members_.size(), 0);
+  std::vector<int> worklist;
+  for (const FuncDecl* root : roots) {
+    auto it = func_index_.find(root);
+    if (it == func_index_.end()) {
+      continue;
+    }
+    int s = scc_of_[static_cast<size_t>(it->second)];
+    if (!seen[static_cast<size_t>(s)]) {
+      seen[static_cast<size_t>(s)] = 1;
+      worklist.push_back(s);
+    }
+  }
+  while (!worklist.empty()) {
+    int s = worklist.back();
+    worklist.pop_back();
+    if (scc_cyclic_[static_cast<size_t>(s)]) {
+      for (int v : scc_members_[static_cast<size_t>(s)]) {
+        report.recursive.insert(cg_->DefinedFuncs()[static_cast<size_t>(v)]->name);
+      }
+    }
+    for (int succ : scc_succs_[static_cast<size_t>(s)]) {
+      if (!seen[static_cast<size_t>(succ)]) {
+        seen[static_cast<size_t>(succ)] = 1;
+        worklist.push_back(succ);
+      }
     }
   }
   report.fits_budget = report.worst_case <= budget_ && report.recursive.empty();
   return report;
+}
+
+StackCheckReport StackCheck::Run(const std::vector<std::string>& entries) {
+  Prepare();
+  std::vector<const FuncDecl*> roots = ResolveRoots(entries);
+  std::vector<int64_t> memo(scc_members_.size(), -1);
+  std::vector<int64_t> depths;
+  depths.reserve(roots.size());
+  for (const FuncDecl* root : roots) {
+    int idx = func_index_.at(root);
+    depths.push_back(DepthOfScc(scc_of_[static_cast<size_t>(idx)], &memo));
+  }
+  return Reduce(roots, depths);
+}
+
+StackCheckReport StackCheck::Run(const std::vector<std::string>& entries,
+                                 const FunctionSharder& sharder, WorkQueue& wq) {
+  Prepare();
+  std::vector<const FuncDecl*> roots = ResolveRoots(entries);
+  std::vector<int64_t> depths(roots.size(), 0);
+  sharder.ParallelChunks(wq, roots.size(),
+                         [this, &roots, &depths](int, size_t begin, size_t end) {
+                           // Private memo per shard: recomputation across
+                           // shards is possible, divergence is not — DAG
+                           // depths are pure.
+                           std::vector<int64_t> memo(scc_members_.size(), -1);
+                           for (size_t i = begin; i < end; ++i) {
+                             int idx = func_index_.at(roots[i]);
+                             depths[i] =
+                                 DepthOfScc(scc_of_[static_cast<size_t>(idx)], &memo);
+                           }
+                         });
+  return Reduce(roots, depths);
 }
 
 std::string StackCheckReport::ToString() const {

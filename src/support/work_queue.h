@@ -1,0 +1,194 @@
+// A fixed-size thread pool with per-worker deques and work stealing — the
+// substrate under the per-function sharding layer (src/tool/function_sharder.h).
+//
+// Scope note: one mutex guards all deques. Stealing here buys scheduling
+// (idle workers drain the busiest sibling's oldest tasks, own tasks run
+// newest-first for locality), not lock-free throughput — shard-granularity
+// tasks are far too coarse for the lock to contend. If tasks ever become
+// fine-grained, split the lock per deque before anything else.
+//
+// Determinism contract: WorkQueue never decides *what* a computation produces,
+// only *when* it runs. Kernels built on it must write into pre-partitioned,
+// index-addressed slots (one per shard) and reduce in shard order after
+// Wait() — then the merged result is byte-identical no matter how tasks
+// interleave. Exceptions follow the same rule: if several tasks throw, Wait()
+// rethrows the one with the lowest submission index, so a failing parallel
+// run reports the same error the equivalent serial loop would have hit first.
+//
+// Shutdown is clean by construction: the destructor (or Shutdown()) stops the
+// workers after their current task, discards still-queued tasks, and joins —
+// destroying a busy queue never deadlocks and never runs tasks on a
+// half-destroyed object.
+#ifndef SRC_SUPPORT_WORK_QUEUE_H_
+#define SRC_SUPPORT_WORK_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ivy {
+
+class WorkQueue {
+ public:
+  // `threads` == 0 means std::thread::hardware_concurrency() (min 1).
+  explicit WorkQueue(int threads = 0) {
+    int n = threads > 0 ? threads : ResolveHardware();
+    workers_.reserve(static_cast<size_t>(n));
+    queues_ = std::vector<Deque>(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  ~WorkQueue() { Shutdown(); }
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  static int ResolveHardware() {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+  // Enqueues one task. Tasks may themselves Submit (the pool never blocks a
+  // worker on the caller), but must not call Wait() from inside a task.
+  // After Shutdown() the task is discarded — there are no workers left to
+  // run it, and counting it would wedge a later Wait() forever.
+  void Submit(std::function<void()> task) {
+    uint64_t seq;
+    size_t home;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) {
+        return;
+      }
+      seq = next_seq_++;
+      ++pending_;
+      home = static_cast<size_t>(seq) % queues_.size();
+      queues_[home].tasks.push_back(Task{std::move(task), seq});
+    }
+    cv_work_.notify_one();
+  }
+
+  // Blocks until every submitted task has finished. If any task threw, the
+  // exception with the lowest submission index is rethrown (once); the queue
+  // stays usable for further Submit/Wait cycles.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [this] { return pending_ == 0; });
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      first_error_seq_ = UINT64_MAX;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+
+  // Stops the workers after their in-flight task, discards everything still
+  // queued, and joins. Idempotent; called by the destructor.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) {
+        return;
+      }
+      stopped_ = true;
+      // Discarded tasks still count as "done" so a racing Wait() cannot hang.
+      for (Deque& q : queues_) {
+        pending_ -= q.tasks.size();
+        q.tasks.clear();
+      }
+    }
+    cv_work_.notify_all();
+    cv_idle_.notify_all();
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+    workers_.clear();
+  }
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    uint64_t seq = 0;
+  };
+  struct Deque {
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(int self) {
+    const size_t me = static_cast<size_t>(self);
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      Task task;
+      bool have = false;
+      // Own deque first (back = most recently submitted here, cache-warm)...
+      if (!queues_[me].tasks.empty()) {
+        task = std::move(queues_[me].tasks.back());
+        queues_[me].tasks.pop_back();
+        have = true;
+      } else {
+        // ...then steal the oldest task from the busiest sibling.
+        size_t victim = queues_.size();
+        size_t best = 0;
+        for (size_t i = 0; i < queues_.size(); ++i) {
+          if (i != me && queues_[i].tasks.size() > best) {
+            best = queues_[i].tasks.size();
+            victim = i;
+          }
+        }
+        if (victim != queues_.size()) {
+          task = std::move(queues_[victim].tasks.front());
+          queues_[victim].tasks.pop_front();
+          have = true;
+        }
+      }
+      if (have) {
+        lock.unlock();
+        std::exception_ptr err;
+        try {
+          task.fn();
+        } catch (...) {
+          err = std::current_exception();
+        }
+        lock.lock();
+        if (err && task.seq < first_error_seq_) {
+          first_error_seq_ = task.seq;
+          first_error_ = err;
+        }
+        if (--pending_ == 0) {
+          cv_idle_.notify_all();
+        }
+        continue;
+      }
+      if (stopped_) {
+        return;
+      }
+      cv_work_.wait(lock);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::vector<Deque> queues_;
+  std::vector<std::thread> workers_;
+  size_t pending_ = 0;
+  uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  std::exception_ptr first_error_;
+  uint64_t first_error_seq_ = UINT64_MAX;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_SUPPORT_WORK_QUEUE_H_

@@ -17,12 +17,22 @@
 #include "src/locksafe/locksafe.h"
 #include "src/stackcheck/stackcheck.h"
 #include "src/tool/analysis_context.h"
+#include "src/tool/function_sharder.h"
 #include "src/tool/registry.h"
 #include "src/vm/heap.h"
 #include "src/vm/vm.h"
 
 namespace ivy {
 namespace {
+
+// The "shards" option (injected pipeline-wide by PipelineBuilder::
+// ShardFunctions, overridable per tool): 1 = serial reference kernels,
+// 0 = hardware concurrency, n = that many shards. Findings are byte-
+// identical for every value; only wall-clock changes.
+int ShardsFromOptions(const ToolOptions& options) {
+  int64_t shards = options.GetInt("shards", 1);
+  return shards < 0 ? 1 : static_cast<int>(shards);
+}
 
 // --------------------------------------------------------------------------
 // deputy: type-safety checks + static discharge (§2.1). The work happened at
@@ -125,8 +135,18 @@ class BlockStopPass : public ToolPass {
   ToolResult Run(AnalysisContext& ctx) override {
     const CallGraph& cg = ctx.callgraph();
     BlockStop bs(&ctx.prog(), &ctx.sema(), &cg);
-    BlockStopReport report = bs.Run();
+    int shards = ShardsFromOptions(options());
+    BlockStopReport report;
+    if (shards == 1) {
+      report = bs.Run();
+    } else {
+      FunctionSharder sharder(cg.DefinedFuncs(), shards);
+      WorkQueue wq(sharder.worker_count());
+      report = bs.Run(sharder, wq);
+      shards = sharder.shard_count();
+    }
     ToolResult r(name());
+    r.SetMetric("shards", shards);
     for (Finding& f : report.ToFindings()) {
       r.AddFinding(std::move(f));
     }
@@ -138,6 +158,9 @@ class BlockStopPass : public ToolPass {
     r.SetMetric("violations", static_cast<int64_t>(report.violations.size()));
     r.SetMetric("silenced", static_cast<int64_t>(report.silenced.size()));
     r.SetMetric("runtime_checks", report.runtime_checks);
+    // Strategy-dependent observability (rounds differ between the serial
+    // rescan loop and the sharded BFS); findings never depend on it.
+    r.SetMetric("context_rounds", report.context_rounds);
     r.set_summary(report.ToString());
     r.SetDetail(std::move(report));
     return r;
@@ -217,8 +240,18 @@ class StackCheckPass : public ToolPass {
       }
     }
     StackCheck sc(&cg, &ctx.module(), budget);
-    StackCheckReport report = sc.Run(entries);
+    int shards = ShardsFromOptions(options());
+    StackCheckReport report;
+    if (shards == 1) {
+      report = sc.Run(entries);
+    } else {
+      FunctionSharder sharder(cg.DefinedFuncs(), shards);
+      WorkQueue wq(sharder.worker_count());
+      report = sc.Run(entries, sharder, wq);
+      shards = sharder.shard_count();
+    }
     ToolResult r(name());
+    r.SetMetric("shards", shards);
     for (Finding& f : report.ToFindings()) {
       r.AddFinding(std::move(f));
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <set>
 
 #include "src/kernel/prelude.h"
 #include "src/mc/lexer.h"
@@ -147,10 +148,12 @@ std::unique_ptr<AnalysisContext> Pipeline::MakeContext(Compilation* comp) const 
 namespace {
 
 // Instantiates + configures the requested passes. Unknown names produce an
-// error finding instead of a pass.
+// error finding instead of a pass. The pipeline-wide shard count reaches
+// every pass as the "shards" option unless the tool's own option bag
+// already set one.
 std::vector<std::unique_ptr<ToolPass>> MakePasses(
     const std::vector<std::string>& tools,
-    const std::map<std::string, ToolOptions>& options,
+    const std::map<std::string, ToolOptions>& options, int shards,
     std::vector<Finding>* errors) {
   std::vector<std::unique_ptr<ToolPass>> passes;
   for (const std::string& name : tools) {
@@ -163,13 +166,100 @@ std::vector<std::unique_ptr<ToolPass>> MakePasses(
       errors->push_back(std::move(f));
       continue;
     }
+    ToolOptions opts;
     auto it = options.find(name);
     if (it != options.end()) {
-      pass->Configure(it->second);
+      opts = it->second;
     }
+    if (!opts.Has("shards")) {
+      opts.SetInt("shards", shards);
+    }
+    pass->Configure(std::move(opts));
     passes.push_back(std::move(pass));
   }
   return passes;
+}
+
+// True if pass `start` can reach itself through RunAfter() edges restricted
+// to the unscheduled set — i.e. it is ON a cycle rather than merely
+// downstream of one. O(m^2) worst case over a handful of passes.
+bool OnDependencyCycle(const std::vector<std::unique_ptr<ToolPass>>& passes,
+                       const std::set<size_t>& stuck, size_t start) {
+  std::map<std::string, size_t> pos;
+  for (size_t i : stuck) {
+    pos[passes[i]->name()] = i;
+  }
+  std::vector<size_t> worklist = {start};
+  std::set<size_t> seen;
+  while (!worklist.empty()) {
+    size_t i = worklist.back();
+    worklist.pop_back();
+    for (const std::string& dep : passes[i]->RunAfter()) {
+      auto it = pos.find(dep);
+      if (it == pos.end() || it->second == i) {
+        continue;
+      }
+      if (it->second == start) {
+        return true;
+      }
+      if (seen.insert(it->second).second) {
+        worklist.push_back(it->second);
+      }
+    }
+  }
+  return false;
+}
+
+// Topological waves over the RunAfter() pass-dependency edges (Kahn's
+// algorithm, stable in request order). Passes left unscheduled sit on — or
+// behind — a dependency cycle; they are returned through `cyclic` so the
+// pipeline can report them as errors instead of spinning forever.
+std::vector<std::vector<size_t>> ScheduleWaves(
+    const std::vector<std::unique_ptr<ToolPass>>& passes, std::vector<size_t>* cyclic) {
+  const size_t m = passes.size();
+  std::map<std::string, size_t> pos;
+  for (size_t i = 0; i < m; ++i) {
+    pos[passes[i]->name()] = i;
+  }
+  std::vector<std::vector<size_t>> succ(m);
+  std::vector<int> indegree(m, 0);
+  for (size_t i = 0; i < m; ++i) {
+    for (const std::string& dep : passes[i]->RunAfter()) {
+      auto it = pos.find(dep);
+      if (it != pos.end() && it->second != i) {
+        succ[it->second].push_back(i);
+        ++indegree[i];
+      }
+    }
+  }
+  std::vector<std::vector<size_t>> waves;
+  std::vector<char> scheduled(m, 0);
+  std::vector<size_t> ready;
+  for (size_t i = 0; i < m; ++i) {
+    if (indegree[i] == 0) {
+      ready.push_back(i);
+    }
+  }
+  while (!ready.empty()) {
+    std::vector<size_t> next;
+    for (size_t i : ready) {
+      scheduled[i] = 1;
+      for (size_t s : succ[i]) {
+        if (--indegree[s] == 0) {
+          next.push_back(s);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    waves.push_back(std::move(ready));
+    ready = std::move(next);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (!scheduled[i]) {
+      cyclic->push_back(i);
+    }
+  }
+  return waves;
 }
 
 // The union of every pass's Requires(), reduced to the strongest form
@@ -197,7 +287,7 @@ PipelineResult Pipeline::RunTools(AnalysisContext& ctx) const {
 
   std::vector<Finding> config_errors;
   std::vector<std::unique_ptr<ToolPass>> passes =
-      MakePasses(tools_, options_, &config_errors);
+      MakePasses(tools_, options_, shards_, &config_errors);
 
   // Warm the shared cache serially so parallel passes only ever read it.
   bool need_pt = false;
@@ -209,23 +299,62 @@ PipelineResult Pipeline::RunTools(AnalysisContext& ctx) const {
     ctx.pointsto();
   }
 
+  // Pass-level RunAfter() dependencies schedule in topological waves; a
+  // cycle is a configuration error. Every unscheduled pass is skipped (its
+  // result slot stays an empty ToolResult so merge order is undisturbed),
+  // but the report distinguishes actual cycle members from healthy passes
+  // that merely depend on one.
+  std::vector<size_t> unscheduled;
+  std::vector<std::vector<size_t>> waves = ScheduleWaves(passes, &unscheduled);
   std::vector<ToolResult> results(passes.size());
-  if (parallel_ && passes.size() > 1) {
-    std::vector<std::future<ToolResult>> futures;
-    futures.reserve(passes.size());
-    for (auto& pass : passes) {
-      ToolPass* p = pass.get();
-      futures.push_back(
-          std::async(std::launch::async, [p, &ctx] { return p->Run(ctx); }));
+  if (!unscheduled.empty()) {
+    std::set<size_t> stuck(unscheduled.begin(), unscheduled.end());
+    std::vector<size_t> on_cycle;
+    std::vector<size_t> blocked;
+    for (size_t i : unscheduled) {
+      if (OnDependencyCycle(passes, stuck, i)) {
+        on_cycle.push_back(i);
+      } else {
+        blocked.push_back(i);
+      }
+      results[i] = ToolResult(passes[i]->name());
     }
-    // Gathering by index keeps the merge order equal to the request order no
-    // matter which pass finished first.
-    for (size_t i = 0; i < futures.size(); ++i) {
-      results[i] = futures[i].get();
+    Finding f;
+    f.tool = "pipeline";
+    f.severity = FindingSeverity::kError;
+    f.message = "tool dependency cycle involving";
+    for (size_t k = 0; k < on_cycle.size(); ++k) {
+      f.message += (k == 0 ? " '" : ", '") + passes[on_cycle[k]]->name() + "'";
+      f.witness.push_back(passes[on_cycle[k]]->name());
     }
-  } else {
-    for (size_t i = 0; i < passes.size(); ++i) {
-      results[i] = passes[i]->Run(ctx);
+    config_errors.push_back(std::move(f));
+    for (size_t i : blocked) {
+      Finding skip;
+      skip.tool = "pipeline";
+      skip.severity = FindingSeverity::kError;
+      skip.message = "tool '" + passes[i]->name() + "' not run: it depends on a cyclic tool";
+      skip.witness.push_back(passes[i]->name());
+      config_errors.push_back(std::move(skip));
+    }
+  }
+  for (const std::vector<size_t>& wave : waves) {
+    if (parallel_ && wave.size() > 1) {
+      std::vector<std::future<ToolResult>> futures;
+      futures.reserve(wave.size());
+      for (size_t i : wave) {
+        ToolPass* p = passes[i].get();
+        futures.push_back(
+            std::async(std::launch::async, [p, &ctx] { return p->Run(ctx); }));
+      }
+      // Gathering by index keeps the merge order equal to the request order
+      // no matter which pass finished first.
+      for (size_t k = 0; k < wave.size(); ++k) {
+        results[wave[k]] = futures[k].get();
+      }
+    } else {
+      for (size_t i : wave) {
+        results[i] = passes[i]->Run(ctx);
+      }
     }
   }
 
@@ -253,7 +382,8 @@ PipelineRun Pipeline::CompileAndRun(const std::vector<SourceFile>& files) const 
 std::vector<std::string> Pipeline::Plan() const {
   std::vector<std::string> plan;
   std::vector<Finding> ignored;
-  std::vector<std::unique_ptr<ToolPass>> passes = MakePasses(tools_, options_, &ignored);
+  std::vector<std::unique_ptr<ToolPass>> passes =
+      MakePasses(tools_, options_, shards_, &ignored);
   bool need_pt = false;
   bool need_cg = false;
   RequiredAnalyses(passes, &need_pt, &need_cg);
@@ -301,6 +431,11 @@ PipelineBuilder& PipelineBuilder::Parallel(bool on) {
 
 PipelineBuilder& PipelineBuilder::FieldSensitive(bool on) {
   pipeline_.field_sensitive_ = on;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::ShardFunctions(int n) {
+  pipeline_.shards_ = n < 0 ? 1 : n;
   return *this;
 }
 

@@ -75,6 +75,7 @@ class Pipeline {
   const std::vector<std::string>& tools() const { return tools_; }
   bool parallel() const { return parallel_; }
   bool field_sensitive() const { return field_sensitive_; }
+  int shard_functions() const { return shards_; }
 
  private:
   friend class PipelineBuilder;
@@ -84,6 +85,7 @@ class Pipeline {
   std::map<std::string, ToolOptions> options_;
   bool parallel_ = true;
   bool field_sensitive_ = true;
+  int shards_ = 1;                    // per-function shards (0 = hardware)
 };
 
 class PipelineBuilder {
@@ -97,6 +99,15 @@ class PipelineBuilder {
 
   PipelineBuilder& Parallel(bool on);
   PipelineBuilder& FieldSensitive(bool on);
+
+  // Per-function sharding inside the passes that support it (blockstop,
+  // stackcheck): split the intra-pass fixpoints over `n` shards driven by a
+  // work queue. `n == 0` means hardware concurrency, `n == 1` (the default)
+  // keeps the serial reference kernels. Findings are byte-identical for any
+  // value — the sharding layer merges in function-declaration order. Reaches
+  // the passes as the "shards" ToolOptions key; a per-tool option set
+  // explicitly via Tool(name, opts) wins over this pipeline-wide value.
+  PipelineBuilder& ShardFunctions(int n);
 
   // Frontend / VM knobs (the surviving ToolConfig fields).
   PipelineBuilder& Deputy(bool on);

@@ -13,8 +13,8 @@ ToolRegistry& ToolRegistry::Instance() {
   return *registry;
 }
 
-void ToolRegistry::Register(const std::string& name, Factory factory) {
-  factories_[name] = std::move(factory);
+bool ToolRegistry::Register(const std::string& name, Factory factory) {
+  return factories_.emplace(name, std::move(factory)).second;
 }
 
 std::unique_ptr<ToolPass> ToolRegistry::Create(const std::string& name) const {

@@ -21,8 +21,10 @@ class ToolRegistry {
 
   static ToolRegistry& Instance();
 
-  // Last registration for a name wins (lets tests shadow a builtin).
-  void Register(const std::string& name, Factory factory);
+  // First registration for a name wins: a duplicate is rejected (returns
+  // false, keeps the original factory) instead of silently replacing a tool
+  // other pipelines may already reference by name.
+  bool Register(const std::string& name, Factory factory);
 
   // Fresh pass instance, or nullptr for an unknown tool.
   std::unique_ptr<ToolPass> Create(const std::string& name) const;

@@ -67,6 +67,13 @@ class ToolPass {
   // Shared analyses this pass consumes; drives scheduling order.
   virtual std::vector<AnalysisKind> Requires() const { return {}; }
 
+  // Pass-level ordering: names of passes that must finish before this one
+  // runs (e.g. a summarizer consuming another pass's findings). Names absent
+  // from the current pipeline are ignored. The scheduler topologically sorts
+  // these edges; a cycle is reported as a pipeline error finding and the
+  // cyclic passes are skipped — never a hang.
+  virtual std::vector<std::string> RunAfter() const { return {}; }
+
   virtual ToolResult Run(AnalysisContext& ctx) = 0;
 
   // Called by the pipeline before Run with the tool's option bag.

@@ -5,6 +5,7 @@
 #include "src/driver/compiler.h"
 #include "src/support/json.h"
 #include "src/tool/analysis_context.h"
+#include "src/tool/pipeline.h"
 
 namespace ivy {
 namespace {
@@ -110,6 +111,53 @@ TEST(AnnoDb, MergeFillsGapsAndUnionsFacts) {
   int added = da.Merge(dbb);
   EXPECT_EQ(added, 1);                       // g is new
   EXPECT_TRUE(da.funcs().at("f").blocking);  // blocking OR-ed conservatively
+}
+
+TEST(AnnoDb, MergeDeduplicatesFindings) {
+  auto make_finding = [](const std::string& tool, int32_t line, const std::string& msg) {
+    Finding f;
+    f.tool = tool;
+    f.severity = FindingSeverity::kWarning;
+    f.loc = SourceLoc{0, line, 4};
+    f.message = msg;
+    return f;
+  };
+  AnnoDb a;
+  a.SetFindings({make_finding("blockstop", 10, "call may block"),
+                 make_finding("errcheck", 20, "discarded error")});
+  AnnoDb b;
+  b.SetFindings({make_finding("blockstop", 10, "call may block"),   // dup of a[0]
+                 make_finding("blockstop", 10, "different message"),  // same loc, new msg
+                 make_finding("stackcheck", 0, "budget exceeded")});
+  a.Merge(b);
+  ASSERT_EQ(a.findings().size(), 4u);  // 2 + 2 new, 1 dup dropped
+  EXPECT_EQ(a.findings()[2].message, "different message");
+  EXPECT_EQ(a.findings()[3].tool, "stackcheck");
+
+  // Round trip, then re-merge the same database: idempotent.
+  std::string err;
+  AnnoDb back = AnnoDb::FromJson(Json::Parse(a.ToJson().Dump(), &err));
+  EXPECT_TRUE(err.empty()) << err;
+  ASSERT_EQ(back.findings().size(), 4u);
+  back.Merge(a);
+  EXPECT_EQ(back.findings().size(), 4u) << "re-merging the same export must not duplicate";
+  back.Merge(b);
+  EXPECT_EQ(back.findings().size(), 4u);
+}
+
+TEST(AnnoDb, MergeSelfIsIdempotentForPipelineExports) {
+  // The regression the ROADMAP calls out: two pipeline runs over the same
+  // sources, exported and merged, used to double every finding.
+  auto comp = CompileOne(kSmallKernel, ToolConfig{});
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  AnalysisContext ctx(comp.get());
+  Pipeline p = PipelineBuilder().Tool("blockstop").Tool("errcheck").Build();
+  PipelineResult result = p.RunTools(ctx);
+  AnnoDb first = AnnoDb::Extract(ctx, &result);
+  AnnoDb second = AnnoDb::Extract(ctx, &result);
+  size_t baseline = first.findings().size();
+  first.Merge(second);
+  EXPECT_EQ(first.findings().size(), baseline);
 }
 
 TEST(AnnoDb, ApplyAttributesEnablesAnalysis) {

@@ -1,0 +1,189 @@
+// The sharding determinism contract, property-tested: BlockStop and
+// StackCheck must produce byte-identical findings JSON under the serial
+// reference kernels, sharded(1), and sharded(8), across randomized corpora
+// from the seeded generator in tests/synth_corpus.h. This is the guarantee
+// that lets the pipeline turn sharding on without invalidating golden
+// outputs, annodb diffs, or the paper tables.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/blockstop/blockstop.h"
+#include "src/driver/compiler.h"
+#include "src/stackcheck/stackcheck.h"
+#include "src/support/work_queue.h"
+#include "src/tool/analysis_context.h"
+#include "src/tool/function_sharder.h"
+#include "src/tool/pipeline.h"
+#include "tests/synth_corpus.h"
+
+namespace ivy {
+namespace {
+
+std::string Dump(const std::vector<Finding>& findings) {
+  Json arr = Json::MakeArray();
+  for (const Finding& f : findings) {
+    arr.Append(f.ToJson());
+  }
+  return arr.Dump();
+}
+
+struct Corpus {
+  std::unique_ptr<Compilation> comp;
+  std::unique_ptr<AnalysisContext> ctx;
+};
+
+Corpus BuildCorpus(int functions, uint64_t seed) {
+  SynthCorpusOptions opt;
+  opt.functions = functions;
+  opt.seed = seed;
+  Corpus c;
+  c.comp = CompileOne(GenerateSynthCorpus(opt), ToolConfig{});
+  EXPECT_TRUE(c.comp->ok) << c.comp->Errors();
+  if (c.comp->ok) {
+    c.ctx = std::make_unique<AnalysisContext>(c.comp.get());
+  }
+  return c;
+}
+
+TEST(ShardDeterminism, SynthCorpusCompiles) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    SynthCorpusOptions opt;
+    opt.seed = seed;
+    auto comp = CompileOne(GenerateSynthCorpus(opt), ToolConfig{});
+    EXPECT_TRUE(comp->ok) << "seed " << seed << ": " << comp->Errors();
+  }
+}
+
+TEST(ShardDeterminism, BlockStopByteIdenticalAcrossStrategies) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    const int functions = 48 + static_cast<int>(seed % 5) * 16;
+    Corpus c = BuildCorpus(functions, seed);
+    ASSERT_NE(c.ctx, nullptr);
+    const CallGraph& cg = c.ctx->callgraph();
+
+    BlockStop serial_bs(&c.comp->prog, c.comp->sema.get(), &cg);
+    BlockStopReport serial = serial_bs.Run();
+    std::string golden = Dump(serial.ToFindings());
+    // The property must not hold vacuously: the generator plants real
+    // violations and at least one silenced note (the noblock hook).
+    EXPECT_FALSE(serial.violations.empty()) << "seed " << seed;
+    EXPECT_FALSE(serial.silenced.empty()) << "seed " << seed;
+
+    for (int shards : {1, 8}) {
+      FunctionSharder sharder(cg.DefinedFuncs(), shards);
+      WorkQueue wq(sharder.shard_count());
+      BlockStop bs(&c.comp->prog, c.comp->sema.get(), &cg);
+      BlockStopReport report = bs.Run(sharder, wq);
+      EXPECT_EQ(Dump(report.ToFindings()), golden)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(report.mayblock, serial.mayblock)
+          << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardDeterminism, StackCheckByteIdenticalAcrossStrategies) {
+  for (uint64_t seed : {3u, 11u}) {
+    Corpus c = BuildCorpus(64, seed);
+    ASSERT_NE(c.ctx, nullptr);
+    const CallGraph& cg = c.ctx->callgraph();
+
+    // A tiny budget forces the overrun finding; recursion in the generator
+    // forces the per-function warnings — both paths exercised.
+    StackCheck serial_sc(&cg, &c.comp->module, /*budget=*/64);
+    StackCheckReport serial = serial_sc.Run({});
+    std::string golden = Dump(serial.ToFindings());
+    EXPECT_FALSE(serial.ToFindings().empty()) << "seed " << seed;
+
+    for (int shards : {1, 8}) {
+      FunctionSharder sharder(cg.DefinedFuncs(), shards);
+      WorkQueue wq(sharder.shard_count());
+      StackCheck sc(&cg, &c.comp->module, /*budget=*/64);
+      StackCheckReport report = sc.Run({}, sharder, wq);
+      EXPECT_EQ(Dump(report.ToFindings()), golden)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(report.entry_depths, serial.entry_depths)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(report.recursive, serial.recursive);
+      EXPECT_EQ(report.worst_case, serial.worst_case);
+      EXPECT_EQ(report.worst_entry, serial.worst_entry);
+    }
+  }
+}
+
+TEST(ShardDeterminism, ExplicitEntryListSharded) {
+  Corpus c = BuildCorpus(48, 5);
+  ASSERT_NE(c.ctx, nullptr);
+  const CallGraph& cg = c.ctx->callgraph();
+  std::vector<std::string> entries = {SynthFuncName(0), SynthFuncName(7), "no_such_entry"};
+  StackCheck serial_sc(&cg, &c.comp->module);
+  std::string golden = Dump(serial_sc.Run(entries).ToFindings());
+  FunctionSharder sharder(cg.DefinedFuncs(), 4);
+  WorkQueue wq(sharder.shard_count());
+  StackCheck sc(&cg, &c.comp->module);
+  StackCheckReport report = sc.Run(entries, sharder, wq);
+  EXPECT_EQ(Dump(report.ToFindings()), golden);
+  EXPECT_EQ(report.entry_depths.size(), 2u);  // the bogus entry is skipped
+}
+
+TEST(ShardDeterminism, MixedDirectionBlocksByteIdentical) {
+  // The benchmark's worst-case profile: chain direction alternates per
+  // block, so the serial loop needs many rounds and the BFS frontier stays
+  // long-lived — the strategies diverge most here if they ever will.
+  SynthCorpusOptions opt;
+  opt.functions = 96;
+  opt.seed = 17;
+  opt.fanout_span = 4;
+  opt.mid_blocking_every = 0;
+  opt.descending_blocks = true;
+  opt.block = 16;
+  auto comp = CompileOne(GenerateSynthCorpus(opt), ToolConfig{});
+  ASSERT_TRUE(comp->ok) << comp->Errors();
+  AnalysisContext ctx(comp.get());
+  const CallGraph& cg = ctx.callgraph();
+
+  BlockStop serial_bs(&comp->prog, comp->sema.get(), &cg);
+  std::string golden = Dump(serial_bs.Run().ToFindings());
+  for (int shards : {1, 3, 8}) {
+    FunctionSharder sharder(cg.DefinedFuncs(), shards);
+    WorkQueue wq(sharder.shard_count());
+    BlockStop bs(&comp->prog, comp->sema.get(), &cg);
+    EXPECT_EQ(Dump(bs.Run(sharder, wq).ToFindings()), golden) << "shards " << shards;
+  }
+
+  StackCheck serial_sc(&cg, &comp->module);
+  std::string sc_golden = Dump(serial_sc.Run({}).ToFindings());
+  FunctionSharder sharder(cg.DefinedFuncs(), 8);
+  WorkQueue wq(sharder.shard_count());
+  StackCheck sc(&cg, &comp->module);
+  EXPECT_EQ(Dump(sc.Run({}, sharder, wq).ToFindings()), sc_golden);
+}
+
+TEST(ShardDeterminism, PipelineShardFunctionsByteIdentical) {
+  SynthCorpusOptions opt;
+  opt.functions = 72;
+  opt.seed = 9;
+  std::string src = GenerateSynthCorpus(opt);
+
+  auto findings_with = [&src](int shards) {
+    Pipeline p = PipelineBuilder()
+                     .Tool("blockstop")
+                     .Tool("stackcheck")
+                     .Tool("errcheck")
+                     .ShardFunctions(shards)
+                     .Build();
+    PipelineRun run = p.CompileAndRun({SourceFile{"synth.mc", src}});
+    EXPECT_TRUE(run.comp->ok) << run.comp->Errors();
+    return Dump(run.result.findings);
+  };
+
+  std::string serial = findings_with(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(findings_with(8), serial);
+  EXPECT_EQ(findings_with(0), serial);  // 0 = hardware concurrency
+}
+
+}  // namespace
+}  // namespace ivy

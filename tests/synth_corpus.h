@@ -1,0 +1,197 @@
+// Seeded Mini-C corpus generator for the sharding determinism tests and the
+// serial-vs-sharded benchmarks. Fully deterministic: the same
+// SynthCorpusOptions always produce the same source text (Rng is the
+// repo's portable xorshift64*, not <random>).
+//
+// The generated program is shaped to exercise every path the sharded
+// kernels take:
+//   - a call-chain backbone fn_i -> fn_{i+1} plus random forward fan-out,
+//     so may-block facts propagate over long distances (many serial
+//     Gauss-Seidel rounds; the worklist's advantage),
+//   - blocking leaves (msleep) at the tail and sparsely mid-chain,
+//   - spinlock and irq-off sections around calls (BlockStop violations),
+//   - interrupt_handler entries (atomic-context seeds for the BFS),
+//   - noblock/assert_nonatomic wrappers reached through function-pointer
+//     hooks (the "silenced by run-time check" notes),
+//   - optional self/mutual recursion (StackCheck's cyclic SCCs) and varied
+//     local-array frame sizes (StackCheck depths).
+#ifndef TESTS_SYNTH_CORPUS_H_
+#define TESTS_SYNTH_CORPUS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/support/rng.h"
+
+namespace ivy {
+
+struct SynthCorpusOptions {
+  int functions = 120;
+  uint64_t seed = 1;
+  int locks = 8;
+  bool recursion = true;  // self + mutual cycles (off = pure DAG)
+  bool hooks = true;      // fn-ptr dispatch incl. a noblock target
+  // Max forward distance of the random fan-out calls. Small spans keep the
+  // call graph chain-like, so facts must travel far hop by hop.
+  int fanout_span = 16;
+  // A mid-chain function blocks directly with probability 1/mid_blocking_every;
+  // 0 disables mid-chain blocking entirely, leaving only the tail leaves and
+  // the two noblock wrappers as may-block seeds — the worst case for
+  // rescan-everything fixpoints (longest propagation distances) and exactly
+  // the profile the serial-vs-sharded benchmark measures.
+  int mid_blocking_every = 40;
+  // Alternate the chain direction every `block` functions: even blocks chain
+  // ascending (fn_i -> fn_{i+1}), odd blocks descending (fn_i -> fn_{i-1},
+  // entered from the top via a bridge call). Mixed-direction flow is what
+  // real call graphs look like, and it is the serial fixpoint's worst case:
+  // whichever direction a rescan loop iterates, half the propagation now
+  // advances one hop per round. The worklist kernels don't care.
+  bool descending_blocks = false;
+  int block = 50;
+};
+
+inline std::string SynthFuncName(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "fn_%04d", i);
+  return buf;
+}
+
+inline std::string GenerateSynthCorpus(const SynthCorpusOptions& opt) {
+  Rng rng(opt.seed);
+  const int n = opt.functions < 8 ? 8 : opt.functions;
+  const int locks = opt.locks < 1 ? 1 : opt.locks;
+  const int noblock_a = n / 3;
+  const int noblock_b = (2 * n) / 3;
+
+  std::string out = "// synthetic corpus: functions=" + std::to_string(n) +
+                    " seed=" + std::to_string(opt.seed) + "\n";
+  for (int l = 0; l < locks; ++l) {
+    out += "int lk_" + std::to_string(l) + ";\n";
+  }
+  if (opt.hooks) {
+    out += "typedef void work_fn(int x);\n";
+    out += "work_fn* opt hook_a;\n";
+    out += "work_fn* opt hook_b;\n";
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const std::string name = SynthFuncName(i);
+    const bool is_noblock = i == noblock_a || i == noblock_b;
+    const bool is_handler = !is_noblock && rng.Chance(1, 50);
+    const int pad = 4 << rng.Below(5);  // 4..64 ints: varied frame sizes
+
+    out += "void " + name + "(int n)";
+    if (is_noblock) {
+      out += " noblock";
+    } else if (is_handler) {
+      out += " interrupt_handler";
+    }
+    out += " {\n";
+    out += "  int pad[" + std::to_string(pad) + "]; pad[0] = n;\n";
+    if (is_noblock) {
+      // The paper's pattern: begins with the run-time check, then blocks.
+      out += "  assert_nonatomic();\n  msleep(n);\n";
+      if (i + 1 < n) {
+        out += "  " + SynthFuncName(i + 1) + "(n - 1);\n";
+      }
+      out += "}\n";
+      continue;
+    }
+
+    const bool spin_section = rng.Chance(1, 4);
+    const bool irq_section = !spin_section && rng.Chance(1, 8);
+    const int lock = static_cast<int>(rng.Below(static_cast<uint64_t>(locks)));
+    if (spin_section) {
+      out += "  spin_lock(&lk_" + std::to_string(lock) + ");\n";
+    } else if (irq_section) {
+      out += "  local_irq_disable();\n";
+    }
+
+    // Backbone + fan-out. Without descending_blocks every call target is
+    // forward (j > i) and cycles only come from the explicit recursion
+    // knobs below. With descending_blocks, odd blocks chain downward and all
+    // their edges (backbone, fan-out, bridges) stay index-decreasing inside
+    // the block, so the blocks remain acyclic too.
+    const int block = opt.block < 2 ? 2 : opt.block;
+    const bool descending = opt.descending_blocks && (i / block) % 2 == 1;
+    const int max_span = opt.fanout_span < 1 ? 1 : opt.fanout_span;
+    if (!descending) {
+      if (i + 1 < n) {
+        out += "  if (n > 0) { " + SynthFuncName(i + 1) + "(n - 1); }\n";
+      }
+      if (opt.descending_blocks && i % block == block - 1 && i + block < n) {
+        // Bridge into the next (descending) block through its top.
+        out += "  " + SynthFuncName(i + block) + "(n - 1);\n";
+      }
+      int extra = static_cast<int>(rng.Below(3));
+      for (int e = 0; e < extra && i + 2 < n; ++e) {
+        int span = n - i - 2;
+        int j = i + 2 + static_cast<int>(
+                            rng.Below(static_cast<uint64_t>(span > max_span ? max_span : span)));
+        out += "  " + SynthFuncName(j) + "(n);\n";
+      }
+    } else {
+      if (i % block != 0) {
+        out += "  if (n > 0) { " + SynthFuncName(i - 1) + "(n - 1); }\n";
+      } else if (i + block < n) {
+        // Bottom of the descending block: bridge forward to the next block.
+        out += "  " + SynthFuncName(i + block) + "(n - 1);\n";
+      }
+      int extra = static_cast<int>(rng.Below(3));
+      int reach = i % block;  // how far down the block we can jump
+      for (int e = 0; e < extra && reach >= 2; ++e) {
+        int span = reach - 1;
+        int j = i - 2 - static_cast<int>(
+                            rng.Below(static_cast<uint64_t>(span > max_span ? max_span : span)));
+        out += "  " + SynthFuncName(j) + "(n);\n";
+      }
+    }
+    // Blocking leaves: the last functions always block; mid-chain blocking
+    // is sparse (or absent) so may-block facts travel far before a seed.
+    if (i >= n - 3 ||
+        (opt.mid_blocking_every > 0 &&
+         rng.Chance(1, static_cast<uint64_t>(opt.mid_blocking_every)))) {
+      out += "  msleep(1);\n";
+    } else if (rng.Chance(1, 6)) {
+      out += "  udelay(1);\n";
+    }
+    if (opt.recursion && rng.Chance(1, 25)) {
+      out += "  if (n > 3) { " + name + "(n - 1); }\n";  // self cycle
+    }
+    if (opt.recursion && i > 0 && rng.Chance(1, 40)) {
+      out += "  if (n > 5) { " + SynthFuncName(i - 1) + "(n - 2); }\n";  // mutual cycle
+    }
+
+    if (spin_section) {
+      out += "  spin_unlock(&lk_" + std::to_string(lock) + ");\n";
+    } else if (irq_section) {
+      out += "  local_irq_enable();\n";
+    }
+    out += "}\n";
+  }
+
+  if (opt.hooks) {
+    // hook_a points at a noblock wrapper: dispatching it under a spinlock is
+    // exactly the paper's "false positive silenced by a run-time check".
+    out += "void init_hooks(void) {\n";
+    out += "  hook_a = " + SynthFuncName(noblock_a) + ";\n";
+    out += "  hook_b = " + SynthFuncName(1) + ";\n";
+    out += "}\n";
+    out += "void dispatch_a(int n) {\n";
+    out += "  spin_lock(&lk_0);\n";
+    out += "  work_fn* opt h = hook_a;\n";
+    out += "  if (h) { h(n); }\n";
+    out += "  spin_unlock(&lk_0);\n";
+    out += "}\n";
+    out += "void dispatch_b(int n) {\n";
+    out += "  work_fn* opt h = hook_b;\n";
+    out += "  if (h) { h(n); }\n";
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace ivy
+
+#endif  // TESTS_SYNTH_CORPUS_H_

@@ -1,0 +1,154 @@
+// Stress tests for the work-stealing pool under the sharding layer: many
+// tiny tasks, exception propagation (deterministic: lowest submission index
+// wins), reuse after failure, nested submission, and clean shutdown while
+// busy — the properties FunctionSharder's determinism contract leans on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "src/support/work_queue.h"
+#include "src/tool/function_sharder.h"
+
+namespace ivy {
+namespace {
+
+TEST(WorkQueue, TenThousandTinyTasks) {
+  WorkQueue wq(4);
+  EXPECT_EQ(wq.thread_count(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10000; ++i) {
+    wq.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  wq.Wait();
+  EXPECT_EQ(counter.load(), 10000);
+  // The queue is reusable: a second burst on the same pool.
+  for (int i = 0; i < 10000; ++i) {
+    wq.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  wq.Wait();
+  EXPECT_EQ(counter.load(), 20000);
+}
+
+TEST(WorkQueue, ExceptionPropagatesAndDoesNotDeadlock) {
+  WorkQueue wq(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 1000; ++i) {
+    wq.Submit([i, &ran] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i % 100 == 13) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+  }
+  // Several tasks threw; Wait rethrows exactly one — the earliest-submitted
+  // (task 13), matching what a serial loop would have hit first.
+  try {
+    wq.Wait();
+    FAIL() << "Wait() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 13");
+  }
+  // Every task still ran: one bad task never wedges or starves the pool.
+  EXPECT_EQ(ran.load(), 1000);
+
+  // And the pool stays usable after a failure.
+  std::atomic<int> after{0};
+  for (int i = 0; i < 100; ++i) {
+    wq.Submit([&after] { after.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_NO_THROW(wq.Wait());
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(WorkQueue, NestedSubmitIsCoveredByWait) {
+  WorkQueue wq(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    wq.Submit([&wq, &counter] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      wq.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  wq.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(WorkQueue, ShutdownWhileBusyIsClean) {
+  std::atomic<int> ran{0};
+  {
+    WorkQueue wq(2);
+    for (int i = 0; i < 500; ++i) {
+      wq.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No Wait(): destruction must stop after the in-flight tasks, discard
+    // the rest, and join without deadlocking.
+  }
+  EXPECT_LE(ran.load(), 500);
+  // ran may legitimately be small; the assertion that matters is that we
+  // reached this line at all (no hang) and ASan/TSan see no damage.
+}
+
+TEST(WorkQueue, ExplicitShutdownIsIdempotent) {
+  WorkQueue wq(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    wq.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  wq.Wait();
+  wq.Shutdown();
+  wq.Shutdown();  // second call is a no-op
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(WorkQueue, SubmitAfterShutdownIsDiscardedNotDeadlock) {
+  WorkQueue wq(2);
+  wq.Shutdown();
+  std::atomic<int> counter{0};
+  wq.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  wq.Wait();  // nothing pending: must return immediately, not hang forever
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(FunctionSharder, PartitionIsContiguousAndBalanced) {
+  FunctionSharder sharder({}, 4);
+  auto ranges = sharder.Partition(10);
+  ASSERT_EQ(ranges.size(), 4u);
+  // 10 items over 4 shards: 3,3,2,2 — contiguous, in order, no gaps.
+  EXPECT_EQ(ranges[0], (std::pair<size_t, size_t>{0, 3}));
+  EXPECT_EQ(ranges[1], (std::pair<size_t, size_t>{3, 6}));
+  EXPECT_EQ(ranges[2], (std::pair<size_t, size_t>{6, 8}));
+  EXPECT_EQ(ranges[3], (std::pair<size_t, size_t>{8, 10}));
+  // Fewer items than shards: one chunk per item, never an empty chunk.
+  EXPECT_EQ(sharder.Partition(2).size(), 2u);
+  EXPECT_TRUE(sharder.Partition(0).empty());
+}
+
+TEST(FunctionSharder, MapChunksReducesInChunkOrder) {
+  FunctionSharder sharder({}, 3);
+  WorkQueue wq(3);
+  std::vector<std::vector<size_t>> chunks = sharder.MapChunks<size_t>(
+      wq, 100, [](int, size_t begin, size_t end) {
+        std::vector<size_t> out;
+        for (size_t i = begin; i < end; ++i) {
+          out.push_back(i);
+        }
+        return out;
+      });
+  std::vector<size_t> flat;
+  for (const auto& c : chunks) {
+    flat.insert(flat.end(), c.begin(), c.end());
+  }
+  ASSERT_EQ(flat.size(), 100u);
+  for (size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(flat[i], i);  // flattening reproduces serial order
+  }
+}
+
+}  // namespace
+}  // namespace ivy
