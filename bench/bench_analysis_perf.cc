@@ -4,8 +4,11 @@
 // apply sound static analysis tools at a large scale") rests on tool speed.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "src/analysis/callgraph.h"
 #include "src/analysis/pointsto.h"
@@ -17,6 +20,7 @@
 #include "src/support/work_queue.h"
 #include "src/tool/function_sharder.h"
 #include "src/tool/pipeline.h"
+#include "src/tool/session.h"
 #include "tests/synth_corpus.h"
 
 namespace {
@@ -264,6 +268,98 @@ void BM_StackCheckSynth500Sharded(benchmark::State& state) {
 }
 BENCHMARK(BM_StackCheckSynth500Sharded)->Arg(1)->Arg(4);
 
+// ---------------------------------------------------------------------------
+// AnalysisSession: batched corpus runs vs N sequential pipelines, and
+// incremental re-analysis vs cold re-runs. The same measurements, taken with
+// plain chrono timers, feed BENCH_pipeline.json below (the CI perf
+// artifact); the google-benchmark versions exist for interactive runs.
+// ---------------------------------------------------------------------------
+
+constexpr int kCorpusModules = 8;
+constexpr int kCorpusFunctions = 400;
+
+std::vector<ivy::ModuleSources> SessionCorpus() {
+  std::vector<ivy::ModuleSources> out;
+  for (int m = 0; m < kCorpusModules; ++m) {
+    ivy::SynthCorpusOptions opt;
+    opt.functions = kCorpusFunctions;
+    opt.seed = 4000 + static_cast<uint64_t>(m);
+    opt.hook_tables = 4;
+    // The deep-chain profile (see SynthComp above): long propagation
+    // distances make the fixpoints — what incremental re-analysis skips —
+    // the dominant cost, as in a real kernel-sized module.
+    opt.fanout_span = 6;
+    opt.mid_blocking_every = 0;
+    opt.descending_blocks = true;
+    char name[16];
+    std::snprintf(name, sizeof(name), "mod_%02d", m);
+    out.push_back({name, {ivy::SourceFile{std::string(name) + ".mc",
+                                          ivy::GenerateSynthCorpus(opt)}}});
+  }
+  return out;
+}
+
+ivy::PipelineBuilder SessionPipeline() {
+  ivy::PipelineBuilder b;
+  b.Tool("blockstop").Tool("stackcheck").Tool("errcheck").Tool("locksafe");
+  return b;
+}
+
+std::string EditedDefinition() {
+  return "void " + ivy::SynthFuncName(5) + "(int n) {\n  int pad[16]; pad[0] = n;\n  msleep(n);\n}\n";
+}
+
+void BM_CorpusSequentialPipelines(benchmark::State& state) {
+  std::vector<ivy::ModuleSources> corpus = SessionCorpus();
+  ivy::Pipeline p = SessionPipeline().Build();
+  for (auto _ : state) {
+    int64_t sink = 0;
+    for (const ivy::ModuleSources& m : corpus) {
+      ivy::PipelineRun run = p.CompileAndRun(m.files);
+      sink += static_cast<int64_t>(run.result.findings.size());
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_CorpusSequentialPipelines);
+
+void BM_CorpusBatchedSession(benchmark::State& state) {
+  std::vector<ivy::ModuleSources> corpus = SessionCorpus();
+  for (auto _ : state) {
+    ivy::PipelineBuilder b = SessionPipeline();
+    b.ForEachModule(corpus);
+    ivy::AnalysisSession session = b.BuildSession();
+    ivy::SessionResult result = session.Run();
+    benchmark::DoNotOptimize(result.findings.size());
+  }
+}
+BENCHMARK(BM_CorpusBatchedSession);
+
+void BM_SessionIncrementalEdit(benchmark::State& state) {
+  std::vector<ivy::ModuleSources> corpus = SessionCorpus();
+  ivy::PipelineBuilder b = SessionPipeline();
+  b.ForEachModule(corpus);
+  ivy::AnalysisSession session = b.BuildSession();
+  session.Run();  // cold baseline outside the timed region
+  bool flip = false;
+  for (auto _ : state) {
+    // Alternate two definitions so every iteration has a real edit.
+    state.PauseTiming();
+    std::string def = flip ? EditedDefinition()
+                           : "void " + ivy::SynthFuncName(5) +
+                                 "(int n) {\n  int pad[4]; pad[0] = n;\n  udelay(1);\n}\n";
+    flip = !flip;
+    if (!session.ReplaceFunction("mod_03", ivy::SynthFuncName(5), def)) {
+      std::fprintf(stderr, "FATAL: bench edit did not apply\n");
+      std::abort();
+    }
+    state.ResumeTiming();
+    ivy::SessionResult result = session.Run();
+    benchmark::DoNotOptimize(result.findings.size());
+  }
+}
+BENCHMARK(BM_SessionIncrementalEdit);
+
 void BM_VmBoot(benchmark::State& state) {
   auto comp = ivy::CompileKernel(ivy::ToolConfig{});
   for (auto _ : state) {
@@ -290,6 +386,148 @@ void BM_VmThroughputDeputy(benchmark::State& state) {
 }
 BENCHMARK(BM_VmThroughputDeputy);
 
+// ---------------------------------------------------------------------------
+// BENCH_pipeline.json: the CI perf artifact. Times batched-vs-sequential
+// corpus runs and incremental-vs-cold re-analysis with plain chrono timers
+// (independent of --benchmark_filter, so CI can skip the microbenchmarks and
+// still track the pipeline trajectory), checks the incremental findings
+// byte-identical against the cold run, and records the solver counters.
+// Opt-in: runs only when $BENCH_PIPELINE_OUT names the output path — the
+// multi-corpus workload must not tax interactive --benchmark_filter runs.
+// ---------------------------------------------------------------------------
+
+template <typename F>
+double MedianMs(F&& fn, int reps = 3) {
+  std::vector<double> times;
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+void WriteBenchPipelineJson() {
+  const char* out_path = std::getenv("BENCH_PIPELINE_OUT");
+  if (out_path == nullptr || out_path[0] == '\0') {
+    return;  // interactive run: skip the corpus workload
+  }
+  std::vector<ivy::ModuleSources> corpus = SessionCorpus();
+  ivy::Pipeline pipeline = SessionPipeline().Build();
+
+  // Batched vs sequential: the whole corpus, cold, through N independent
+  // pipelines vs one session (shared prelude tokens, concurrent modules).
+  double sequential_ms = MedianMs([&corpus, &pipeline] {
+    int64_t sink = 0;
+    for (const ivy::ModuleSources& m : corpus) {
+      sink += static_cast<int64_t>(pipeline.CompileAndRun(m.files).result.findings.size());
+    }
+    benchmark::DoNotOptimize(sink);
+  });
+  // track_incremental off: measure batching itself (shared prelude tokens,
+  // concurrent modules), not the snapshot bookkeeping a long-lived session
+  // additionally buys.
+  double batched_ms = MedianMs([&corpus, &pipeline] {
+    ivy::AnalysisSession session(pipeline, /*track_incremental=*/false);
+    for (const ivy::ModuleSources& m : corpus) {
+      session.AddModule(m);
+    }
+    benchmark::DoNotOptimize(session.Run().findings.size());
+  });
+
+  // Incremental vs cold re-analysis: the same edit sequence against two
+  // primed sessions, one with incremental tracking and one without — each
+  // timed rerun pays the same recompile, so the delta is pure solver work.
+  const std::string edited_module = "mod_03";
+  const std::string edited_fn = ivy::SynthFuncName(5);
+  const std::string quiet_def = "void " + edited_fn +
+                                "(int n) {\n  int pad[4]; pad[0] = n;\n  udelay(1);\n}\n";
+  auto def_for = [&](int i) { return i % 2 == 0 ? EditedDefinition() : quiet_def; };
+  auto rerun_ms = [&](ivy::AnalysisSession& session) {
+    int i = 0;
+    return MedianMs(
+        [&session, &def_for, &i] {
+          if (!session.ReplaceFunction("mod_03", ivy::SynthFuncName(5), def_for(i++))) {
+            std::fprintf(stderr, "FATAL: BENCH_pipeline edit did not apply\n");
+            std::abort();
+          }
+          benchmark::DoNotOptimize(session.Run().findings.size());
+        },
+        4);
+  };
+
+  ivy::PipelineBuilder warm_b = SessionPipeline();
+  warm_b.ForEachModule(corpus);
+  ivy::AnalysisSession warm = warm_b.BuildSession();
+  warm.Run();
+  double incremental_ms = rerun_ms(warm);
+
+  ivy::AnalysisSession cold(pipeline, /*track_incremental=*/false);
+  for (const ivy::ModuleSources& m : corpus) {
+    cold.AddModule(m);
+  }
+  cold.Run();
+  double cold_ms = rerun_ms(cold);
+
+  // Identity + counters on one final deterministic edit. The incremental
+  // run must stay byte-identical to the cold run — a faster but diverging
+  // session must never post a winning time.
+  if (!warm.ReplaceFunction(edited_module, edited_fn, EditedDefinition()) ||
+      !cold.ReplaceFunction(edited_module, edited_fn, EditedDefinition())) {
+    std::abort();
+  }
+  ivy::SessionResult warm_result = warm.Run();
+  ivy::SessionResult cold_result = cold.Run();
+  if (FindingsDump(warm_result.findings) != FindingsDump(cold_result.findings)) {
+    std::fprintf(stderr, "FATAL: incremental session findings diverge from cold run\n");
+    std::abort();
+  }
+  ivy::ModuleStats warm_stats = warm.StatsFor(edited_module);
+  ivy::ModuleStats cold_stats = cold.StatsFor(edited_module);
+
+  ivy::Json j = ivy::Json::MakeObject();
+  ivy::Json corpus_j = ivy::Json::MakeObject();
+  corpus_j["modules"] = ivy::Json::MakeInt(kCorpusModules);
+  corpus_j["functions_per_module"] = ivy::Json::MakeInt(kCorpusFunctions);
+  j["corpus"] = std::move(corpus_j);
+  j["sequential_us"] = ivy::Json::MakeInt(static_cast<int64_t>(sequential_ms * 1000));
+  j["batched_us"] = ivy::Json::MakeInt(static_cast<int64_t>(batched_ms * 1000));
+  // The pre-session world re-analyzes the whole corpus after any edit
+  // ("an edited module invalidates everything"); a session re-analyzes one
+  // module — cold at module granularity, or warm with the solver seeds.
+  j["edit_rerun_without_session_us"] =
+      ivy::Json::MakeInt(static_cast<int64_t>(sequential_ms * 1000));
+  j["edit_rerun_session_cold_us"] = ivy::Json::MakeInt(static_cast<int64_t>(cold_ms * 1000));
+  j["edit_rerun_session_warm_us"] =
+      ivy::Json::MakeInt(static_cast<int64_t>(incremental_ms * 1000));
+  ivy::Json counters = ivy::Json::MakeObject();
+  counters["pointsto_propagations_cold"] = ivy::Json::MakeInt(cold_stats.pointsto_propagations);
+  counters["pointsto_propagations_warm"] = ivy::Json::MakeInt(warm_stats.pointsto_propagations);
+  counters["pointsto_seeded_facts_warm"] = ivy::Json::MakeInt(warm_stats.pointsto_seeded_facts);
+  counters["mayblock_evals_cold"] = ivy::Json::MakeInt(cold_stats.mayblock_evals);
+  counters["mayblock_evals_warm"] = ivy::Json::MakeInt(warm_stats.mayblock_evals);
+  counters["identical_to_cold"] = ivy::Json::MakeBool(true);
+  j["incremental"] = std::move(counters);
+
+  std::string path = out_path;
+  std::ofstream out(path);
+  out << j.Dump() << "\n";
+  std::fprintf(stderr,
+               "BENCH_pipeline.json: sequential=%.1fms batched=%.1fms cold_rerun=%.1fms "
+               "incremental_rerun=%.1fms -> %s\n",
+               sequential_ms, batched_ms, cold_ms, incremental_ms, path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  WriteBenchPipelineJson();
+  return 0;
+}

@@ -1,0 +1,201 @@
+#include "src/analysis/fingerprint.h"
+
+#include "src/mc/types.h"
+
+namespace ivy {
+namespace {
+
+// FNV-1a, 64-bit. Streams tagged bytes so "ab"+"c" and "a"+"bc" differ.
+class Fp {
+ public:
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      Byte(static_cast<uint8_t>(v >> (i * 8)));
+    }
+  }
+  void Mix(int64_t v) { Mix(static_cast<uint64_t>(v)); }
+  void Mix(int v) { Mix(static_cast<uint64_t>(static_cast<int64_t>(v))); }
+  void Mix(const std::string& s) {
+    Mix(static_cast<uint64_t>(s.size()));
+    for (char c : s) {
+      Byte(static_cast<uint8_t>(c));
+    }
+  }
+  void Tag(uint8_t t) { Byte(t); }
+  uint64_t hash() const { return h_; }
+
+ private:
+  void Byte(uint8_t b) {
+    h_ ^= b;
+    h_ *= kFnvPrime;
+  }
+  uint64_t h_ = kFnvOffset;
+};
+
+void MixExpr(Fp* fp, const Expr* e, std::set<std::string>* refs);
+
+// Structural type hash — no string rendering (this runs for every local
+// declaration on every re-analysis). Records are mixed by name/id, not by
+// recursing into fields: field changes are the preamble fingerprint's job,
+// and stopping there keeps recursive record types finite.
+void MixType(Fp* fp, const Type* t) {
+  if (t == nullptr) {
+    fp->Tag(0);
+    return;
+  }
+  fp->Tag(1);
+  fp->Mix(static_cast<int>(t->kind));
+  switch (t->kind) {
+    case TypeKind::kPointer:
+      fp->Mix(static_cast<int>(t->annot.bounds));
+      fp->Tag(static_cast<uint8_t>((t->annot.opt ? 1 : 0) | (t->annot.trusted ? 2 : 0)));
+      MixExpr(fp, t->annot.count, nullptr);
+      MixExpr(fp, t->annot.lo, nullptr);
+      MixExpr(fp, t->annot.hi, nullptr);
+      MixType(fp, t->pointee);
+      return;
+    case TypeKind::kArray:
+      fp->Mix(t->array_len);
+      MixType(fp, t->elem);
+      return;
+    case TypeKind::kRecord:
+      if (t->record != nullptr) {
+        fp->Mix(t->record->name);
+        fp->Mix(t->record->type_id);
+        fp->Tag(t->record->is_union ? 1 : 0);
+      }
+      return;
+    case TypeKind::kFunc:
+      MixType(fp, t->ret);
+      fp->Mix(static_cast<uint64_t>(t->params.size()));
+      for (const Type* p : t->params) {
+        MixType(fp, p);
+      }
+      fp->Tag(t->varargs ? 1 : 0);
+      return;
+    default:
+      return;
+  }
+}
+
+void MixExpr(Fp* fp, const Expr* e, std::set<std::string>* refs) {
+  if (e == nullptr) {
+    fp->Tag(0);
+    return;
+  }
+  fp->Tag(1);
+  fp->Mix(static_cast<int>(e->kind));
+  fp->Mix(e->int_val);
+  fp->Mix(e->str_val);
+  if (refs != nullptr && e->kind == ExprKind::kIdent) {
+    refs->insert(e->str_val);
+  }
+  fp->Mix(static_cast<int>(e->bin_op));
+  fp->Mix(static_cast<int>(e->assign_op));
+  fp->Mix(static_cast<int>(e->un_op));
+  fp->Tag(static_cast<uint8_t>((e->is_arrow ? 1 : 0) | (e->is_inc ? 2 : 0) |
+                               (e->is_prefix ? 4 : 0)));
+  if (e->kind == ExprKind::kCast || e->kind == ExprKind::kSizeof) {
+    MixType(fp, e->cast_type);
+  }
+  MixExpr(fp, e->a, refs);
+  MixExpr(fp, e->b, refs);
+  MixExpr(fp, e->c, refs);
+  fp->Mix(static_cast<uint64_t>(e->args.size()));
+  for (const Expr* arg : e->args) {
+    MixExpr(fp, arg, refs);
+  }
+}
+
+void MixStmt(Fp* fp, const Stmt* s, std::set<std::string>* refs) {
+  if (s == nullptr) {
+    fp->Tag(0);
+    return;
+  }
+  fp->Tag(2);
+  fp->Mix(static_cast<int>(s->kind));
+  MixExpr(fp, s->expr, refs);
+  if (s->decl != nullptr) {
+    fp->Tag(3);
+    fp->Mix(s->decl->name);
+    MixType(fp, s->decl->type);
+    MixExpr(fp, s->decl->init, refs);
+  } else {
+    fp->Tag(0);
+  }
+  MixStmt(fp, s->init, refs);
+  MixExpr(fp, s->cond, refs);
+  MixExpr(fp, s->step, refs);
+  MixStmt(fp, s->then_stmt, refs);
+  MixStmt(fp, s->else_stmt, refs);
+  fp->Mix(static_cast<uint64_t>(s->body.size()));
+  for (const Stmt* child : s->body) {
+    MixStmt(fp, child, refs);
+  }
+}
+
+void MixSignature(Fp* fp, const FuncDecl* fn) {
+  fp->Mix(fn->name);
+  MixType(fp, fn->type);
+  fp->Mix(static_cast<uint64_t>(fn->params.size()));
+  for (const Symbol* p : fn->params) {
+    fp->Mix(p->name);
+    MixType(fp, p->type);
+  }
+  fp->Tag(static_cast<uint8_t>((fn->attrs.blocking ? 1 : 0) | (fn->attrs.noblock ? 2 : 0) |
+                               (fn->attrs.interrupt_handler ? 4 : 0) |
+                               (fn->attrs.trusted ? 8 : 0)));
+  fp->Mix(fn->attrs.blocking_if_param);
+  fp->Mix(static_cast<uint64_t>(fn->attrs.errcodes.size()));
+  for (int64_t code : fn->attrs.errcodes) {
+    fp->Mix(static_cast<uint64_t>(code));
+  }
+}
+
+}  // namespace
+
+FunctionFingerprint FingerprintFunctionFull(const FuncDecl* fn) {
+  FunctionFingerprint out;
+  Fp fp;
+  MixSignature(&fp, fn);
+  out.sig = fp.hash();  // the signature is a prefix of the full stream
+  MixStmt(&fp, fn->body, &out.refs);
+  out.full = fp.hash();
+  return out;
+}
+
+uint64_t FingerprintFunction(const FuncDecl* fn) { return FingerprintFunctionFull(fn).full; }
+
+uint64_t FingerprintSignature(const FuncDecl* fn) {
+  Fp fp;
+  MixSignature(&fp, fn);
+  return fp.hash();
+}
+
+uint64_t FingerprintPreamble(const Program& prog) {
+  Fp fp;
+  fp.Mix(static_cast<uint64_t>(prog.records.size()));
+  for (const RecordDecl* rec : prog.records) {
+    fp.Mix(rec->name);
+    fp.Tag(rec->is_union ? 1 : 0);
+    fp.Mix(static_cast<uint64_t>(rec->fields.size()));
+    for (const RecordField& f : rec->fields) {
+      fp.Mix(f.name);
+      MixType(&fp, f.type);
+      MixExpr(&fp, f.when, nullptr);
+    }
+  }
+  fp.Mix(static_cast<uint64_t>(prog.globals.size()));
+  for (const VarDecl* g : prog.globals) {
+    fp.Mix(g->name);
+    MixType(&fp, g->type);
+    MixExpr(&fp, g->init, nullptr);
+  }
+  return fp.hash();
+}
+
+std::set<std::string> ReferencedNames(const FuncDecl* fn) {
+  return FingerprintFunctionFull(fn).refs;
+}
+
+}  // namespace ivy

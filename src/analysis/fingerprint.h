@@ -1,0 +1,77 @@
+// Structural fingerprints of Mini-C declarations — the dirty-bit layer under
+// AnalysisSession's incremental re-analysis. A fingerprint hashes what an
+// analysis can observe (names, operators, literals, declared types,
+// attributes) and deliberately ignores SourceLocs, so an edit that only
+// shifts later functions down the file leaves them clean.
+//
+// Three granularities:
+//   - FingerprintFunction: signature + attributes + body structure. Equal
+//     fingerprints => the function generates identical analysis constraints
+//     (points-to edges, call sites, lock/err scans) up to name resolution.
+//   - FingerprintSignature: the part callers can observe (name, type,
+//     attributes). A signature change dirties callers, not just the body.
+//   - FingerprintPreamble: globals + records. Covers everything outside
+//     function bodies that analyses read (field layout, global initializers);
+//     a preamble change makes the whole module dirty (cold re-solve).
+//
+// ReferencedNames collects every identifier a body mentions, so the session
+// can dirty the functions whose name resolution changed when a function is
+// added, removed, or re-declared.
+#ifndef SRC_ANALYSIS_FINGERPRINT_H_
+#define SRC_ANALYSIS_FINGERPRINT_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "src/mc/ast.h"
+
+namespace ivy {
+
+// FNV-1a parameters — the one pair of constants every hash in the
+// incremental layer (fingerprints, callee-list hashes) derives from.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// Streams separator-tagged strings into an FNV-1a hash ("ab"+"c" differs
+// from "a"+"bc"). Used by CallGraph::CalleeNameHashes; the richer AST
+// fingerprints below build on the same constants.
+class NameStreamHasher {
+ public:
+  void Mix(const std::string& s) {
+    for (char c : s) {
+      Byte(static_cast<uint8_t>(c));
+    }
+    Byte(0xff);
+  }
+  uint64_t hash() const { return h_; }
+
+ private:
+  void Byte(uint8_t b) {
+    h_ ^= b;
+    h_ *= kFnvPrime;
+  }
+  uint64_t h_ = kFnvOffset;
+};
+
+uint64_t FingerprintFunction(const FuncDecl* fn);
+uint64_t FingerprintSignature(const FuncDecl* fn);
+uint64_t FingerprintPreamble(const Program& prog);
+
+// Identifier spellings referenced anywhere in `fn`'s body (call targets,
+// variable reads, address-of operands). Used to find callers-by-name of
+// added/removed/re-declared functions.
+std::set<std::string> ReferencedNames(const FuncDecl* fn);
+
+// All three in one AST walk — what AnalysisSession computes per function on
+// every re-analysis, so this is the hot path.
+struct FunctionFingerprint {
+  uint64_t full = 0;  // signature + attributes + body
+  uint64_t sig = 0;   // what callers can observe
+  std::set<std::string> refs;
+};
+FunctionFingerprint FingerprintFunctionFull(const FuncDecl* fn);
+
+}  // namespace ivy
+
+#endif  // SRC_ANALYSIS_FINGERPRINT_H_

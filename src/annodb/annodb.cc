@@ -1,5 +1,6 @@
 #include "src/annodb/annodb.h"
 
+#include <algorithm>
 #include <set>
 #include <tuple>
 
@@ -189,18 +190,22 @@ int AnnoDb::Merge(const AnnoDb& other) {
     }
   }
   if (!other.findings_.empty()) {
-    // Dedup keyed on (tool, loc, message) — the repository policy from the
-    // ROADMAP. Known consequence: location-free findings with identical
-    // messages (e.g. two modules' stackcheck overruns quoting the same
-    // byte count) coalesce into one record even when their witness chains
-    // differ; the repository keeps the first witness it saw.
-    using FindingKey = std::tuple<std::string, int32_t, int32_t, int32_t, std::string>;
+    // Dedup keyed on (module, tool, loc, message) — the repository policy
+    // from the ROADMAP plus per-module provenance, so RetractModule can
+    // remove exactly one module's contribution. Known consequence:
+    // location-free findings with identical messages *within one module*
+    // (e.g. two stackcheck overruns quoting the same byte count) coalesce
+    // into one record even when their witness chains differ; the repository
+    // keeps the first witness it saw.
+    using FindingKey =
+        std::tuple<std::string, std::string, int32_t, int32_t, int32_t, std::string>;
     std::set<FindingKey> seen;
     for (const Finding& f : findings_) {
-      seen.insert({f.tool, f.loc.file, f.loc.line, f.loc.col, f.message});
+      seen.insert({f.module, f.tool, f.loc.file, f.loc.line, f.loc.col, f.message});
     }
     for (const Finding& f : other.findings_) {
-      if (seen.insert({f.tool, f.loc.file, f.loc.line, f.loc.col, f.message}).second) {
+      if (seen.insert({f.module, f.tool, f.loc.file, f.loc.line, f.loc.col, f.message})
+              .second) {
         findings_.push_back(f);
       }
     }
@@ -210,6 +215,14 @@ int AnnoDb::Merge(const AnnoDb& other) {
     findings_sm_ = nullptr;
   }
   return added;
+}
+
+int AnnoDb::RetractModule(const std::string& module) {
+  size_t before = findings_.size();
+  findings_.erase(std::remove_if(findings_.begin(), findings_.end(),
+                                 [&module](const Finding& f) { return f.module == module; }),
+                  findings_.end());
+  return static_cast<int>(before - findings_.size());
 }
 
 int AnnoDb::ApplyAttributes(Program* prog) const {

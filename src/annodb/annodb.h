@@ -68,9 +68,16 @@ class AnnoDb {
 
   // Merge: facts from `other` fill gaps in this database; conflicting
   // boolean facts are OR-ed (conservative for blocking). Findings are
-  // deduplicated on (tool, loc, message), so re-merging the same export is
-  // idempotent. Returns number of new entries added.
+  // deduplicated on (module, tool, loc, message) — per-module provenance
+  // keeps identical findings from different modules distinct, and
+  // re-merging the same export stays idempotent. Returns number of new
+  // entries added.
   int Merge(const AnnoDb& other);
+
+  // Drops every finding stamped with `module` (see Finding::module) so a
+  // session can retract a re-analyzed module's stale findings before merging
+  // its fresh ones. Returns the number retracted.
+  int RetractModule(const std::string& module);
 
   // Applies stored blocking/errcode attributes to functions of `prog` that
   // lack them (incremental porting of unannotated modules). Returns the

@@ -105,20 +105,33 @@ const FuncDecl* BlockStop::BlockingCauseOf(const FuncDecl* fn) const {
   return nullptr;
 }
 
+void BlockStop::SeedMayBlock(const std::set<std::string>* clean,
+                             const std::set<std::string>* prev_mayblock) {
+  seed_clean_ = clean;
+  seed_prev_mayblock_ = prev_mayblock;
+}
+
 void BlockStop::ComputeMayBlock() {
   for (const FuncDecl* fn : cg_->DefinedFuncs()) {
     if (fn->attrs.blocking) {
       mayblock_.insert(fn);
+    } else if (SeededClean(fn) && seed_prev_mayblock_ != nullptr &&
+               seed_prev_mayblock_->count(fn->name) != 0) {
+      mayblock_.insert(fn);  // memoized: its callee subtree is unchanged
     }
   }
   bool changed = true;
   while (changed) {
     changed = false;
     for (const FuncDecl* fn : cg_->DefinedFuncs()) {
+      if (SeededClean(fn)) {
+        continue;  // bit frozen by the seed (true and false alike)
+      }
       if (mayblock_.count(fn) != 0 || fn->attrs.blocking_if_param >= 0) {
         // Conditionally-blocking wrappers are handled at their call sites.
         continue;
       }
+      ++mayblock_evals_;
       if (BlockingCauseOf(fn) != nullptr) {
         mayblock_.insert(fn);
         changed = true;
@@ -135,6 +148,10 @@ void BlockStop::ComputeMayBlockSharded(const FunctionSharder& sharder, WorkQueue
   for (size_t i = 0; i < n; ++i) {
     if (funcs[i]->attrs.blocking) {
       mayblock_.insert(funcs[i]);
+    } else if (SeededClean(funcs[i])) {
+      if (seed_prev_mayblock_ != nullptr && seed_prev_mayblock_->count(funcs[i]->name) != 0) {
+        mayblock_.insert(funcs[i]);
+      }
     } else if (funcs[i]->attrs.blocking_if_param < 0) {
       candidates.push_back(i);
     }
@@ -143,6 +160,7 @@ void BlockStop::ComputeMayBlockSharded(const FunctionSharder& sharder, WorkQueue
   // may-block set, publish at the barrier, then rescan only the callers of
   // what changed. Monotone, so the fixpoint equals the serial loop's.
   while (!candidates.empty()) {
+    mayblock_evals_ += static_cast<int64_t>(candidates.size());
     std::vector<std::vector<size_t>> per_chunk = sharder.MapChunks<size_t>(
         wq, candidates.size(), [this, &candidates, &funcs](int, size_t begin, size_t end) {
           std::vector<size_t> hit;
@@ -168,7 +186,8 @@ void BlockStop::ComputeMayBlockSharded(const FunctionSharder& sharder, WorkQueue
     for (size_t idx : newly) {
       for (const FuncDecl* caller : cg_->CallersOf(funcs[idx])) {
         size_t c = sharder.IndexOf(caller);
-        if (c < n && mayblock_.count(caller) == 0 && caller->attrs.blocking_if_param < 0) {
+        if (c < n && mayblock_.count(caller) == 0 && caller->attrs.blocking_if_param < 0 &&
+            !SeededClean(caller)) {
           next.insert(c);
         }
       }
@@ -365,6 +384,7 @@ BlockStopReport BlockStop::ReportShell() const {
   report.callgraph_edges = cg_->edge_count();
   report.indirect_sites = cg_->indirect_site_count();
   report.indirect_target_total = cg_->indirect_target_total();
+  report.mayblock_evals = mayblock_evals_;
   for (const FuncDecl* fn : mayblock_) {
     report.mayblock.insert(fn->name);
   }

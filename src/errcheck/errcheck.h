@@ -25,6 +25,9 @@
 
 namespace ivy {
 
+class FunctionSharder;
+class WorkQueue;
+
 struct ErrCheckFinding {
   SourceLoc loc;
   std::string caller;
@@ -51,6 +54,13 @@ class ErrCheck {
   ErrCheck(const Program* prog, const Sema* sema, const CallGraph* cg);
 
   ErrCheckReport Run();
+
+  // Sharded kernels over `sharder` (which must partition this call graph's
+  // DefinedFuncs()) driven by `wq`. Two barriered phases — classify
+  // error-returning functions, then scan call sites against the frozen set —
+  // each pure per function and reduced in shard order, so findings are
+  // byte-identical to Run().
+  ErrCheckReport Run(const FunctionSharder& sharder, WorkQueue& wq);
 
  private:
   bool ReturnsNegativeConstant(const Stmt* s) const;

@@ -4,6 +4,8 @@
 #include <deque>
 #include <functional>
 
+#include "src/tool/function_sharder.h"
+
 namespace ivy {
 
 LockSafe::LockSafe(const Program* prog, const Sema* sema, const CallGraph* cg)
@@ -30,15 +32,15 @@ std::string LockSafe::LockName(const Expr* arg) {
   return "<unknown>";
 }
 
-void LockSafe::WalkExpr(const FuncDecl* fn, const Expr* e, Ctx* ctx) {
+void LockSafe::WalkExpr(const FuncDecl* fn, const Expr* e, Ctx* ctx, Collector* out) const {
   if (e == nullptr) {
     return;
   }
-  WalkExpr(fn, e->a, ctx);
-  WalkExpr(fn, e->b, ctx);
-  WalkExpr(fn, e->c, ctx);
+  WalkExpr(fn, e->a, ctx, out);
+  WalkExpr(fn, e->b, ctx, out);
+  WalkExpr(fn, e->c, ctx, out);
   for (const Expr* arg : e->args) {
-    WalkExpr(fn, arg, ctx);
+    WalkExpr(fn, arg, ctx, out);
   }
   if (e->kind != ExprKind::kCall || e->a->kind != ExprKind::kIdent || e->args.empty()) {
     return;
@@ -55,12 +57,12 @@ void LockSafe::WalkExpr(const FuncDecl* fn, const Expr* e, Ctx* ctx) {
   std::string name = LockName(e->args[0]);
   if (is_acquire) {
     for (const std::string& held : ctx->held) {
-      if (held != name && edge_set_.insert({held, name}).second) {
-        edges_.push_back(LockOrderEdge{held, name, e->loc, fn->name});
+      if (held != name && out->edge_set.insert({held, name}).second) {
+        out->edges.push_back(LockOrderEdge{held, name, e->loc, fn->name});
       }
     }
     ctx->held.push_back(name);
-    int& bits = lock_ctx_[name];
+    int& bits = out->lock_ctx[name];
     if (ctx->in_irq) {
       bits |= 1;
     } else if (!irqsafe) {
@@ -74,22 +76,28 @@ void LockSafe::WalkExpr(const FuncDecl* fn, const Expr* e, Ctx* ctx) {
   }
 }
 
-void LockSafe::WalkStmt(const FuncDecl* fn, const Stmt* s, Ctx* ctx) {
+void LockSafe::WalkStmt(const FuncDecl* fn, const Stmt* s, Ctx* ctx, Collector* out) const {
   if (s == nullptr) {
     return;
   }
-  WalkExpr(fn, s->expr, ctx);
-  WalkExpr(fn, s->cond, ctx);
-  WalkExpr(fn, s->step, ctx);
+  WalkExpr(fn, s->expr, ctx, out);
+  WalkExpr(fn, s->cond, ctx, out);
+  WalkExpr(fn, s->step, ctx, out);
   if (s->decl != nullptr) {
-    WalkExpr(fn, s->decl->init, ctx);
+    WalkExpr(fn, s->decl->init, ctx, out);
   }
-  WalkStmt(fn, s->init, ctx);
-  WalkStmt(fn, s->then_stmt, ctx);
-  WalkStmt(fn, s->else_stmt, ctx);
+  WalkStmt(fn, s->init, ctx, out);
+  WalkStmt(fn, s->then_stmt, ctx, out);
+  WalkStmt(fn, s->else_stmt, ctx, out);
   for (const Stmt* child : s->body) {
-    WalkStmt(fn, child, ctx);
+    WalkStmt(fn, child, ctx, out);
   }
+}
+
+void LockSafe::WalkFunction(const FuncDecl* fn, Collector* out) const {
+  Ctx ctx;
+  ctx.in_irq = irq_reachable_.count(fn) != 0;
+  WalkStmt(fn, fn->body, &ctx, out);
 }
 
 void LockSafe::FindCycles(const std::set<std::pair<std::string, std::string>>& graph,
@@ -134,7 +142,7 @@ void LockSafe::FindCycles(const std::set<std::pair<std::string, std::string>>& g
   }
 }
 
-LockSafeReport LockSafe::Run() {
+void LockSafe::ComputeIrqReachable() {
   // IRQ-reachable functions: BFS from interrupt entries over the call graph.
   std::deque<const FuncDecl*> work(cg_->irq_entries().begin(), cg_->irq_entries().end());
   while (!work.empty()) {
@@ -147,21 +155,58 @@ LockSafeReport LockSafe::Run() {
       work.push_back(callee);
     }
   }
-  for (const FuncDecl* fn : cg_->DefinedFuncs()) {
-    Ctx ctx;
-    ctx.in_irq = irq_reachable_.count(fn) != 0;
-    WalkStmt(fn, fn->body, &ctx);
-  }
+}
+
+LockSafeReport LockSafe::BuildReport(const Collector& all) const {
   LockSafeReport report;
-  report.edges = edges_;
-  report.locks_seen = static_cast<int>(lock_ctx_.size());
-  FindCycles(edge_set_, &report.deadlock_cycles);
-  for (const auto& [name, bits] : lock_ctx_) {
+  report.edges = all.edges;
+  report.locks_seen = static_cast<int>(all.lock_ctx.size());
+  FindCycles(all.edge_set, &report.deadlock_cycles);
+  for (const auto& [name, bits] : all.lock_ctx) {
     if ((bits & 1) != 0 && (bits & 2) != 0) {
       report.irq_unsafe_locks.push_back(name);
     }
   }
   return report;
+}
+
+LockSafeReport LockSafe::Run() {
+  ComputeIrqReachable();
+  Collector all;
+  for (const FuncDecl* fn : cg_->DefinedFuncs()) {
+    WalkFunction(fn, &all);
+  }
+  return BuildReport(all);
+}
+
+LockSafeReport LockSafe::Run(const FunctionSharder& sharder, WorkQueue& wq) {
+  ComputeIrqReachable();
+  const std::vector<const FuncDecl*>& funcs = sharder.functions();
+  // Per-shard collectors (each deduplicates its own range first-seen), then
+  // a shard-order merge: the surviving edge sequence equals the serial
+  // walk's global first-occurrence order, byte for byte.
+  std::vector<std::vector<Collector>> chunks = sharder.MapChunks<Collector>(
+      wq, funcs.size(), [this, &funcs](int, size_t begin, size_t end) {
+        Collector local;
+        for (size_t i = begin; i < end; ++i) {
+          WalkFunction(funcs[i], &local);
+        }
+        return std::vector<Collector>{std::move(local)};
+      });
+  Collector all;
+  for (std::vector<Collector>& chunk : chunks) {
+    for (Collector& local : chunk) {
+      for (LockOrderEdge& e : local.edges) {
+        if (all.edge_set.insert({e.held, e.acquired}).second) {
+          all.edges.push_back(std::move(e));
+        }
+      }
+      for (const auto& [name, bits] : local.lock_ctx) {
+        all.lock_ctx[name] |= bits;
+      }
+    }
+  }
+  return BuildReport(all);
 }
 
 LockSafeReport LockSafe::ValidateRuntime(const Vm& vm, const IrModule& module) {

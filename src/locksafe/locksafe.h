@@ -27,6 +27,9 @@
 
 namespace ivy {
 
+class FunctionSharder;
+class WorkQueue;
+
 struct LockOrderEdge {
   std::string held;
   std::string acquired;
@@ -56,6 +59,13 @@ class LockSafe {
 
   LockSafeReport Run();
 
+  // Sharded kernels over `sharder` (which must partition this call graph's
+  // DefinedFuncs()) driven by `wq`. The per-function lock walks are pure
+  // (each collects edges and context bits privately); merging the per-shard
+  // collections in shard order reproduces the serial first-occurrence edge
+  // order, so findings are byte-identical to Run().
+  LockSafeReport Run(const FunctionSharder& sharder, WorkQueue& wq);
+
   // Validates the runtime-observed lock behaviour of a finished VM run
   // against the same two properties. Lock addresses are rendered through the
   // module's global table where possible.
@@ -66,8 +76,18 @@ class LockSafe {
     std::vector<std::string> held;
     bool in_irq = false;
   };
-  void WalkStmt(const FuncDecl* fn, const Stmt* s, Ctx* ctx);
-  void WalkExpr(const FuncDecl* fn, const Expr* e, Ctx* ctx);
+  // What one walk collects: lock-order edges (deduplicated first-seen),
+  // plus per-lock context bits (bit 1 = irq, bit 2 = process irqs-on).
+  struct Collector {
+    std::vector<LockOrderEdge> edges;
+    std::set<std::pair<std::string, std::string>> edge_set;
+    std::map<std::string, int> lock_ctx;
+  };
+  void ComputeIrqReachable();
+  void WalkFunction(const FuncDecl* fn, Collector* out) const;
+  void WalkStmt(const FuncDecl* fn, const Stmt* s, Ctx* ctx, Collector* out) const;
+  void WalkExpr(const FuncDecl* fn, const Expr* e, Ctx* ctx, Collector* out) const;
+  LockSafeReport BuildReport(const Collector& all) const;
   static std::string LockName(const Expr* arg);
   static void FindCycles(const std::set<std::pair<std::string, std::string>>& graph,
                          std::vector<std::vector<std::string>>* cycles);
@@ -76,9 +96,6 @@ class LockSafe {
   const Sema* sema_;
   const CallGraph* cg_;
   std::set<const FuncDecl*> irq_reachable_;
-  std::vector<LockOrderEdge> edges_;
-  std::set<std::pair<std::string, std::string>> edge_set_;
-  std::map<std::string, int> lock_ctx_;  // bit 1 = irq, bit 2 = process irqs-on
 };
 
 }  // namespace ivy

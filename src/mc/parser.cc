@@ -3,15 +3,19 @@
 namespace ivy {
 
 Parser::Parser(Program* prog, std::vector<Token> tokens, DiagEngine* diags)
-    : prog_(prog), tokens_(std::move(tokens)), diags_(diags) {}
+    : prog_(prog), owned_tokens_(std::move(tokens)), tokens_(&owned_tokens_),
+      diags_(diags) {}
+
+Parser::Parser(Program* prog, const std::vector<Token>* tokens, DiagEngine* diags)
+    : prog_(prog), tokens_(tokens), diags_(diags) {}
 
 const Token& Parser::Ahead(int n) const {
   size_t p = pos_ + static_cast<size_t>(n);
-  return p < tokens_.size() ? tokens_[p] : tokens_.back();
+  return p < tokens_->size() ? (*tokens_)[p] : tokens_->back();
 }
 
 void Parser::Advance() {
-  if (pos_ + 1 < tokens_.size()) {
+  if (pos_ + 1 < tokens_->size()) {
     ++pos_;
   }
 }

@@ -24,12 +24,23 @@ class Parser {
   // whole-program merge of the kernel).
   Parser(Program* prog, std::vector<Token> tokens, DiagEngine* diags);
 
+  // Borrowing variant: parses a token stream owned elsewhere without
+  // copying it. `tokens` must outlive the parser — this is what lets a
+  // corpus session share one lexed prelude across every module compilation
+  // (see FrontendCache in src/tool/pipeline.h).
+  Parser(Program* prog, const std::vector<Token>* tokens, DiagEngine* diags);
+
+  // Self-referential when constructed by value (tokens_ points at
+  // owned_tokens_), so copying or moving would dangle.
+  Parser(const Parser&) = delete;
+  Parser& operator=(const Parser&) = delete;
+
   // Parses the whole token stream. Errors are reported to the DiagEngine;
   // parsing continues after errors where possible (statement-level sync).
   void ParseTranslationUnit();
 
  private:
-  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Cur() const { return (*tokens_)[pos_]; }
   const Token& Ahead(int n) const;
   bool At(Tok t) const { return Cur().kind == t; }
   // Annotation keywords (count, opt, bound, ...) double as ordinary
@@ -73,7 +84,8 @@ class Parser {
   bool EvalConstInt(Expr* e, int64_t* out) const;
 
   Program* prog_;
-  std::vector<Token> tokens_;
+  std::vector<Token> owned_tokens_;           // set by the by-value ctor
+  const std::vector<Token>* tokens_ = nullptr;  // always valid; may borrow
   DiagEngine* diags_;
   size_t pos_ = 0;
   int anon_union_count_ = 0;

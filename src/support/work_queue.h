@@ -15,6 +15,13 @@
 // rethrows the one with the lowest submission index, so a failing parallel
 // run reports the same error the equivalent serial loop would have hit first.
 //
+// Sharing one pool: WorkQueue::Wait() is queue-global, so two passes waiting
+// on the same queue would see each other's tasks (and worse, each other's
+// exceptions). TaskGroup scopes submission: each group counts and waits for
+// only its own tasks and rethrows only its own lowest-index exception, so an
+// AnalysisSession can hand every pass (and every module) the same pool —
+// replacing the old one-pool-per-pass pattern — without cross-talk.
+//
 // Shutdown is clean by construction: the destructor (or Shutdown()) stops the
 // workers after their current task, discards still-queued tasks, and joins —
 // destroying a busy queue never deadlocks and never runs tasks on a
@@ -60,15 +67,17 @@ class WorkQueue {
 
   // Enqueues one task. Tasks may themselves Submit (the pool never blocks a
   // worker on the caller), but must not call Wait() from inside a task.
-  // After Shutdown() the task is discarded — there are no workers left to
-  // run it, and counting it would wedge a later Wait() forever.
-  void Submit(std::function<void()> task) {
+  // After Shutdown() the task is discarded and false is returned — there are
+  // no workers left to run it, and counting it would wedge a later Wait()
+  // forever. TaskGroup uses the return value to fall back to running the
+  // task inline, so a group draining against a dying queue still completes.
+  bool Submit(std::function<void()> task) {
     uint64_t seq;
     size_t home;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopped_) {
-        return;
+        return false;
       }
       seq = next_seq_++;
       ++pending_;
@@ -76,6 +85,7 @@ class WorkQueue {
       queues_[home].tasks.push_back(Task{std::move(task), seq});
     }
     cv_work_.notify_one();
+    return true;
   }
 
   // Blocks until every submitted task has finished. If any task threw, the
@@ -185,6 +195,83 @@ class WorkQueue {
   size_t pending_ = 0;
   uint64_t next_seq_ = 0;
   bool stopped_ = false;
+  std::exception_ptr first_error_;
+  uint64_t first_error_seq_ = UINT64_MAX;
+};
+
+// A submission scope over a shared WorkQueue. Wait() blocks on — and
+// rethrows the lowest-submission-index exception of — only the tasks this
+// group submitted, so concurrent kernels on one pool cannot observe each
+// other's completion or failures. If the queue was already shut down, the
+// task runs inline on the submitting thread (degraded, still correct).
+//
+// Lifetime rule: the group (and the submitting code) must drain via Wait()
+// before the queue's Shutdown() discards queued tasks; keep the queue alive
+// for as long as any group built on it is in flight.
+class TaskGroup {
+ public:
+  explicit TaskGroup(WorkQueue& wq) : wq_(wq) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  ~TaskGroup() { Wait(/*rethrow=*/false); }
+
+  void Submit(std::function<void()> task) {
+    uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seq = next_seq_++;
+      ++pending_;
+    }
+    auto wrapper = [this, seq, fn = std::move(task)] {
+      std::exception_ptr err;
+      try {
+        fn();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      Done(seq, err);
+    };
+    if (!wq_.Submit(wrapper)) {
+      wrapper();
+    }
+  }
+
+  // Blocks until every task submitted through this group finished. With
+  // `rethrow` (the default), the lowest-submission-index exception — what a
+  // serial loop would have hit first — is rethrown once; the group stays
+  // usable for further Submit/Wait cycles.
+  void Wait(bool rethrow = true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+    if (!rethrow || !first_error_) {
+      return;
+    }
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    first_error_seq_ = UINT64_MAX;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+
+ private:
+  void Done(uint64_t seq, std::exception_ptr err) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (err && seq < first_error_seq_) {
+      first_error_seq_ = seq;
+      first_error_ = err;
+    }
+    if (--pending_ == 0) {
+      cv_done_.notify_all();
+    }
+  }
+
+  WorkQueue& wq_;
+  std::mutex mu_;
+  std::condition_variable cv_done_;
+  size_t pending_ = 0;
+  uint64_t next_seq_ = 0;
   std::exception_ptr first_error_;
   uint64_t first_error_seq_ = UINT64_MAX;
 };

@@ -46,6 +46,9 @@ Json Finding::ToJson(const SourceManager* sm) const {
     w.Append(Json::MakeString(step));
   }
   j["witness"] = std::move(w);
+  if (!module.empty()) {
+    j["module"] = Json::MakeString(module);
+  }
   return j;
 }
 
@@ -73,6 +76,9 @@ Finding Finding::FromJson(const Json& j) {
     for (const Json& step : w->array()) {
       f.witness.push_back(step.AsString());
     }
+  }
+  if (const Json* m = j.Find("module")) {
+    f.module = m->AsString();
   }
   return f;
 }

@@ -35,6 +35,11 @@ struct Finding {
   // The justification chain, innermost first (e.g. caller, callee, the
   // blocking primitive at the root; or the lock cycle for a deadlock).
   std::vector<std::string> witness;
+  // Provenance: which corpus module produced this finding. Stamped by
+  // AnalysisSession on its merged output; empty for single-program runs
+  // (and then absent from the JSON, so legacy exports are unchanged). The
+  // annotation repository retracts by this key when a module is re-analyzed.
+  std::string module;
 
   // `sm` is optional: with it the JSON carries a rendered "at" location in
   // addition to the raw file/line/col triple.

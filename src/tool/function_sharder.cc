@@ -53,8 +53,12 @@ void FunctionSharder::RunChunks(WorkQueue& wq,
   if (ranges.empty()) {
     return;
   }
+  // Chunks 1..k-1 run through a TaskGroup (scoped to this round, so several
+  // kernels can share one pool without seeing each other's completion or
+  // exceptions); chunk 0 runs help-first on the calling thread.
+  TaskGroup group(wq);
   for (size_t c = 1; c < ranges.size(); ++c) {
-    wq.Submit([c, &ranges, &kernel] {
+    group.Submit([c, &ranges, &kernel] {
       kernel(static_cast<int>(c), ranges[c].first, ranges[c].second);
     });
   }
@@ -66,7 +70,7 @@ void FunctionSharder::RunChunks(WorkQueue& wq,
   }
   if (ranges.size() > 1) {
     try {
-      wq.Wait();
+      group.Wait();
     } catch (...) {
       if (!inline_err) {
         throw;

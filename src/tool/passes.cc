@@ -34,6 +34,23 @@ int ShardsFromOptions(const ToolOptions& options) {
   return shards < 0 ? 1 : static_cast<int>(shards);
 }
 
+// The worker pool for a sharded kernel: the shared one a pipeline run or
+// session attached to the context (TaskGroup keeps concurrent passes
+// isolated on it), else a pass-local pool as before.
+struct PoolRef {
+  WorkQueue* pool = nullptr;
+  std::unique_ptr<WorkQueue> owned;
+};
+PoolRef PoolFor(AnalysisContext& ctx, const FunctionSharder& sharder) {
+  PoolRef r;
+  r.pool = ctx.pool();
+  if (r.pool == nullptr) {
+    r.owned = std::make_unique<WorkQueue>(sharder.worker_count());
+    r.pool = r.owned.get();
+  }
+  return r;
+}
+
 // --------------------------------------------------------------------------
 // deputy: type-safety checks + static discharge (§2.1). The work happened at
 // lowering time; this pass surfaces the check statistics and the deputy
@@ -135,14 +152,21 @@ class BlockStopPass : public ToolPass {
   ToolResult Run(AnalysisContext& ctx) override {
     const CallGraph& cg = ctx.callgraph();
     BlockStop bs(&ctx.prog(), &ctx.sema(), &cg);
+    // Session-provided incremental seed: freeze the may-block bits of
+    // functions outside the edited call-graph region (exact memoization;
+    // findings stay byte-identical to a cold run).
+    const IncrementalHints* hints = ctx.incremental_hints();
+    if (hints != nullptr && hints->has_blockstop_seed) {
+      bs.SeedMayBlock(&hints->blockstop_clean, &hints->blockstop_prev_mayblock);
+    }
     int shards = ShardsFromOptions(options());
     BlockStopReport report;
     if (shards == 1) {
       report = bs.Run();
     } else {
       FunctionSharder sharder(cg.DefinedFuncs(), shards);
-      WorkQueue wq(sharder.worker_count());
-      report = bs.Run(sharder, wq);
+      PoolRef pool = PoolFor(ctx, sharder);
+      report = bs.Run(sharder, *pool.pool);
       shards = sharder.shard_count();
     }
     ToolResult r(name());
@@ -159,8 +183,10 @@ class BlockStopPass : public ToolPass {
     r.SetMetric("silenced", static_cast<int64_t>(report.silenced.size()));
     r.SetMetric("runtime_checks", report.runtime_checks);
     // Strategy-dependent observability (rounds differ between the serial
-    // rescan loop and the sharded BFS); findings never depend on it.
+    // rescan loop and the sharded BFS, evals shrink under an incremental
+    // seed); findings never depend on either.
     r.SetMetric("context_rounds", report.context_rounds);
+    r.SetMetric("mayblock_evals", report.mayblock_evals);
     r.set_summary(report.ToString());
     r.SetDetail(std::move(report));
     return r;
@@ -182,8 +208,18 @@ class LockSafePass : public ToolPass {
   ToolResult Run(AnalysisContext& ctx) override {
     const CallGraph& cg = ctx.callgraph();
     LockSafe ls(&ctx.prog(), &ctx.sema(), &cg);
-    LockSafeReport report = ls.Run();
+    int shards = ShardsFromOptions(options());
+    LockSafeReport report;
+    if (shards == 1) {
+      report = ls.Run();
+    } else {
+      FunctionSharder sharder(cg.DefinedFuncs(), shards);
+      PoolRef pool = PoolFor(ctx, sharder);
+      report = ls.Run(sharder, *pool.pool);
+      shards = sharder.shard_count();
+    }
     ToolResult r(name());
+    r.SetMetric("shards", shards);
     for (Finding& f : report.ToFindings("static")) {
       r.AddFinding(std::move(f));
     }
@@ -246,8 +282,8 @@ class StackCheckPass : public ToolPass {
       report = sc.Run(entries);
     } else {
       FunctionSharder sharder(cg.DefinedFuncs(), shards);
-      WorkQueue wq(sharder.worker_count());
-      report = sc.Run(entries, sharder, wq);
+      PoolRef pool = PoolFor(ctx, sharder);
+      report = sc.Run(entries, sharder, *pool.pool);
       shards = sharder.shard_count();
     }
     ToolResult r(name());
@@ -280,8 +316,18 @@ class ErrCheckPass : public ToolPass {
   ToolResult Run(AnalysisContext& ctx) override {
     const CallGraph& cg = ctx.callgraph();
     ErrCheck ec(&ctx.prog(), &ctx.sema(), &cg);
-    ErrCheckReport report = ec.Run();
+    int shards = ShardsFromOptions(options());
+    ErrCheckReport report;
+    if (shards == 1) {
+      report = ec.Run();
+    } else {
+      FunctionSharder sharder(cg.DefinedFuncs(), shards);
+      PoolRef pool = PoolFor(ctx, sharder);
+      report = ec.Run(sharder, *pool.pool);
+      shards = sharder.shard_count();
+    }
     ToolResult r(name());
+    r.SetMetric("shards", shards);
     for (Finding& f : report.ToFindings()) {
       r.AddFinding(std::move(f));
     }

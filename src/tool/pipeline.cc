@@ -7,6 +7,7 @@
 #include "src/kernel/prelude.h"
 #include "src/mc/lexer.h"
 #include "src/mc/parser.h"
+#include "src/support/work_queue.h"
 #include "src/tool/registry.h"
 #include "src/vm/builtins.h"
 
@@ -91,24 +92,39 @@ std::string PipelineResult::ToString(const SourceManager* sm) const {
 // Pipeline: frontend
 // ---------------------------------------------------------------------------
 
-std::unique_ptr<Compilation> Pipeline::Compile(const std::vector<SourceFile>& files) const {
+std::unique_ptr<Compilation> Pipeline::Compile(const std::vector<SourceFile>& files,
+                                               FrontendCache* cache) const {
   auto comp = std::make_unique<Compilation>();
   comp->config = config_;
   comp->diags = std::make_unique<DiagEngine>(&comp->sm);
 
-  std::vector<int32_t> file_ids;
-  if (config_.include_prelude) {
-    file_ids.push_back(comp->sm.AddFile("<prelude>", PreludeSource()));
-  }
-  for (const SourceFile& f : files) {
-    file_ids.push_back(comp->sm.AddFile(f.name, f.text));
-  }
-
-  // Lex + parse every file into one Program (whole-program merge).
-  for (int32_t id : file_ids) {
+  // Lex + parse every file into one Program (whole-program merge). The
+  // prelude is always the first file registered, so its token stream —
+  // embedded file ids included — is identical across compilations and can
+  // come from the corpus cache.
+  auto parse_file = [&comp](int32_t id) {
     Lexer lexer(comp->sm, id, comp->diags.get());
     Parser parser(&comp->prog, lexer.Lex(), comp->diags.get());
     parser.ParseTranslationUnit();
+  };
+  if (config_.include_prelude) {
+    int32_t prelude_id = comp->sm.AddFile("<prelude>", PreludeSource());
+    if (cache != nullptr) {
+      if (cache->prelude_tokens == nullptr) {
+        Lexer lexer(comp->sm, prelude_id, comp->diags.get());
+        cache->prelude_tokens = std::make_shared<std::vector<Token>>(lexer.Lex());
+      } else {
+        ++cache->prelude_reuses;
+      }
+      // Borrowed, not copied: the cached stream outlives the parser.
+      Parser parser(&comp->prog, cache->prelude_tokens.get(), comp->diags.get());
+      parser.ParseTranslationUnit();
+    } else {
+      parse_file(prelude_id);
+    }
+  }
+  for (const SourceFile& f : files) {
+    parse_file(comp->sm.AddFile(f.name, f.text));
   }
   if (!comp->diags->ok()) {
     return comp;
@@ -289,6 +305,28 @@ PipelineResult Pipeline::RunTools(AnalysisContext& ctx) const {
   std::vector<std::unique_ptr<ToolPass>> passes =
       MakePasses(tools_, options_, shards_, &config_errors);
 
+  // One worker pool for every sharded pass in this run (TaskGroup keeps
+  // their waits isolated) — unless a session already attached a longer-lived
+  // one. Sized for the help-first model: k shards need k-1 workers. The
+  // guard detaches on every exit path: a throwing pass must not leave the
+  // context pointing at a pool that dies with this frame.
+  struct RunPool {
+    AnalysisContext* ctx = nullptr;
+    std::unique_ptr<WorkQueue> pool;
+    ~RunPool() {
+      if (ctx != nullptr) {
+        ctx->AttachPool(nullptr);
+      }
+    }
+  } run_pool;
+  if (shards_ != 1 && ctx.pool() == nullptr && !passes.empty()) {
+    int workers = shards_ == 0 ? WorkQueue::ResolveHardware()
+                               : (shards_ > 1 ? shards_ - 1 : 1);
+    run_pool.pool = std::make_unique<WorkQueue>(workers);
+    run_pool.ctx = &ctx;
+    ctx.AttachPool(run_pool.pool.get());
+  }
+
   // Warm the shared cache serially so parallel passes only ever read it.
   bool need_pt = false;
   bool need_cg = false;
@@ -368,16 +406,8 @@ PipelineResult Pipeline::RunTools(AnalysisContext& ctx) const {
   return out;
 }
 
-PipelineRun Pipeline::CompileAndRun(const std::vector<SourceFile>& files) const {
-  PipelineRun run;
-  run.comp = Compile(files);
-  if (!run.comp->ok) {
-    return run;
-  }
-  run.ctx = MakeContext(run.comp.get());
-  run.result = RunTools(*run.ctx);
-  return run;
-}
+// Pipeline::CompileAndRun lives in src/tool/session.cc: it is a thin shim
+// over a single-module AnalysisSession.
 
 std::vector<std::string> Pipeline::Plan() const {
   std::vector<std::string> plan;
@@ -471,6 +501,19 @@ PipelineBuilder& PipelineBuilder::RcWidthBits(int bits) {
 
 PipelineBuilder& PipelineBuilder::IncludePrelude(bool on) {
   pipeline_.config_.include_prelude = on;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::ForEachModule(std::vector<ModuleSources> modules) {
+  for (ModuleSources& m : modules) {
+    auto it = std::find_if(modules_.begin(), modules_.end(),
+                           [&m](const ModuleSources& have) { return have.name == m.name; });
+    if (it != modules_.end()) {
+      *it = std::move(m);
+    } else {
+      modules_.push_back(std::move(m));
+    }
+  }
   return *this;
 }
 

@@ -6,23 +6,52 @@
 // parallel (std::async) — results are still merged in request order, so
 // parallel and serial runs produce byte-identical finding lists.
 //
+// Corpus scale lives one layer up: PipelineBuilder::ForEachModule(...) +
+// BuildSession() produce an AnalysisSession (src/tool/session.h) that runs
+// this pipeline over N named modules with one shared worker pool, reused
+// prelude tokens, and incremental re-analysis. CompileAndRun is itself a
+// thin shim over a single-module session, so every driver goes through the
+// same path.
+//
 // The old entry points survive as shims: Compile()/CompileOne() in
 // src/driver/compiler.h delegate here, and the flat ToolConfig maps onto a
 // builder via PipelineBuilder::FromToolConfig.
 #ifndef SRC_TOOL_PIPELINE_H_
 #define SRC_TOOL_PIPELINE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/driver/compiler.h"
+#include "src/mc/token.h"
 #include "src/tool/analysis_context.h"
 #include "src/tool/finding.h"
 #include "src/tool/tool_pass.h"
 
 namespace ivy {
+
+class AnalysisSession;
+
+// One named corpus member: what AnalysisSession compiles and analyzes as a
+// unit. Names are the provenance key (Finding::module) and must be unique
+// within a session.
+struct ModuleSources {
+  std::string name;
+  std::vector<SourceFile> files;
+};
+
+// Frontend artifacts shared across the compilations of a corpus. The
+// prelude's token stream is identical for every module (always the first
+// file registered, so even the embedded file ids match); lexing it once and
+// re-parsing from the cached tokens is the "reuse prelude parse results"
+// half of batched compilation. The counter exists for tests.
+struct FrontendCache {
+  std::shared_ptr<std::vector<Token>> prelude_tokens;
+  int64_t prelude_reuses = 0;
+};
 
 // Merged output of one RunTools call. `results` holds one entry per
 // configured pass in request order; `findings` is the concatenation of every
@@ -50,8 +79,11 @@ struct PipelineRun {
 
 class Pipeline {
  public:
-  // Frontend only: source -> Compilation (never null; check ->ok).
-  std::unique_ptr<Compilation> Compile(const std::vector<SourceFile>& files) const;
+  // Frontend only: source -> Compilation (never null; check ->ok). With a
+  // FrontendCache, the prelude token stream is lexed once and reused across
+  // calls (what AnalysisSession passes for corpus builds).
+  std::unique_ptr<Compilation> Compile(const std::vector<SourceFile>& files,
+                                       FrontendCache* cache = nullptr) const;
 
   // Context at this pipeline's configured points-to precision. Prefer this
   // over constructing AnalysisContext directly so FieldSensitive() cannot
@@ -63,7 +95,9 @@ class Pipeline {
   PipelineResult RunTools(AnalysisContext& ctx) const;
 
   // Compile + analyze in one step. If compilation fails, `result` is empty
-  // and `ctx` is null.
+  // and `ctx` is null. Implemented as a single-module AnalysisSession (see
+  // src/tool/session.cc), so one-shot runs and corpus runs share one code
+  // path.
   PipelineRun CompileAndRun(const std::vector<SourceFile>& files) const;
 
   // The schedule RunTools would execute: required analyses first (in
@@ -121,10 +155,24 @@ class PipelineBuilder {
   // Maps the legacy flat config onto a builder (the Compile() shim).
   static PipelineBuilder FromToolConfig(const ToolConfig& config);
 
+  // Corpus mode: registers named modules for BuildSession(). One builder
+  // call then compiles every module (reusing prelude tokens) and schedules
+  // the configured passes across the whole corpus; the session's merged
+  // findings are byte-identical regardless of module registration order or
+  // shard count. Appends to any modules registered earlier; duplicate names
+  // replace the earlier sources.
+  PipelineBuilder& ForEachModule(std::vector<ModuleSources> modules);
+
+  // Builds a long-lived AnalysisSession over the configured pipeline and
+  // the ForEachModule corpus (possibly empty — AddModule later). Defined in
+  // src/tool/session.cc.
+  AnalysisSession BuildSession() const;
+
   Pipeline Build() const { return pipeline_; }
 
  private:
   Pipeline pipeline_;
+  std::vector<ModuleSources> modules_;
 };
 
 }  // namespace ivy

@@ -1,0 +1,635 @@
+#include "src/tool/session.h"
+
+#include <algorithm>
+#include <cctype>
+#include <future>
+#include <utility>
+
+#include "src/analysis/fingerprint.h"
+#include "src/blockstop/blockstop.h"
+
+namespace ivy {
+
+// ---------------------------------------------------------------------------
+// SessionResult
+// ---------------------------------------------------------------------------
+
+const ModuleRunResult* SessionResult::ModuleFor(const std::string& name) const {
+  for (const ModuleRunResult& m : modules) {
+    if (m.module == name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+int SessionResult::ErrorCount() const {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == FindingSeverity::kError) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// ModuleState
+// ---------------------------------------------------------------------------
+
+struct AnalysisSession::ModuleState {
+  std::vector<SourceFile> files;
+  bool dirty = true;
+  bool ok = false;
+  bool analyzed_now = false;  // re-analyzed during the current Run()
+  std::string compile_errors;
+
+  // Name-keyed snapshots from the last successful analysis: the inputs to
+  // the next run's dirty bits and warm starts.
+  bool have_snapshot = false;
+  uint64_t preamble_fp = 0;
+  std::map<std::string, uint64_t> func_fps;
+  std::map<std::string, uint64_t> sig_fps;
+  std::map<std::string, std::set<std::string>> func_refs;
+  PointsToSnapshot pt_snapshot;
+  std::map<std::string, uint64_t> callee_hashes;
+  bool have_mayblock = false;
+  std::set<std::string> prev_mayblock;
+
+  ModuleStats stats;
+
+  // Declaration order matters: `ctx` points into `hints` and `comp`, so it
+  // must be destroyed first.
+  IncrementalHints hints;
+  std::unique_ptr<Compilation> comp;
+  std::unique_ptr<AnalysisContext> ctx;
+  PipelineResult result;
+};
+
+// ---------------------------------------------------------------------------
+// Textual function replacement
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Skips a comment or string/char literal starting at `i`; returns true if it
+// advanced. Keeps the top-level scan from miscounting braces in text.
+bool SkipNonCode(const std::string& text, size_t* i) {
+  const size_t n = text.size();
+  size_t p = *i;
+  if (text[p] == '/' && p + 1 < n && text[p + 1] == '/') {
+    while (p < n && text[p] != '\n') {
+      ++p;
+    }
+  } else if (text[p] == '/' && p + 1 < n && text[p + 1] == '*') {
+    p += 2;
+    while (p + 1 < n && !(text[p] == '*' && text[p + 1] == '/')) {
+      ++p;
+    }
+    p = p + 2 > n ? n : p + 2;
+  } else if (text[p] == '"' || text[p] == '\'') {
+    char quote = text[p];
+    ++p;
+    while (p < n && text[p] != quote) {
+      if (text[p] == '\\') {
+        ++p;
+      }
+      ++p;
+    }
+    if (p < n) {
+      ++p;
+    }
+  } else {
+    return false;
+  }
+  *i = p;
+  return true;
+}
+
+// Locates the top-level *definition* of `name` (declarations are skipped):
+// identifier at brace depth 0, then a parameter list, then optional
+// attribute words — errcode(...) arguments included — then a brace-matched
+// body. `out_begin` is the start of the line holding the identifier (Mini-C
+// signatures are single-line), `out_end` one past the closing brace.
+bool FindDefinition(const std::string& text, const std::string& name, size_t* out_begin,
+                    size_t* out_end) {
+  const size_t n = text.size();
+  int depth = 0;
+  size_t i = 0;
+  while (i < n) {
+    if (SkipNonCode(text, &i)) {
+      continue;
+    }
+    char c = text[i];
+    if (c == '{') {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      --depth;
+      ++i;
+      continue;
+    }
+    if (depth != 0 || !IsIdentChar(c) || (i > 0 && IsIdentChar(text[i - 1]))) {
+      ++i;
+      continue;
+    }
+    size_t ident_start = i;
+    while (i < n && IsIdentChar(text[i])) {
+      ++i;
+    }
+    if (text.compare(ident_start, i - ident_start, name) != 0) {
+      continue;
+    }
+    size_t j = i;
+    while (j < n && std::isspace(static_cast<unsigned char>(text[j])) != 0) {
+      ++j;
+    }
+    if (j >= n || text[j] != '(') {
+      continue;  // a variable or call of the same name
+    }
+    int paren = 0;
+    while (j < n) {
+      if (SkipNonCode(text, &j)) {
+        continue;
+      }
+      if (text[j] == '(') {
+        ++paren;
+      } else if (text[j] == ')') {
+        --paren;
+        if (paren == 0) {
+          ++j;
+          break;
+        }
+      }
+      ++j;
+    }
+    if (paren != 0) {
+      return false;
+    }
+    // Attribute region: words, whitespace, and parenthesized arguments.
+    bool is_definition = false;
+    size_t k = j;
+    while (k < n) {
+      if (SkipNonCode(text, &k)) {
+        continue;
+      }
+      char d = text[k];
+      if (d == '{') {
+        is_definition = true;
+        break;
+      }
+      if (d == '(') {
+        int attr_paren = 0;
+        while (k < n) {
+          if (SkipNonCode(text, &k)) {
+            continue;
+          }
+          if (text[k] == '(') {
+            ++attr_paren;
+          } else if (text[k] == ')') {
+            --attr_paren;
+            if (attr_paren == 0) {
+              ++k;
+              break;
+            }
+          }
+          ++k;
+        }
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(d)) != 0 || IsIdentChar(d)) {
+        ++k;
+        continue;
+      }
+      break;  // ';' or anything else: a declaration
+    }
+    if (!is_definition) {
+      continue;  // keep scanning from i (body braces still tracked)
+    }
+    size_t begin = text.rfind('\n', ident_start);
+    begin = begin == std::string::npos ? 0 : begin + 1;
+    int braces = 0;
+    size_t m = k;
+    while (m < n) {
+      if (SkipNonCode(text, &m)) {
+        continue;
+      }
+      if (text[m] == '{') {
+        ++braces;
+      } else if (text[m] == '}') {
+        --braces;
+        if (braces == 0) {
+          ++m;
+          break;
+        }
+      }
+      ++m;
+    }
+    if (braces != 0) {
+      return false;
+    }
+    *out_begin = begin;
+    *out_end = m;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AnalysisSession
+// ---------------------------------------------------------------------------
+
+AnalysisSession::AnalysisSession(Pipeline pipeline, bool track_incremental)
+    : pipeline_(std::move(pipeline)), track_incremental_(track_incremental) {}
+
+AnalysisSession::~AnalysisSession() = default;
+
+void AnalysisSession::AddModule(const std::string& name, std::vector<SourceFile> files) {
+  auto& st = modules_[name];
+  if (st == nullptr) {
+    st = std::make_unique<ModuleState>();
+  }
+  st->files = std::move(files);
+  st->dirty = true;
+}
+
+void AnalysisSession::AddModule(ModuleSources module) {
+  AddModule(module.name, std::move(module.files));
+}
+
+bool AnalysisSession::RemoveModule(const std::string& name) {
+  return modules_.erase(name) != 0;
+}
+
+void AnalysisSession::Invalidate(const std::string& name) {
+  auto it = modules_.find(name);
+  if (it != modules_.end()) {
+    it->second->dirty = true;
+  }
+}
+
+bool AnalysisSession::ReplaceFunction(const std::string& module, const std::string& function,
+                                      const std::string& new_definition) {
+  auto it = modules_.find(module);
+  if (it == modules_.end()) {
+    return false;
+  }
+  // The replaced span ends at the closing brace (exclusive of the original
+  // trailing newline), so strip trailing whitespace from the replacement —
+  // otherwise every edit would grow the file by a line and shift the
+  // locations of everything below it.
+  std::string def = new_definition;
+  while (!def.empty() && (def.back() == '\n' || def.back() == '\r' || def.back() == ' ')) {
+    def.pop_back();
+  }
+  for (SourceFile& f : it->second->files) {
+    size_t begin = 0;
+    size_t end = 0;
+    if (FindDefinition(f.text, function, &begin, &end)) {
+      f.text = f.text.substr(0, begin) + def + f.text.substr(end);
+      it->second->dirty = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AnalysisSession::ReplaceModuleSources(const std::string& name,
+                                           std::vector<SourceFile> files) {
+  auto it = modules_.find(name);
+  if (it == modules_.end()) {
+    return false;
+  }
+  it->second->files = std::move(files);
+  it->second->dirty = true;
+  return true;
+}
+
+WorkQueue* AnalysisSession::pool() {
+  if (pipeline_.shard_functions() == 1) {
+    return nullptr;  // serial kernels never touch a pool
+  }
+  if (pool_ == nullptr) {
+    int shards = pipeline_.shard_functions();
+    int workers =
+        shards == 0 ? WorkQueue::ResolveHardware() : (shards > 1 ? shards - 1 : 1);
+    pool_ = std::make_unique<WorkQueue>(workers);
+  }
+  return pool_.get();
+}
+
+void AnalysisSession::Analyze(const std::string& name, ModuleState* st) {
+  (void)name;
+  Compilation* comp = st->comp.get();
+
+  // Per-function dirty bits: fingerprint the fresh AST, diff against the
+  // last successful analysis. Everything is keyed by name, so the diff
+  // survives the wholesale AST replacement a recompile is. One-shot
+  // sessions (track_incremental off) skip the bookkeeping entirely.
+  uint64_t preamble = 0;
+  std::map<std::string, uint64_t> fps;
+  std::map<std::string, uint64_t> sigs;
+  std::map<std::string, std::set<std::string>> refs;
+  if (track_incremental_) {
+    preamble = FingerprintPreamble(comp->prog);
+    for (const auto& [fname, fn] : comp->sema->func_map()) {
+      if (fn->body == nullptr || fn->func_id < 0) {
+        continue;
+      }
+      FunctionFingerprint fingerprint = FingerprintFunctionFull(fn);
+      fps[fname] = fingerprint.full;
+      sigs[fname] = fingerprint.sig;
+      refs[fname] = std::move(fingerprint.refs);
+    }
+  }
+
+  bool warm = track_incremental_ && st->have_snapshot && preamble == st->preamble_fp;
+  std::set<std::string> dirty_funcs;
+  if (warm) {
+    // Changed/added bodies...
+    std::set<std::string> renamed;  // added, removed, or signature-changed
+    for (const auto& [fname, fp] : fps) {
+      auto it = st->func_fps.find(fname);
+      if (it == st->func_fps.end()) {
+        dirty_funcs.insert(fname);
+        renamed.insert(fname);
+      } else if (it->second != fp) {
+        dirty_funcs.insert(fname);
+        if (st->sig_fps[fname] != sigs[fname]) {
+          renamed.insert(fname);
+        }
+      }
+    }
+    // ...removed functions...
+    for (const auto& [fname, fp] : st->func_fps) {
+      if (fps.count(fname) == 0) {
+        dirty_funcs.insert(fname);
+        renamed.insert(fname);
+      }
+    }
+    // ...and functions whose name resolution changed: an unchanged body that
+    // references an added/removed/re-signed function generates different
+    // constraints, so it is dirty too.
+    if (!renamed.empty()) {
+      for (const auto& [fname, names] : refs) {
+        if (dirty_funcs.count(fname) != 0) {
+          continue;
+        }
+        for (const std::string& r : renamed) {
+          if (names.count(r) != 0) {
+            dirty_funcs.insert(fname);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  st->hints = IncrementalHints{};
+  if (warm) {
+    st->hints.pointsto_prev = &st->pt_snapshot;
+    st->hints.pointsto_dirty = dirty_funcs;
+  }
+  st->ctx = pipeline_.MakeContext(comp);
+  if (track_incremental_) {
+    st->ctx->EnableIncrementalTracking();
+  }
+  st->ctx->SetIncrementalHints(&st->hints);
+  st->ctx->AttachPool(pool());
+
+  // Warm the analyses the pipeline will need. Doing the call graph here (not
+  // inside RunTools) lets the BlockStop seed be scoped to the affected
+  // region before any pass runs.
+  bool need_pt = false;
+  bool need_cg = false;
+  for (const std::string& step : pipeline_.Plan()) {
+    need_pt |= step == "analysis:pointsto";
+    need_cg |= step == "analysis:callgraph";
+  }
+  std::map<std::string, uint64_t> new_callees;
+  if (need_cg) {
+    const CallGraph& cg = st->ctx->callgraph();
+    new_callees = cg.CalleeNameHashes();
+    if (warm && st->have_mayblock) {
+      // The edited region: fingerprint-dirty functions plus clean-bodied
+      // functions whose resolved callee lists changed (an edit elsewhere
+      // retargeted one of their indirect sites). Everything that can reach
+      // the region is affected; everything else keeps its may-block bit.
+      std::set<const FuncDecl*> changed;
+      for (const FuncDecl* fn : cg.DefinedFuncs()) {
+        auto it = st->callee_hashes.find(fn->name);
+        if (dirty_funcs.count(fn->name) != 0 || it == st->callee_hashes.end() ||
+            it->second != new_callees[fn->name]) {
+          changed.insert(fn);
+        }
+      }
+      std::set<const FuncDecl*> affected = cg.AncestorsOf(changed);
+      st->hints.has_blockstop_seed = true;
+      for (const FuncDecl* fn : cg.DefinedFuncs()) {
+        if (affected.count(fn) == 0) {
+          st->hints.blockstop_clean.insert(fn->name);
+        }
+      }
+      st->hints.blockstop_prev_mayblock = st->prev_mayblock;
+    }
+  } else if (need_pt) {
+    st->ctx->pointsto();
+  }
+
+  st->result = pipeline_.RunTools(*st->ctx);
+  st->ok = true;
+  st->compile_errors.clear();
+
+  st->stats = ModuleStats{};
+  st->stats.valid = true;
+  st->stats.cold = !warm;
+  st->stats.dirty_functions = warm ? static_cast<int>(dirty_funcs.size()) : -1;
+  if (st->ctx->pointsto_builds() > 0) {
+    const PointsTo& pt = st->ctx->pointsto();
+    st->stats.pointsto_propagations = pt.solve_propagations();
+    st->stats.pointsto_seeded_facts = pt.seeded_facts();
+  }
+  if (const ToolResult* r = st->result.ResultFor("blockstop")) {
+    st->stats.mayblock_evals = r->Metric("mayblock_evals");
+  }
+
+  // Refresh the snapshots the next incremental run diffs against.
+  st->have_snapshot = false;
+  st->have_mayblock = false;
+  if (track_incremental_) {
+    st->preamble_fp = preamble;
+    st->func_fps = std::move(fps);
+    st->sig_fps = std::move(sigs);
+    st->func_refs = std::move(refs);
+    st->callee_hashes = std::move(new_callees);
+    if (st->ctx->pointsto_builds() > 0) {
+      st->pt_snapshot = st->ctx->pointsto().Snapshot();
+      st->have_snapshot = true;
+    }
+    if (const ToolResult* r = st->result.ResultFor("blockstop")) {
+      if (const BlockStopReport* report = r->DetailAs<BlockStopReport>()) {
+        st->prev_mayblock = report->mayblock;
+        st->have_mayblock = true;
+      }
+    }
+  }
+  st->dirty = false;
+}
+
+SessionResult AnalysisSession::Run() {
+  // Phase A — frontend, serial: the FrontendCache hands every compilation
+  // the same prelude token stream (lexed exactly once per session).
+  std::vector<std::pair<const std::string*, ModuleState*>> to_analyze;
+  for (auto& [name, st] : modules_) {
+    st->analyzed_now = false;
+    if (!st->dirty) {
+      continue;
+    }
+    st->analyzed_now = true;
+    st->ctx.reset();
+    st->comp.reset();
+    st->result = PipelineResult{};
+    st->comp = pipeline_.Compile(st->files, &cache_);
+    if (!st->comp->ok) {
+      st->ok = false;
+      st->compile_errors = st->comp->Errors();
+      st->have_snapshot = false;
+      st->have_mayblock = false;
+      st->stats = ModuleStats{};
+      st->dirty = false;  // until the sources change again
+      continue;
+    }
+    to_analyze.push_back({&name, st.get()});
+  }
+
+  // Phase B — analysis: independent per module (private Compilation +
+  // AnalysisContext; the shared pool isolates kernels via TaskGroup), so
+  // dirty modules run concurrently in bounded batches when the pipeline is
+  // parallel. Merge order never depends on completion order. The pool is
+  // materialized here, before any Analyze thread exists — lazy construction
+  // inside concurrent Analyze calls would race.
+  pool();
+  size_t batch = static_cast<size_t>(WorkQueue::ResolveHardware());
+  if (pipeline_.parallel() && to_analyze.size() > 1 && batch > 1) {
+    for (size_t i = 0; i < to_analyze.size(); i += batch) {
+      size_t end = std::min(i + batch, to_analyze.size());
+      std::vector<std::future<void>> futures;
+      futures.reserve(end - i);
+      for (size_t j = i; j < end; ++j) {
+        auto [mod_name, st] = to_analyze[j];
+        futures.push_back(std::async(std::launch::async,
+                                     [this, mod_name, st] { Analyze(*mod_name, st); }));
+      }
+      for (std::future<void>& f : futures) {
+        f.get();
+      }
+    }
+  } else {
+    for (auto [mod_name, st] : to_analyze) {
+      Analyze(*mod_name, st);
+    }
+  }
+
+  // Phase C — deterministic corpus merge, in sorted-module-name order.
+  SessionResult out;
+  for (auto& [name, st] : modules_) {
+    ModuleRunResult mr;
+    mr.module = name;
+    mr.ok = st->ok;
+    mr.reanalyzed = st->analyzed_now;
+    mr.result = st->result;
+    mr.compile_errors = st->compile_errors;
+    if (st->analyzed_now) {
+      ++out.modules_analyzed;
+    } else {
+      ++out.modules_reused;
+    }
+    if (!st->ok) {
+      ++out.compile_failures;
+      Finding f;
+      f.tool = "session";
+      f.severity = FindingSeverity::kError;
+      f.module = name;
+      f.message = "module '" + name + "' failed to compile";
+      out.findings.push_back(std::move(f));
+    } else {
+      for (const Finding& f : st->result.findings) {
+        Finding stamped = f;
+        stamped.module = name;
+        out.findings.push_back(std::move(stamped));
+      }
+    }
+    out.modules.push_back(std::move(mr));
+  }
+  return out;
+}
+
+AnnoDb AnalysisSession::ExportAnnoDb() {
+  AnnoDb merged;
+  for (auto& [name, st] : modules_) {
+    if (!st->ok || st->ctx == nullptr) {
+      continue;
+    }
+    AnnoDb db = AnnoDb::Extract(*st->ctx, &st->result);
+    std::vector<Finding> stamped = st->result.findings;
+    for (Finding& f : stamped) {
+      f.module = name;
+    }
+    db.SetFindings(std::move(stamped), &st->ctx->sm());
+    merged.Merge(db);
+  }
+  return merged;
+}
+
+ModuleStats AnalysisSession::StatsFor(const std::string& name) const {
+  auto it = modules_.find(name);
+  return it == modules_.end() ? ModuleStats{} : it->second->stats;
+}
+
+PipelineRun AnalysisSession::TakeModule(const std::string& name) {
+  PipelineRun run;
+  auto it = modules_.find(name);
+  if (it == modules_.end()) {
+    return run;
+  }
+  ModuleState& st = *it->second;
+  if (st.ctx != nullptr) {
+    // The session (hints storage, pool) will not outlive these artifacts.
+    st.ctx->SetIncrementalHints(nullptr);
+    st.ctx->AttachPool(nullptr);
+  }
+  run.comp = std::move(st.comp);
+  run.ctx = std::move(st.ctx);
+  run.result = std::move(st.result);
+  modules_.erase(it);
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// The pipeline-level shims: one code path for one-shot and corpus runs.
+// ---------------------------------------------------------------------------
+
+PipelineRun Pipeline::CompileAndRun(const std::vector<SourceFile>& files) const {
+  AnalysisSession session(*this, /*track_incremental=*/false);
+  session.AddModule("", files);
+  session.Run();
+  return session.TakeModule("");
+}
+
+AnalysisSession PipelineBuilder::BuildSession() const {
+  AnalysisSession session(pipeline_);
+  for (const ModuleSources& m : modules_) {
+    session.AddModule(m);
+  }
+  return session;
+}
+
+}  // namespace ivy

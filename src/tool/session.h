@@ -1,0 +1,158 @@
+// AnalysisSession: the corpus-level pipeline API (the paper's "apply sound
+// static analysis at a large scale" made long-lived).
+//
+// A session owns a corpus of named modules, one shared worker pool for every
+// sharded pass kernel (TaskGroup isolation instead of one pool per pass),
+// a frontend cache that lexes the prelude once for the whole corpus, and a
+// dirty-tracking layer over AnalysisContext:
+//
+//   AnalysisSession session = PipelineBuilder()
+//                                 .AllTools()
+//                                 .ShardFunctions(0)
+//                                 .ForEachModule(modules)
+//                                 .BuildSession();
+//   SessionResult cold = session.Run();          // analyzes every module
+//   session.ReplaceFunction("net", "udp_sendmsg", edited_definition);
+//   SessionResult warm = session.Run();          // re-analyzes only "net",
+//                                                // re-solving only the
+//                                                // edited region inside it
+//
+// Determinism contract (extends PR 2's): the merged findings are
+// byte-identical regardless of module registration order, shard count, pool
+// size, and cold-vs-incremental execution. Modules merge in sorted-name
+// order; within a module the pipeline's request-order merge applies; the
+// incremental machinery (points-to warm start, BlockStop may-block
+// memoization) is exact, not heuristic — see src/analysis/pointsto.h.
+//
+// Incremental granularity: a module is the re-analysis unit (clean modules'
+// cached results are reused verbatim); within a re-analyzed module,
+// per-function dirty bits (src/analysis/fingerprint.h) scope the points-to
+// re-solve to the constraints whose origins changed and freeze the may-block
+// bits of functions with no call path into the edit. ModuleStats exposes the
+// solver counters so tests can assert the dirty region stayed small.
+#ifndef SRC_TOOL_SESSION_H_
+#define SRC_TOOL_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/annodb/annodb.h"
+#include "src/support/work_queue.h"
+#include "src/tool/pipeline.h"
+
+namespace ivy {
+
+// Per-module outcome of one Run(). `result` is the module's pass output with
+// unstamped findings — byte-identical to an independent single-module
+// CompileAndRun of the same sources.
+struct ModuleRunResult {
+  std::string module;
+  bool ok = false;          // compiled successfully
+  bool reanalyzed = false;  // analyzed during this Run (false: cache reused)
+  PipelineResult result;
+  std::string compile_errors;
+};
+
+struct SessionResult {
+  std::vector<ModuleRunResult> modules;  // sorted by module name
+  // Every module's findings concatenated in that same order, each stamped
+  // with its module name (Finding::module) — the corpus-level merge.
+  // Compile failures contribute a severity-error finding from tool
+  // "session" so they can never vanish silently.
+  std::vector<Finding> findings;
+  int modules_analyzed = 0;
+  int modules_reused = 0;
+  int compile_failures = 0;
+
+  const ModuleRunResult* ModuleFor(const std::string& name) const;
+  int ErrorCount() const;
+};
+
+// Solver-effort counters from a module's most recent analysis — how much of
+// it the incremental layer actually re-derived.
+struct ModuleStats {
+  bool valid = false;   // module exists and was analyzed at least once
+  bool cold = true;     // last analysis was a full re-solve
+  int dirty_functions = -1;  // fingerprint-dirty functions (-1 when cold)
+  int64_t pointsto_propagations = 0;
+  int64_t pointsto_seeded_facts = 0;
+  int64_t mayblock_evals = 0;
+};
+
+class AnalysisSession {
+ public:
+  // `track_incremental` keeps the name-keyed snapshots that warm later
+  // Run()s; the one-shot CompileAndRun shim turns it off.
+  explicit AnalysisSession(Pipeline pipeline, bool track_incremental = true);
+  ~AnalysisSession();
+
+  AnalysisSession(AnalysisSession&&) = default;
+  AnalysisSession& operator=(AnalysisSession&&) = default;
+
+  // Registers (or replaces) a module. Names key provenance and must be
+  // unique; re-adding an existing name replaces its sources and marks it
+  // dirty.
+  void AddModule(const std::string& name, std::vector<SourceFile> files);
+  void AddModule(ModuleSources module);
+  bool RemoveModule(const std::string& name);
+
+  // Marks a module for re-analysis. Cached snapshots are kept, so the next
+  // Run() recomputes per-function dirty bits against the (possibly edited)
+  // sources and re-solves only the affected region.
+  void Invalidate(const std::string& name);
+
+  // Textually replaces one top-level function definition inside the
+  // module's sources with `new_definition` (a complete definition including
+  // signature and body) and invalidates the module. Returns false if the
+  // module or a definition of `function` was not found. Dirty bits are
+  // derived from AST fingerprints at Run() time, so the edit's blast radius
+  // is measured, never assumed.
+  bool ReplaceFunction(const std::string& module, const std::string& function,
+                       const std::string& new_definition);
+
+  // Wholesale source replacement + Invalidate (for arbitrary edits).
+  bool ReplaceModuleSources(const std::string& name, std::vector<SourceFile> files);
+
+  // Compiles and analyzes every dirty module (batched: shared prelude
+  // tokens, shared pool, modules analyzed concurrently when the pipeline is
+  // Parallel), reuses every clean module's cached result, and returns the
+  // deterministic corpus merge.
+  SessionResult Run();
+
+  // The §3.2 repository view of the whole corpus: per-module facts merged,
+  // findings stamped with module provenance (so a later Run can
+  // RetractModule + re-merge without touching other modules' records).
+  AnnoDb ExportAnnoDb();
+
+  ModuleStats StatsFor(const std::string& name) const;
+  int64_t prelude_reuses() const { return cache_.prelude_reuses; }
+  size_t module_count() const { return modules_.size(); }
+  const Pipeline& pipeline() const { return pipeline_; }
+
+  // Moves a module's artifacts out of the session (its cached state is
+  // erased). The CompileAndRun shim: a one-module session, run, taken.
+  PipelineRun TakeModule(const std::string& name);
+
+ private:
+  struct ModuleState;
+
+  WorkQueue* pool();
+  void Analyze(const std::string& name, ModuleState* st);
+
+  Pipeline pipeline_;
+  bool track_incremental_;
+  FrontendCache cache_;
+  std::unique_ptr<WorkQueue> pool_;
+  // std::map: sorted iteration is what makes every merge order-independent
+  // of registration order. Node stability also keeps ModuleState addresses
+  // (and the IncrementalHints the contexts point at) valid across inserts.
+  std::map<std::string, std::unique_ptr<ModuleState>> modules_;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_TOOL_SESSION_H_

@@ -1,0 +1,329 @@
+// AnalysisSession: the corpus-level determinism and incremental-exactness
+// contracts, property-tested over the seeded synthetic corpus generator.
+//
+//   1. Batched == independent: a ForEachModule run over N modules produces,
+//      per module, findings byte-identical to N independent single-module
+//      CompileAndRun invocations; the merged corpus view is independent of
+//      registration order.
+//   2. Incremental == cold: after any sequence of function edits, a warm
+//      Run() (which re-analyzes only dirty modules and re-solves only the
+//      dirty region inside them) matches a cold session over the same
+//      sources byte for byte — while the solver counters prove the dirty
+//      region actually stayed small.
+//   3. Provenance: the exported annotation repository stamps findings with
+//      their module, and RetractModule removes exactly one module's records.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/annodb/annodb.h"
+#include "src/support/rng.h"
+#include "src/tool/pipeline.h"
+#include "src/tool/session.h"
+#include "tests/synth_corpus.h"
+
+namespace ivy {
+namespace {
+
+std::string Dump(const std::vector<Finding>& findings) {
+  Json arr = Json::MakeArray();
+  for (const Finding& f : findings) {
+    arr.Append(f.ToJson());
+  }
+  return arr.Dump();
+}
+
+ModuleSources MakeModule(const std::string& name, uint64_t seed, int functions) {
+  SynthCorpusOptions opt;
+  opt.functions = functions;
+  opt.seed = seed;
+  // A function-pointer table chain gives the points-to solve a real
+  // workload, so the incremental counters measure something meaningful.
+  opt.hook_tables = 4;
+  return ModuleSources{name, {SourceFile{name + ".mc", GenerateSynthCorpus(opt)}}};
+}
+
+std::vector<ModuleSources> MakeCorpus(int modules, uint64_t seed_base, int functions) {
+  std::vector<ModuleSources> out;
+  for (int m = 0; m < modules; ++m) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "mod_%02d", m);
+    out.push_back(MakeModule(name, seed_base + static_cast<uint64_t>(m), functions));
+  }
+  return out;
+}
+
+PipelineBuilder TestPipeline() {
+  PipelineBuilder b;
+  b.Tool("blockstop").Tool("stackcheck").Tool("errcheck").Tool("locksafe");
+  return b;
+}
+
+// Valid replacement definitions for fn_<i> of a `total`-function corpus.
+std::string BlockingLeaf(int i) {
+  return "void " + SynthFuncName(i) + "(int n) {\n  int pad[16]; pad[0] = n;\n  msleep(n);\n}\n";
+}
+std::string QuietLeaf(int i) {
+  return "void " + SynthFuncName(i) + "(int n) {\n  int pad[4]; pad[0] = n;\n  udelay(1);\n}\n";
+}
+std::string SpinCaller(int i, int total) {
+  std::string callee = SynthFuncName(i + 1 < total ? i + 1 : 0);
+  return "void " + SynthFuncName(i) + "(int n) {\n  int pad[8]; pad[0] = n;\n  spin_lock(&lk_0);\n  if (n > 0) { " +
+         callee + "(n - 1); }\n  spin_unlock(&lk_0);\n}\n";
+}
+std::string VariantFor(uint64_t pick, int i, int total) {
+  switch (pick % 3) {
+    case 0:
+      return BlockingLeaf(i);
+    case 1:
+      return QuietLeaf(i);
+    default:
+      return SpinCaller(i, total);
+  }
+}
+
+TEST(AnalysisSession, BatchedMatchesIndependentRuns) {
+  const int kModules = 10;
+  const int kFunctions = 48;
+  std::vector<ModuleSources> corpus = MakeCorpus(kModules, 100, kFunctions);
+
+  AnalysisSession session = TestPipeline().ForEachModule(corpus).BuildSession();
+  SessionResult batched = session.Run();
+  EXPECT_EQ(batched.modules_analyzed, kModules);
+  EXPECT_EQ(batched.compile_failures, 0);
+
+  Pipeline independent = TestPipeline().Build();
+  for (const ModuleSources& m : corpus) {
+    PipelineRun run = independent.CompileAndRun(m.files);
+    ASSERT_TRUE(run.comp->ok) << m.name << ": " << run.comp->Errors();
+    const ModuleRunResult* mr = batched.ModuleFor(m.name);
+    ASSERT_NE(mr, nullptr) << m.name;
+    EXPECT_FALSE(run.result.findings.empty()) << m.name;
+    EXPECT_EQ(Dump(mr->result.findings), Dump(run.result.findings)) << m.name;
+  }
+
+  // The prelude was lexed exactly once for the whole corpus.
+  EXPECT_EQ(session.prelude_reuses(), kModules - 1);
+}
+
+TEST(AnalysisSession, MergedFindingsIndependentOfRegistrationOrder) {
+  std::vector<ModuleSources> corpus = MakeCorpus(6, 300, 48);
+
+  AnalysisSession forward = TestPipeline().ForEachModule(corpus).BuildSession();
+  std::vector<ModuleSources> reversed(corpus.rbegin(), corpus.rend());
+  AnalysisSession backward = TestPipeline().ForEachModule(reversed).BuildSession();
+
+  EXPECT_EQ(Dump(forward.Run().findings), Dump(backward.Run().findings));
+}
+
+TEST(AnalysisSession, ShardedSessionByteIdentical) {
+  std::vector<ModuleSources> corpus = MakeCorpus(4, 500, 64);
+  AnalysisSession serial = TestPipeline().ForEachModule(corpus).BuildSession();
+  SessionResult serial_result = serial.Run();
+
+  PipelineBuilder sharded_builder = TestPipeline();
+  sharded_builder.ShardFunctions(3).ForEachModule(corpus);
+  AnalysisSession sharded = sharded_builder.BuildSession();
+  SessionResult sharded_result = sharded.Run();
+
+  EXPECT_FALSE(serial_result.findings.empty());
+  EXPECT_EQ(Dump(sharded_result.findings), Dump(serial_result.findings));
+}
+
+TEST(AnalysisSession, IncrementalSingleEditMatchesColdAndStaysLocal) {
+  const int kModules = 10;
+  const int kFunctions = 64;
+  std::vector<ModuleSources> corpus = MakeCorpus(kModules, 700, kFunctions);
+  const std::string edited = "mod_03";
+
+  AnalysisSession session = TestPipeline().ForEachModule(corpus).BuildSession();
+  session.Run();
+  ModuleStats cold_stats = session.StatsFor(edited);
+  ASSERT_TRUE(cold_stats.valid);
+  ASSERT_TRUE(cold_stats.cold);
+  ASSERT_GT(cold_stats.pointsto_propagations, 0);
+  ASSERT_GT(cold_stats.mayblock_evals, 0);
+
+  // Edit one low-index function: its call-graph ancestors (the dirty
+  // region) are a small prefix of the chain.
+  ASSERT_TRUE(session.ReplaceFunction(edited, SynthFuncName(5), BlockingLeaf(5)));
+  SessionResult warm = session.Run();
+  EXPECT_EQ(warm.modules_analyzed, 1);
+  EXPECT_EQ(warm.modules_reused, kModules - 1);
+
+  // Byte-for-byte identical to a cold session over the edited sources.
+  AnalysisSession cold = TestPipeline().ForEachModule(corpus).BuildSession();
+  ASSERT_TRUE(cold.ReplaceFunction(edited, SynthFuncName(5), BlockingLeaf(5)));
+  SessionResult cold_result = cold.Run();
+  EXPECT_FALSE(cold_result.findings.empty());
+  EXPECT_EQ(Dump(warm.findings), Dump(cold_result.findings));
+
+  // The solver counters prove only the dirty region was re-solved: the warm
+  // points-to re-derived a fraction of the facts (the rest were seeded),
+  // and the may-block fixpoint evaluated only the affected ancestors.
+  ModuleStats warm_stats = session.StatsFor(edited);
+  ASSERT_TRUE(warm_stats.valid);
+  EXPECT_FALSE(warm_stats.cold);
+  EXPECT_EQ(warm_stats.dirty_functions, 1);
+  EXPECT_GT(warm_stats.pointsto_seeded_facts, 0);
+  EXPECT_LT(warm_stats.pointsto_propagations, cold_stats.pointsto_propagations / 2);
+  EXPECT_LT(warm_stats.mayblock_evals, cold_stats.mayblock_evals / 2);
+}
+
+TEST(AnalysisSession, InvalidateWithoutEditReanalyzesWarmAndIdentical) {
+  std::vector<ModuleSources> corpus = MakeCorpus(4, 900, 48);
+  AnalysisSession session = TestPipeline().ForEachModule(corpus).BuildSession();
+  std::string golden = Dump(session.Run().findings);
+  ModuleStats cold_stats = session.StatsFor("mod_01");
+
+  session.Invalidate("mod_01");
+  SessionResult warm = session.Run();
+  EXPECT_EQ(warm.modules_analyzed, 1);
+  EXPECT_EQ(Dump(warm.findings), golden);
+
+  ModuleStats warm_stats = session.StatsFor("mod_01");
+  EXPECT_FALSE(warm_stats.cold);
+  EXPECT_EQ(warm_stats.dirty_functions, 0);  // nothing actually changed
+  EXPECT_LT(warm_stats.pointsto_propagations, cold_stats.pointsto_propagations);
+}
+
+TEST(AnalysisSession, RandomizedEditSequencesMatchColdRuns) {
+  // The acceptance property: after ANY edit sequence, incremental findings
+  // are byte-identical to a cold full run over the same sources. Sharded
+  // pipeline, so the may-block seed and the shared pool are exercised too.
+  const int kModules = 6;
+  const int kFunctions = 48;
+  for (uint64_t seed : {11u, 23u}) {
+    std::vector<ModuleSources> corpus = MakeCorpus(kModules, 1000 + seed, kFunctions);
+    PipelineBuilder warm_builder = TestPipeline();
+    warm_builder.ShardFunctions(2).ForEachModule(corpus);
+    AnalysisSession session = warm_builder.BuildSession();
+    session.Run();
+
+    Rng rng(seed);
+    std::vector<std::pair<std::string, std::pair<int, std::string>>> edits;
+    for (int step = 0; step < 4; ++step) {
+      int m = static_cast<int>(rng.Below(kModules));
+      char name[16];
+      std::snprintf(name, sizeof(name), "mod_%02d", m);
+      int fn = 1 + static_cast<int>(rng.Below(kFunctions - 2));
+      std::string def = VariantFor(rng.Below(3), fn, kFunctions);
+      ASSERT_TRUE(session.ReplaceFunction(name, SynthFuncName(fn), def))
+          << name << " " << SynthFuncName(fn);
+      edits.push_back({name, {fn, def}});
+
+      SessionResult warm = session.Run();
+      EXPECT_EQ(warm.compile_failures, 0) << "seed " << seed << " step " << step;
+      EXPECT_EQ(warm.modules_analyzed, 1);
+
+      // Cold replay: a fresh session over the original corpus with the same
+      // edit sequence applied, run once from scratch.
+      PipelineBuilder cold_builder = TestPipeline();
+      cold_builder.ShardFunctions(2).ForEachModule(corpus);
+      AnalysisSession cold = cold_builder.BuildSession();
+      for (const auto& [mod, edit] : edits) {
+        ASSERT_TRUE(cold.ReplaceFunction(mod, SynthFuncName(edit.first), edit.second));
+      }
+      SessionResult cold_result = cold.Run();
+      EXPECT_EQ(Dump(warm.findings), Dump(cold_result.findings))
+          << "seed " << seed << " step " << step;
+
+      // Incremental work never exceeds cold work.
+      ModuleStats warm_stats = session.StatsFor(name);
+      ModuleStats cold_stats = cold.StatsFor(name);
+      EXPECT_LE(warm_stats.pointsto_propagations, cold_stats.pointsto_propagations)
+          << "seed " << seed << " step " << step;
+      EXPECT_LE(warm_stats.mayblock_evals, cold_stats.mayblock_evals);
+    }
+  }
+}
+
+TEST(AnalysisSession, CompileFailureIsSurfacedAndRecovers) {
+  std::vector<ModuleSources> corpus = MakeCorpus(3, 1500, 48);
+  AnalysisSession session = TestPipeline().ForEachModule(corpus).BuildSession();
+  std::string golden = Dump(session.Run().findings);
+
+  ASSERT_TRUE(session.ReplaceFunction(
+      "mod_01", SynthFuncName(3),
+      "void " + SynthFuncName(3) + "(int n) {\n  this is not mini c;\n}\n"));
+  SessionResult broken = session.Run();
+  EXPECT_EQ(broken.compile_failures, 1);
+  const ModuleRunResult* bad = broken.ModuleFor("mod_01");
+  ASSERT_NE(bad, nullptr);
+  EXPECT_FALSE(bad->ok);
+  EXPECT_FALSE(bad->compile_errors.empty());
+  bool surfaced = false;
+  for (const Finding& f : broken.findings) {
+    surfaced |= f.tool == "session" && f.module == "mod_01" &&
+                f.severity == FindingSeverity::kError;
+  }
+  EXPECT_TRUE(surfaced);
+  // The other modules' cached results survived.
+  EXPECT_EQ(broken.modules_reused, 2);
+
+  // Fixing the function restores the original corpus output exactly (the
+  // failed build dropped the snapshots, so this re-analysis is cold).
+  ASSERT_TRUE(session.ReplaceFunction("mod_01", SynthFuncName(3), QuietLeaf(3)));
+  SessionResult fixed = session.Run();
+  EXPECT_EQ(fixed.compile_failures, 0);
+
+  AnalysisSession cold = TestPipeline().ForEachModule(corpus).BuildSession();
+  ASSERT_TRUE(cold.ReplaceFunction("mod_01", SynthFuncName(3), QuietLeaf(3)));
+  EXPECT_EQ(Dump(fixed.findings), Dump(cold.Run().findings));
+  EXPECT_NE(Dump(fixed.findings), golden);  // the edit is visible
+}
+
+TEST(AnalysisSession, ReplaceFunctionUnknownTargets) {
+  std::vector<ModuleSources> corpus = MakeCorpus(2, 1600, 48);
+  AnalysisSession session = TestPipeline().ForEachModule(corpus).BuildSession();
+  EXPECT_FALSE(session.ReplaceFunction("no_such_module", SynthFuncName(1), QuietLeaf(1)));
+  EXPECT_FALSE(session.ReplaceFunction("mod_00", "no_such_function",
+                                       "void no_such_function(int n) { pad[0] = n; }"));
+  // Builtin *declarations* (e.g. msleep in the prelude) are not definitions
+  // in the module sources either.
+  EXPECT_FALSE(session.ReplaceFunction("mod_00", "msleep", "void msleep(int n) {}"));
+}
+
+TEST(AnalysisSession, AnnoDbCarriesProvenanceAndRetracts) {
+  std::vector<ModuleSources> corpus = MakeCorpus(3, 1700, 48);
+  AnalysisSession session = TestPipeline().ForEachModule(corpus).BuildSession();
+  session.Run();
+
+  AnnoDb db = session.ExportAnnoDb();
+  ASSERT_FALSE(db.findings().empty());
+  std::set<std::string> modules_seen;
+  for (const Finding& f : db.findings()) {
+    modules_seen.insert(f.module);
+  }
+  EXPECT_EQ(modules_seen, (std::set<std::string>{"mod_00", "mod_01", "mod_02"}));
+
+  // Retraction removes exactly one module's findings — and survives a JSON
+  // round trip, so a repository consumer can do the same.
+  Json j = db.ToJson();
+  AnnoDb loaded = AnnoDb::FromJson(j);
+  size_t total = loaded.findings().size();
+  size_t mod1 = 0;
+  for (const Finding& f : loaded.findings()) {
+    mod1 += f.module == "mod_01" ? 1 : 0;
+  }
+  ASSERT_GT(mod1, 0u);
+  EXPECT_EQ(loaded.RetractModule("mod_01"), static_cast<int>(mod1));
+  EXPECT_EQ(loaded.findings().size(), total - mod1);
+  for (const Finding& f : loaded.findings()) {
+    EXPECT_NE(f.module, "mod_01");
+  }
+
+  // After an edit, the re-exported repository reflects exactly the new
+  // corpus state (retract + re-merge happens inside the session).
+  ASSERT_TRUE(session.ReplaceFunction("mod_01", SynthFuncName(2), BlockingLeaf(2)));
+  session.Run();
+  AnnoDb db2 = session.ExportAnnoDb();
+  AnalysisSession cold = TestPipeline().ForEachModule(corpus).BuildSession();
+  ASSERT_TRUE(cold.ReplaceFunction("mod_01", SynthFuncName(2), BlockingLeaf(2)));
+  cold.Run();
+  EXPECT_EQ(db2.ToJson().Dump(), cold.ExportAnnoDb().ToJson().Dump());
+}
+
+}  // namespace
+}  // namespace ivy

@@ -11,6 +11,8 @@
 
 #include "src/blockstop/blockstop.h"
 #include "src/driver/compiler.h"
+#include "src/errcheck/errcheck.h"
+#include "src/locksafe/locksafe.h"
 #include "src/stackcheck/stackcheck.h"
 #include "src/support/work_queue.h"
 #include "src/tool/analysis_context.h"
@@ -159,6 +161,114 @@ TEST(ShardDeterminism, MixedDirectionBlocksByteIdentical) {
   WorkQueue wq(sharder.shard_count());
   StackCheck sc(&cg, &comp->module);
   EXPECT_EQ(Dump(sc.Run({}, sharder, wq).ToFindings()), sc_golden);
+}
+
+TEST(ShardDeterminism, LockSafeByteIdenticalAcrossStrategies) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    Corpus c = BuildCorpus(64, seed);
+    ASSERT_NE(c.ctx, nullptr);
+    const CallGraph& cg = c.ctx->callgraph();
+
+    LockSafe serial_ls(&c.comp->prog, c.comp->sema.get(), &cg);
+    LockSafeReport serial = serial_ls.Run();
+    std::string golden = Dump(serial.ToFindings("static"));
+    // The generator plants spinlock sections, so the walk sees real locks.
+    EXPECT_GT(serial.locks_seen, 0) << "seed " << seed;
+
+    for (int shards : {1, 3, 8}) {
+      FunctionSharder sharder(cg.DefinedFuncs(), shards);
+      WorkQueue wq(sharder.worker_count());
+      LockSafe ls(&c.comp->prog, c.comp->sema.get(), &cg);
+      LockSafeReport report = ls.Run(sharder, wq);
+      EXPECT_EQ(Dump(report.ToFindings("static")), golden)
+          << "seed " << seed << " shards " << shards;
+      // The full edge list (order included) matches the serial first-seen
+      // order, not just the findings derived from it.
+      ASSERT_EQ(report.edges.size(), serial.edges.size());
+      for (size_t i = 0; i < report.edges.size(); ++i) {
+        EXPECT_EQ(report.edges[i].held, serial.edges[i].held);
+        EXPECT_EQ(report.edges[i].acquired, serial.edges[i].acquired);
+        EXPECT_EQ(report.edges[i].func, serial.edges[i].func);
+      }
+      EXPECT_EQ(report.locks_seen, serial.locks_seen);
+      EXPECT_EQ(report.irq_unsafe_locks, serial.irq_unsafe_locks);
+    }
+  }
+}
+
+TEST(ShardDeterminism, ErrCheckByteIdenticalAcrossStrategies) {
+  // The synth corpus has no error-returning functions, so extend it with an
+  // err-heavy tail: annotated and inferred error sources, discarded and
+  // never-tested results, plus checked sites.
+  for (uint64_t seed : {5u, 13u}) {
+    SynthCorpusOptions opt;
+    opt.functions = 48;
+    opt.seed = seed;
+    std::string src = GenerateSynthCorpus(opt);
+    src += R"(
+int try_alloc(int n) errcode(-12) { if (n > 4) { return -12; } return 0; }
+int try_map(int n) { if (n > 2) { return -22; } return n; }
+void careless_a(int n) { try_alloc(n); }
+void careless_b(int n) { int r = try_map(n); r = r + 1; }
+int careful(int n) {
+  int r = try_alloc(n);
+  if (r < 0) { return r; }
+  return try_map(n);
+}
+)";
+    auto comp = CompileOne(src, ToolConfig{});
+    ASSERT_TRUE(comp->ok) << comp->Errors();
+    AnalysisContext ctx(comp.get());
+    const CallGraph& cg = ctx.callgraph();
+
+    ErrCheck serial_ec(&comp->prog, comp->sema.get(), &cg);
+    ErrCheckReport serial = serial_ec.Run();
+    std::string golden = Dump(serial.ToFindings());
+    EXPECT_FALSE(serial.findings.empty()) << "seed " << seed;
+    EXPECT_GT(serial.annotated_funcs, 0);
+    EXPECT_GT(serial.inferred_funcs, 0);
+    EXPECT_GT(serial.checked_sites, 0);
+
+    for (int shards : {1, 3, 8}) {
+      FunctionSharder sharder(cg.DefinedFuncs(), shards);
+      WorkQueue wq(sharder.worker_count());
+      ErrCheck ec(&comp->prog, comp->sema.get(), &cg);
+      ErrCheckReport report = ec.Run(sharder, wq);
+      EXPECT_EQ(Dump(report.ToFindings()), golden)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(report.err_returning_funcs, serial.err_returning_funcs);
+      EXPECT_EQ(report.annotated_funcs, serial.annotated_funcs);
+      EXPECT_EQ(report.inferred_funcs, serial.inferred_funcs);
+      EXPECT_EQ(report.checked_sites, serial.checked_sites);
+    }
+  }
+}
+
+TEST(ShardDeterminism, SharedPoolAcrossPassesByteIdentical) {
+  // All four sharded passes on one shared pool (what a session attaches)
+  // must match per-pass pools and the serial reference.
+  SynthCorpusOptions opt;
+  opt.functions = 72;
+  opt.seed = 21;
+  std::string src = GenerateSynthCorpus(opt);
+
+  auto findings_with = [&src](int shards) {
+    Pipeline p = PipelineBuilder()
+                     .Tool("blockstop")
+                     .Tool("stackcheck")
+                     .Tool("errcheck")
+                     .Tool("locksafe")
+                     .ShardFunctions(shards)
+                     .Build();
+    PipelineRun run = p.CompileAndRun({SourceFile{"synth.mc", src}});
+    EXPECT_TRUE(run.comp->ok) << run.comp->Errors();
+    return Dump(run.result.findings);
+  };
+
+  std::string serial = findings_with(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(findings_with(4), serial);
+  EXPECT_EQ(findings_with(0), serial);
 }
 
 TEST(ShardDeterminism, PipelineShardFunctionsByteIdentical) {

@@ -49,6 +49,13 @@ struct SynthCorpusOptions {
   // advances one hop per round. The worklist kernels don't care.
   bool descending_blocks = false;
   int block = 50;
+  // Function-pointer table chain (0 = off): `hook_tables` global tables,
+  // each initialized with two random targets plus everything the previous
+  // table holds, and each dispatched indirectly. Facts accumulate down the
+  // chain, so the points-to fixpoint does O(tables^2) derivations — the
+  // workload AnalysisSession's incremental warm start has to skip when an
+  // edit leaves the table inits clean.
+  int hook_tables = 0;
 };
 
 inline std::string SynthFuncName(int i) {
@@ -69,10 +76,15 @@ inline std::string GenerateSynthCorpus(const SynthCorpusOptions& opt) {
   for (int l = 0; l < locks; ++l) {
     out += "int lk_" + std::to_string(l) + ";\n";
   }
-  if (opt.hooks) {
+  if (opt.hooks || opt.hook_tables > 0) {
     out += "typedef void work_fn(int x);\n";
+  }
+  if (opt.hooks) {
     out += "work_fn* opt hook_a;\n";
     out += "work_fn* opt hook_b;\n";
+  }
+  for (int t = 0; t < opt.hook_tables; ++t) {
+    out += "work_fn* opt table_" + std::to_string(t) + ";\n";
   }
 
   for (int i = 0; i < n; ++i) {
@@ -168,6 +180,26 @@ inline std::string GenerateSynthCorpus(const SynthCorpusOptions& opt) {
     } else if (irq_section) {
       out += "  local_irq_enable();\n";
     }
+    out += "}\n";
+  }
+
+  for (int t = 0; t < opt.hook_tables; ++t) {
+    const std::string table = "table_" + std::to_string(t);
+    out += "void " + table + "_init(int n) {\n";
+    for (int e = 0; e < 2; ++e) {
+      int j = static_cast<int>(rng.Below(static_cast<uint64_t>(n)));
+      out += "  " + table + " = " + SynthFuncName(j) + ";\n";
+    }
+    if (t > 0) {
+      // Chain edge: this table inherits everything the previous one holds,
+      // so facts flow table_0 -> table_1 -> ... during the solve.
+      out += "  " + table + " = table_" + std::to_string(t - 1) + ";\n";
+    }
+    out += "  if (n < 0) { " + table + " = 0; }\n";
+    out += "}\n";
+    out += "void " + table + "_run(int n) {\n";
+    out += "  work_fn* opt h = " + table + ";\n";
+    out += "  if (h) { h(n); }\n";
     out += "}\n";
   }
 

@@ -129,6 +129,68 @@ TEST(FunctionSharder, PartitionIsContiguousAndBalanced) {
   EXPECT_TRUE(sharder.Partition(0).empty());
 }
 
+TEST(TaskGroup, IsolatesCompletionAndErrorsPerGroup) {
+  // Two groups sharing one pool: each Wait() observes only its own tasks,
+  // and an exception in one group never surfaces in the other — the
+  // property that lets every pass (and every module) share a session pool.
+  WorkQueue wq(4);
+  TaskGroup good(wq);
+  TaskGroup bad(wq);
+  std::atomic<int> good_done{0};
+  for (int i = 0; i < 64; ++i) {
+    good.Submit([&good_done] { good_done.fetch_add(1); });
+    bad.Submit([i] {
+      if (i % 2 == 0) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+  }
+  EXPECT_NO_THROW(good.Wait());
+  EXPECT_EQ(good_done.load(), 64);
+  // Lowest submission index in *this* group: i == 0.
+  try {
+    bad.Wait();
+    FAIL() << "expected the group's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 0");
+  }
+  // Both groups stay usable after Wait.
+  good.Submit([&good_done] { good_done.fetch_add(1); });
+  good.Wait();
+  EXPECT_EQ(good_done.load(), 65);
+}
+
+TEST(TaskGroup, RunsInlineAfterShutdown) {
+  WorkQueue wq(2);
+  wq.Shutdown();
+  TaskGroup group(wq);
+  std::atomic<int> ran{0};
+  group.Submit([&ran] { ran.fetch_add(1); });
+  group.Wait();  // degraded to inline execution — still completes
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskGroup, ConcurrentGroupsStress) {
+  WorkQueue wq(4);
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < 4; ++d) {
+    drivers.emplace_back([&wq, &total] {
+      for (int round = 0; round < 20; ++round) {
+        TaskGroup group(wq);
+        for (int i = 0; i < 50; ++i) {
+          group.Submit([&total] { total.fetch_add(1); });
+        }
+        group.Wait();
+      }
+    });
+  }
+  for (std::thread& t : drivers) {
+    t.join();
+  }
+  EXPECT_EQ(total.load(), 4 * 20 * 50);
+}
+
 TEST(FunctionSharder, MapChunksReducesInChunkOrder) {
   FunctionSharder sharder({}, 3);
   WorkQueue wq(3);

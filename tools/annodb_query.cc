@@ -1,0 +1,193 @@
+// annodb-query: the §3.2 repository's read side. Queries an exported
+// annotation database (facts + unified tool findings with per-module
+// provenance) by function, tool, and module.
+//
+//   annodb-query <db.json> --function read_chan [--tool blockstop] [--module net]
+//   annodb-query - --function kmalloc              # read the JSON from stdin
+//   annodb-query --from-kernel --function read_chan  # build the db in-process
+//
+// --from-kernel runs the full tool suite over the built-in kernel corpus
+// through an AnalysisSession (so findings carry module provenance) and
+// queries the resulting database — a self-contained smoke path for CI.
+//
+// A finding matches --function when its witness chain mentions the function
+// or its message quotes it ('name'). Exit code: 0 on success (matches or
+// none), 1 on usage/parse errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/annodb/annodb.h"
+#include "src/kernel/corpus.h"
+#include "src/tool/session.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: annodb-query [<db.json>|-|--from-kernel] --function <name>\n"
+               "                    [--tool <tool>] [--module <module>]\n");
+}
+
+bool FindingMatches(const ivy::Finding& f, const std::string& function,
+                    const std::string& tool, const std::string& module) {
+  if (!tool.empty() && f.tool != tool) {
+    return false;
+  }
+  if (!module.empty() && f.module != module) {
+    return false;
+  }
+  if (function.empty()) {
+    return true;
+  }
+  for (const std::string& step : f.witness) {
+    if (step == function || step == "calls " + function) {
+      return true;
+    }
+  }
+  return f.message.find("'" + function + "'") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string function;
+  std::string tool;
+  std::string module;
+  bool from_kernel = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&i, argc, argv](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "annodb-query: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--function") {
+      const char* v = next("--function");
+      if (v == nullptr) {
+        return 1;
+      }
+      function = v;
+    } else if (arg == "--tool") {
+      const char* v = next("--tool");
+      if (v == nullptr) {
+        return 1;
+      }
+      tool = v;
+    } else if (arg == "--module") {
+      const char* v = next("--module");
+      if (v == nullptr) {
+        return 1;
+      }
+      module = v;
+    } else if (arg == "--from-kernel") {
+      from_kernel = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "annodb-query: unknown flag '%s'\n", arg.c_str());
+      Usage();
+      return 1;
+    } else {
+      input = arg;
+    }
+  }
+  if (!from_kernel && input.empty()) {
+    Usage();
+    return 1;
+  }
+
+  ivy::AnnoDb db;
+  if (from_kernel) {
+    ivy::AnalysisSession session = ivy::PipelineBuilder()
+                                       .AllTools()
+                                       .FieldSensitive(false)
+                                       .ForEachModule({{"kernel", ivy::KernelSources()}})
+                                       .BuildSession();
+    ivy::SessionResult result = session.Run();
+    if (result.compile_failures > 0) {
+      std::fprintf(stderr, "annodb-query: kernel corpus failed to compile\n");
+      return 1;
+    }
+    db = session.ExportAnnoDb();
+  } else {
+    std::string text;
+    if (input == "-") {
+      std::ostringstream ss;
+      ss << std::cin.rdbuf();
+      text = ss.str();
+    } else {
+      std::ifstream in(input);
+      if (!in) {
+        std::fprintf(stderr, "annodb-query: cannot read '%s'\n", input.c_str());
+        return 1;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+    }
+    std::string err;
+    ivy::Json j = ivy::Json::Parse(text, &err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "annodb-query: JSON parse error: %s\n", err.c_str());
+      return 1;
+    }
+    db = ivy::AnnoDb::FromJson(j);
+  }
+
+  // Facts first: the repository's stored knowledge about the function.
+  if (!function.empty()) {
+    auto it = db.funcs().find(function);
+    if (it != db.funcs().end()) {
+      const ivy::FuncFacts& facts = it->second;
+      std::printf("function %s\n", function.c_str());
+      std::printf("  blocking=%d noblock=%d may_block=%d blocking_if_param=%d frame_size=%lld\n",
+                  facts.blocking ? 1 : 0, facts.noblock ? 1 : 0, facts.may_block ? 1 : 0,
+                  facts.blocking_if_param, static_cast<long long>(facts.frame_size));
+      if (!facts.errcodes.empty()) {
+        std::printf("  errcodes:");
+        for (int64_t code : facts.errcodes) {
+          std::printf(" %lld", static_cast<long long>(code));
+        }
+        std::printf("\n");
+      }
+      for (const std::string& p : facts.param_annots) {
+        std::printf("  param: %s\n", p.c_str());
+      }
+    } else {
+      std::printf("function %s: not in the database\n", function.c_str());
+    }
+  }
+
+  int matches = 0;
+  for (const ivy::Finding& f : db.findings()) {
+    if (!FindingMatches(f, function, tool, module)) {
+      continue;
+    }
+    ++matches;
+    std::string line = f.module.empty() ? std::string() : "{" + f.module + "} ";
+    line += f.ToString();
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("%d finding(s)", matches);
+  if (!function.empty()) {
+    std::printf(" for --function %s", function.c_str());
+  }
+  if (!tool.empty()) {
+    std::printf(" --tool %s", tool.c_str());
+  }
+  if (!module.empty()) {
+    std::printf(" --module %s", module.c_str());
+  }
+  std::printf(" of %zu total\n", db.findings().size());
+  return 0;
+}
