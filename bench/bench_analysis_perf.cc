@@ -360,6 +360,55 @@ void BM_SessionIncrementalEdit(benchmark::State& state) {
 }
 BENCHMARK(BM_SessionIncrementalEdit);
 
+// Linked-corpus workload: cross-module calls through extern declarations,
+// analyzed by the RunLinked summary fixpoint vs one merged-source program.
+std::vector<ivy::ModuleSources> LinkedBenchCorpus() {
+  ivy::LinkedCorpusOptions opt;
+  opt.modules = 6;
+  opt.functions = 120;
+  opt.seed = 4242;
+  return ivy::GenerateLinkedCorpus(opt);
+}
+
+// StackCheck's budget-overrun finding is one record *per report*: a linked
+// corpus produces one report per module, a merged program exactly one, so
+// with a reachable budget the shapes cannot match (the depths still do —
+// see tests/session_linked_test.cc). The identity-checked linked workload
+// runs with an unreachable budget, like the property test.
+ivy::PipelineBuilder LinkedSessionPipeline() {
+  ivy::PipelineBuilder b;
+  ivy::ToolOptions sc;
+  sc.SetInt("budget", int64_t{1} << 40);
+  b.Tool("blockstop").Tool("stackcheck", sc).Tool("errcheck").Tool("locksafe");
+  return b;
+}
+
+void BM_LinkedCorpusFixpoint(benchmark::State& state) {
+  std::vector<ivy::ModuleSources> corpus = LinkedBenchCorpus();
+  int rounds = 0;
+  for (auto _ : state) {
+    ivy::PipelineBuilder b = SessionPipeline();
+    b.ForEachModule(corpus);
+    ivy::AnalysisSession session = b.BuildSession();
+    ivy::SessionResult result = session.RunLinked();
+    rounds = session.link_stats().rounds;
+    benchmark::DoNotOptimize(result.findings.size());
+  }
+  state.counters["rounds"] = rounds;
+}
+BENCHMARK(BM_LinkedCorpusFixpoint);
+
+void BM_LinkedCorpusMergedSource(benchmark::State& state) {
+  std::vector<ivy::ModuleSources> corpus = LinkedBenchCorpus();
+  std::vector<ivy::SourceFile> merged = ivy::MergedLinkedSources(corpus);
+  ivy::Pipeline p = SessionPipeline().Build();
+  for (auto _ : state) {
+    ivy::PipelineRun run = p.CompileAndRun(merged);
+    benchmark::DoNotOptimize(run.result.findings.size());
+  }
+}
+BENCHMARK(BM_LinkedCorpusMergedSource);
+
 void BM_VmBoot(benchmark::State& state) {
   auto comp = ivy::CompileKernel(ivy::ToolConfig{});
   for (auto _ : state) {
@@ -511,13 +560,93 @@ void WriteBenchPipelineJson() {
   counters["identical_to_cold"] = ivy::Json::MakeBool(true);
   j["incremental"] = std::move(counters);
 
+  // Linked-corpus fixpoint: rounds to converge, linked vs merged-source
+  // wall time, and the incremental relink after one edit. The canonical
+  // finding sets (rendered locations, module stamps stripped, sorted) must
+  // match between the linked fixpoint and the merged program — a faster but
+  // diverging link stage must never post a winning time.
+  std::vector<ivy::ModuleSources> linked_corpus = LinkedBenchCorpus();
+  ivy::PipelineBuilder linked_b = LinkedSessionPipeline();
+  linked_b.ForEachModule(linked_corpus);
+  ivy::AnalysisSession linked_session = linked_b.BuildSession();
+  ivy::SessionResult linked_result;
+  double linked_ms = MedianMs(
+      [&linked_corpus, &linked_result] {
+        ivy::PipelineBuilder b = LinkedSessionPipeline();
+        b.ForEachModule(linked_corpus);
+        ivy::AnalysisSession fresh = b.BuildSession();
+        linked_result = fresh.RunLinked();
+        benchmark::DoNotOptimize(linked_result.findings.size());
+      },
+      3);
+  linked_result = linked_session.RunLinked();
+  int linked_rounds = linked_session.link_stats().rounds;
+
+  ivy::Pipeline merged_p = LinkedSessionPipeline().Build();
+  std::vector<ivy::SourceFile> merged_files = ivy::MergedLinkedSources(linked_corpus);
+  ivy::PipelineRun merged_run;
+  double merged_ms = MedianMs(
+      [&merged_p, &merged_files, &merged_run] {
+        merged_run = merged_p.CompileAndRun(merged_files);
+        benchmark::DoNotOptimize(merged_run.result.findings.size());
+      },
+      3);
+  if (merged_run.comp == nullptr || !merged_run.comp->ok) {
+    std::fprintf(stderr, "FATAL: merged linked corpus failed to compile\n");
+    std::abort();
+  }
+  std::vector<std::string> linked_canon;
+  for (const ivy::ModuleRunResult& mr : linked_result.modules) {
+    const ivy::Compilation* comp = linked_session.CompilationFor(mr.module);
+    for (const ivy::Finding& f : mr.result.findings) {
+      linked_canon.push_back(f.ToString(comp != nullptr ? &comp->sm : nullptr));
+    }
+  }
+  std::vector<std::string> merged_canon;
+  for (const ivy::Finding& f : merged_run.result.findings) {
+    merged_canon.push_back(f.ToString(&merged_run.comp->sm));
+  }
+  std::sort(linked_canon.begin(), linked_canon.end());
+  std::sort(merged_canon.begin(), merged_canon.end());
+  if (linked_canon != merged_canon) {
+    std::fprintf(stderr, "FATAL: linked fixpoint findings diverge from merged source\n");
+    std::abort();
+  }
+
+  // Incremental relink: one edit inside the linked component.
+  const std::string linked_fn = ivy::SynthFuncName(ivy::LinkedModulePrefix(1), 5);
+  bool relink_flip = false;
+  double relink_ms = MedianMs(
+      [&linked_session, &linked_fn, &relink_flip] {
+        std::string def = "void " + linked_fn + "(int n) {\n  int pad[8]; pad[0] = n;\n  " +
+                          (relink_flip ? "msleep(n)" : "udelay(1)") + ";\n}\n";
+        relink_flip = !relink_flip;
+        if (!linked_session.ReplaceFunction("mod_01", linked_fn, def)) {
+          std::fprintf(stderr, "FATAL: linked bench edit did not apply\n");
+          std::abort();
+        }
+        benchmark::DoNotOptimize(linked_session.RunLinked().findings.size());
+      },
+      3);
+
+  ivy::Json linked_j = ivy::Json::MakeObject();
+  linked_j["modules"] = ivy::Json::MakeInt(static_cast<int64_t>(linked_corpus.size()));
+  linked_j["rounds_to_converge"] = ivy::Json::MakeInt(linked_rounds);
+  linked_j["linked_us"] = ivy::Json::MakeInt(static_cast<int64_t>(linked_ms * 1000));
+  linked_j["merged_source_us"] = ivy::Json::MakeInt(static_cast<int64_t>(merged_ms * 1000));
+  linked_j["relink_after_edit_us"] = ivy::Json::MakeInt(static_cast<int64_t>(relink_ms * 1000));
+  linked_j["identical_to_merged"] = ivy::Json::MakeBool(true);
+  j["linked"] = std::move(linked_j);
+
   std::string path = out_path;
   std::ofstream out(path);
   out << j.Dump() << "\n";
   std::fprintf(stderr,
                "BENCH_pipeline.json: sequential=%.1fms batched=%.1fms cold_rerun=%.1fms "
-               "incremental_rerun=%.1fms -> %s\n",
-               sequential_ms, batched_ms, cold_ms, incremental_ms, path.c_str());
+               "incremental_rerun=%.1fms linked=%.1fms (%d rounds) merged=%.1fms "
+               "relink=%.1fms -> %s\n",
+               sequential_ms, batched_ms, cold_ms, incremental_ms, linked_ms, linked_rounds,
+               merged_ms, relink_ms, path.c_str());
 }
 
 }  // namespace

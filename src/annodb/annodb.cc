@@ -63,6 +63,139 @@ AnnoDb AnnoDb::Extract(AnalysisContext& ctx, const PipelineResult* pipeline) {
   return db;
 }
 
+namespace {
+
+Json StringsToJson(const std::vector<std::string>& v) {
+  Json arr = Json::MakeArray();
+  for (const std::string& s : v) {
+    arr.Append(Json::MakeString(s));
+  }
+  return arr;
+}
+
+std::vector<std::string> StringsFromJson(const Json* j) {
+  std::vector<std::string> out;
+  if (j != nullptr) {
+    for (const Json& s : j->array()) {
+      out.push_back(s.AsString());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Json FuncSummary::ToJson() const {
+  Json j = Json::MakeObject();
+  j["module"] = Json::MakeString(module);
+  j["function"] = Json::MakeString(function);
+  j["defined"] = Json::MakeBool(defined);
+  if (defined) {
+    j["may_block"] = Json::MakeBool(may_block);
+    if (!block_witness.empty()) {
+      j["block_witness"] = Json::MakeString(block_witness);
+    }
+    j["blocking"] = Json::MakeBool(blocking);
+    j["noblock"] = Json::MakeBool(noblock);
+    j["blocking_if_param"] = Json::MakeInt(blocking_if_param);
+    j["returns_error"] = Json::MakeBool(returns_error);
+    if (!errcodes.empty()) {
+      Json errs = Json::MakeArray();
+      for (int64_t e : errcodes) {
+        errs.Append(Json::MakeInt(e));
+      }
+      j["errcodes"] = std::move(errs);
+    }
+    j["frame_size"] = Json::MakeInt(frame_size);
+    if (!callees.empty()) {
+      j["callees"] = StringsToJson(callees);
+    }
+    if (!returns_points.empty()) {
+      j["returns_points"] = StringsToJson(returns_points);
+    }
+    if (!locks_acquired.empty()) {
+      j["locks_acquired"] = StringsToJson(locks_acquired);
+    }
+    if (stack_below >= 0) {
+      j["stack_below"] = Json::MakeInt(stack_below);
+    }
+    if (cross_recursive) {
+      j["cross_recursive"] = Json::MakeBool(true);
+    }
+  } else {
+    j["entered_atomic"] = Json::MakeBool(entered_atomic);
+    j["entered_in_irq"] = Json::MakeBool(entered_in_irq);
+    if (!param_points.empty()) {
+      Json pp = Json::MakeObject();
+      for (const auto& [idx, names] : param_points) {
+        pp[std::to_string(idx)] = StringsToJson(names);
+      }
+      j["param_points"] = std::move(pp);
+    }
+  }
+  return j;
+}
+
+FuncSummary FuncSummary::FromJson(const Json& j) {
+  FuncSummary s;
+  if (const Json* v = j.Find("module")) {
+    s.module = v->AsString();
+  }
+  if (const Json* v = j.Find("function")) {
+    s.function = v->AsString();
+  }
+  if (const Json* v = j.Find("defined")) {
+    s.defined = v->AsBool();
+  }
+  if (const Json* v = j.Find("may_block")) {
+    s.may_block = v->AsBool();
+  }
+  if (const Json* v = j.Find("block_witness")) {
+    s.block_witness = v->AsString();
+  }
+  if (const Json* v = j.Find("blocking")) {
+    s.blocking = v->AsBool();
+  }
+  if (const Json* v = j.Find("noblock")) {
+    s.noblock = v->AsBool();
+  }
+  if (const Json* v = j.Find("blocking_if_param")) {
+    s.blocking_if_param = static_cast<int>(v->AsInt(-1));
+  }
+  if (const Json* v = j.Find("returns_error")) {
+    s.returns_error = v->AsBool();
+  }
+  if (const Json* v = j.Find("errcodes")) {
+    for (const Json& e : v->array()) {
+      s.errcodes.push_back(e.AsInt());
+    }
+  }
+  if (const Json* v = j.Find("frame_size")) {
+    s.frame_size = v->AsInt();
+  }
+  s.callees = StringsFromJson(j.Find("callees"));
+  s.returns_points = StringsFromJson(j.Find("returns_points"));
+  s.locks_acquired = StringsFromJson(j.Find("locks_acquired"));
+  if (const Json* v = j.Find("stack_below")) {
+    s.stack_below = v->AsInt(-1);
+  }
+  if (const Json* v = j.Find("cross_recursive")) {
+    s.cross_recursive = v->AsBool();
+  }
+  if (const Json* v = j.Find("entered_atomic")) {
+    s.entered_atomic = v->AsBool();
+  }
+  if (const Json* v = j.Find("entered_in_irq")) {
+    s.entered_in_irq = v->AsBool();
+  }
+  if (const Json* v = j.Find("param_points")) {
+    for (const auto& [key, names] : v->object()) {
+      s.param_points[std::atoi(key.c_str())] = StringsFromJson(&names);
+    }
+  }
+  return s;
+}
+
 Json AnnoDb::ToJson() const {
   Json root = Json::MakeObject();
   Json& funcs = root["functions"];
@@ -85,6 +218,9 @@ Json AnnoDb::ToJson() const {
     }
     j["errcodes"] = std::move(errs);
     j["frame_size"] = Json::MakeInt(f.frame_size);
+    if (!f.module.empty()) {
+      j["module"] = Json::MakeString(f.module);
+    }
   }
   Json& records = root["records"];
   records = Json::MakeObject();
@@ -97,6 +233,16 @@ Json AnnoDb::ToJson() const {
       offs.Append(Json::MakeInt(o));
     }
     j["ptr_offsets"] = std::move(offs);
+    if (!r.module.empty()) {
+      j["module"] = Json::MakeString(r.module);
+    }
+  }
+  if (!summaries_.empty()) {
+    Json rows = Json::MakeArray();
+    for (const auto& [key, row] : summaries_) {
+      rows.Append(row.ToJson());
+    }
+    root["summaries"] = std::move(rows);
   }
   if (!findings_.empty()) {
     Json fs = Json::MakeArray();
@@ -139,6 +285,9 @@ AnnoDb AnnoDb::FromJson(const Json& j) {
       if (const Json* fs = f.Find("frame_size")) {
         facts.frame_size = fs->AsInt();
       }
+      if (const Json* m = f.Find("module")) {
+        facts.module = m->AsString();
+      }
       db.funcs_[name] = std::move(facts);
     }
   }
@@ -154,7 +303,15 @@ AnnoDb AnnoDb::FromJson(const Json& j) {
           facts.ptr_offsets.push_back(o.AsInt());
         }
       }
+      if (const Json* m = r.Find("module")) {
+        facts.module = m->AsString();
+      }
       db.records_[name] = std::move(facts);
+    }
+  }
+  if (const Json* rows = j.Find("summaries")) {
+    for (const Json& row : rows->array()) {
+      db.AddSummary(FuncSummary::FromJson(row));
     }
   }
   if (const Json* fs = j.Find("findings")) {
@@ -186,6 +343,16 @@ int AnnoDb::Merge(const AnnoDb& other) {
   }
   for (const auto& [name, facts] : other.records_) {
     if (records_.emplace(name, facts).second) {
+      ++added;
+    }
+  }
+  // Summary rows replace on their (module, function) key: a re-imported
+  // export overwrites byte-identical rows with themselves (idempotent), and
+  // a newer export of the same module wins outright.
+  for (const auto& [key, row] : other.summaries_) {
+    auto [it, inserted] = summaries_.insert_or_assign(key, row);
+    (void)it;
+    if (inserted) {
       ++added;
     }
   }
@@ -222,7 +389,35 @@ int AnnoDb::RetractModule(const std::string& module) {
   findings_.erase(std::remove_if(findings_.begin(), findings_.end(),
                                  [&module](const Finding& f) { return f.module == module; }),
                   findings_.end());
-  return static_cast<int>(before - findings_.size());
+  int retracted = static_cast<int>(before - findings_.size());
+  // Attribute and summary entries carry the same provenance — a retracted
+  // module must not leave stale facts behind (they would keep seeding
+  // imports after the module left the corpus).
+  for (auto it = funcs_.begin(); it != funcs_.end();) {
+    if (it->second.module == module) {
+      it = funcs_.erase(it);
+      ++retracted;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.module == module) {
+      it = records_.erase(it);
+      ++retracted;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = summaries_.begin(); it != summaries_.end();) {
+    if (it->first.first == module) {
+      it = summaries_.erase(it);
+      ++retracted;
+    } else {
+      ++it;
+    }
+  }
+  return retracted;
 }
 
 int AnnoDb::ApplyAttributes(Program* prog) const {
@@ -252,6 +447,157 @@ int AnnoDb::ApplyAttributes(Program* prog) const {
     if (changed) {
       ++updated;
     }
+  }
+  return updated;
+}
+
+void AnnoDb::AddSummary(FuncSummary row) {
+  std::pair<std::string, std::string> key{row.module, row.function};
+  summaries_.insert_or_assign(std::move(key), std::move(row));
+}
+
+FuncSummary* AnnoDb::FindSummary(const std::string& module, const std::string& function) {
+  auto it = summaries_.find({module, function});
+  return it == summaries_.end() ? nullptr : &it->second;
+}
+
+void AnnoDb::StampModule(const std::string& module) {
+  for (auto& [name, facts] : funcs_) {
+    if (facts.module.empty()) {
+      facts.module = module;
+    }
+  }
+  for (auto& [name, facts] : records_) {
+    if (facts.module.empty()) {
+      facts.module = module;
+    }
+  }
+}
+
+int AnnoDb::ApplyAttributes(Program* prog, const ImportOptions& opts) const {
+  // The canonical signature records every row this import *read*, so a
+  // session comparing signatures across rounds sees exactly the changes
+  // that could alter this module's analysis.
+  std::string sig;
+  auto note = [&opts, &sig](const FuncSummary& row) {
+    if (opts.out_signature != nullptr) {
+      sig += row.Canonical();
+      sig += '\n';
+    }
+  };
+
+  // Per-function view of the table: one pass over the rows, then O(lookup)
+  // per program function — the table is scanned per module per link round,
+  // so a corpus-sized inner loop per function would go quadratic. Vectors
+  // keep the sorted-by-module row order, so first-definer-match stays
+  // deterministic.
+  std::map<std::string, std::vector<const FuncSummary*>> rows_by_func;
+  for (const auto& [key, row] : summaries_) {
+    rows_by_func[key.second].push_back(&row);
+  }
+  static const std::vector<const FuncSummary*> kNoRows;
+
+  int updated = 0;
+  for (FuncDecl* fn : prog->funcs) {
+    if (fn->func_id < 0 || fn->is_builtin) {
+      continue;
+    }
+    auto rows_it = rows_by_func.find(fn->name);
+    const std::vector<const FuncSummary*>& fn_rows =
+        rows_it == rows_by_func.end() ? kNoRows : rows_it->second;
+    bool changed = false;
+    if (fn->body == nullptr) {
+      // Extern declaration: adopt the defining module's bottom-up summary.
+      // Rows are in sorted-module order; at most one definer row per
+      // function exists in a well-formed corpus (duplicate definitions are a
+      // link error the session reports), so first-match is deterministic.
+      for (const FuncSummary* row_ptr : fn_rows) {
+        const FuncSummary& row = *row_ptr;
+        if (!row.defined || row.module == opts.importer) {
+          continue;
+        }
+        note(row);
+        if ((row.may_block || row.blocking) && !fn->attrs.blocking) {
+          fn->attrs.blocking = true;
+          changed = true;
+        }
+        if (!row.block_witness.empty() && fn->attrs.block_witness.empty()) {
+          fn->attrs.block_witness = row.block_witness;
+          changed = true;
+        }
+        if (row.noblock && !fn->attrs.noblock) {
+          fn->attrs.noblock = true;
+          changed = true;
+        }
+        if (row.blocking_if_param >= 0 && fn->attrs.blocking_if_param < 0) {
+          fn->attrs.blocking_if_param = row.blocking_if_param;
+          changed = true;
+        }
+        if (row.returns_error && !fn->attrs.returns_error) {
+          fn->attrs.returns_error = true;
+          changed = true;
+        }
+        if (!row.errcodes.empty() && fn->attrs.errcodes.empty()) {
+          fn->attrs.errcodes = row.errcodes;
+          changed = true;
+        }
+        if (row.stack_below >= 0 && fn->attrs.stack_below < 0) {
+          fn->attrs.stack_below = row.stack_below;
+          changed = true;
+        }
+        if (opts.out_seeds != nullptr && !row.returns_points.empty()) {
+          (*opts.out_seeds)[{fn->name, -1}].insert(row.returns_points.begin(),
+                                                   row.returns_points.end());
+        }
+        break;
+      }
+    } else {
+      // Defined function: adopt the top-down usage facts other modules
+      // observed about it, plus the link stage's corpus-level stack facts
+      // (stored on this module's own definer row).
+      for (const FuncSummary* row_ptr : fn_rows) {
+        const FuncSummary& row = *row_ptr;
+        if (row.defined) {
+          if (row.module == opts.importer) {
+            if (row.cross_recursive && !fn->attrs.cross_recursive) {
+              fn->attrs.cross_recursive = true;
+              changed = true;
+            }
+            if (row.cross_recursive && row.stack_below >= 0 && fn->attrs.stack_below < 0) {
+              fn->attrs.stack_below = row.stack_below;
+              changed = true;
+            }
+            if (row.cross_recursive) {
+              note(row);
+            }
+          }
+          continue;
+        }
+        if (row.module == opts.importer) {
+          continue;
+        }
+        note(row);
+        if (row.entered_atomic && !fn->attrs.noblock && !fn->attrs.entered_atomic) {
+          fn->attrs.entered_atomic = true;
+          changed = true;
+        }
+        if (row.entered_in_irq && !fn->attrs.entered_in_irq) {
+          fn->attrs.entered_in_irq = true;
+          changed = true;
+        }
+        if (opts.out_seeds != nullptr) {
+          for (const auto& [idx, names] : row.param_points) {
+            (*opts.out_seeds)[{fn->name, idx}].insert(names.begin(), names.end());
+          }
+        }
+      }
+    }
+    if (changed) {
+      ++updated;
+    }
+  }
+  if (opts.out_signature != nullptr) {
+    *opts.out_signature = std::move(sig);
   }
   return updated;
 }

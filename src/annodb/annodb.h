@@ -41,12 +41,57 @@ struct FuncFacts {
   int blocking_if_param = -1;
   std::vector<int64_t> errcodes;
   int64_t frame_size = 0;
+  // Provenance: the corpus module that first contributed this entry (empty
+  // for single-program exports). RetractModule drops stamped entries.
+  std::string module;
 };
 
 struct RecordFacts {
   std::string name;
   int64_t size = 0;
   std::vector<int64_t> ptr_offsets;  // CCount layout
+  std::string module;  // provenance, as in FuncFacts
+};
+
+// One function's cross-module summary — the link-stage fact table, keyed by
+// (module, function). A row is either a *definer* row (defined == true:
+// bottom-up facts the defining module proved about its own function) or a
+// *usage* row (defined == false: top-down facts a calling module observed
+// about an extern-declared function). AnalysisSession::RunLinked exports
+// these after every analysis round and re-imports them into dependent
+// modules until the table stops changing.
+struct FuncSummary {
+  std::string module;    // exporting module
+  std::string function;
+  bool defined = false;
+
+  // Definer-row facts (bottom-up).
+  bool may_block = false;
+  std::string block_witness;     // definer's witness chain root
+  bool blocking = false;         // source annotations, re-exported
+  bool noblock = false;
+  int blocking_if_param = -1;
+  bool returns_error = false;    // errcheck classification (annotated or inferred)
+  std::vector<int64_t> errcodes;
+  int64_t frame_size = 0;
+  std::vector<std::string> callees;        // resolved Mini-C callees (sorted, unique)
+  std::vector<std::string> returns_points; // fn names the return value may point to
+  std::vector<std::string> locks_acquired; // lock-delta facts (sorted)
+  // Corpus-level stack facts: filled onto definer rows by the session's
+  // link stage (they need the whole corpus condensation, not one module).
+  int64_t stack_below = -1;
+  bool cross_recursive = false;
+
+  // Usage-row facts (top-down, about an extern-declared function).
+  bool entered_atomic = false;
+  bool entered_in_irq = false;
+  std::map<int, std::vector<std::string>> param_points;  // param idx -> fn names
+
+  Json ToJson() const;
+  static FuncSummary FromJson(const Json& j);
+  // Canonical byte form — what the link fixpoint diffs and import
+  // signatures hash. Json objects are sorted maps, so this is stable.
+  std::string Canonical() const { return ToJson().Dump(-1); }
 };
 
 class AnnoDb {
@@ -70,13 +115,15 @@ class AnnoDb {
   // boolean facts are OR-ed (conservative for blocking). Findings are
   // deduplicated on (module, tool, loc, message) — per-module provenance
   // keeps identical findings from different modules distinct, and
-  // re-merging the same export stays idempotent. Returns number of new
-  // entries added.
+  // re-merging the same export stays idempotent. Summary rows replace on
+  // their (module, function) key, so re-importing a module's summaries is
+  // idempotent too. Returns number of new entries added.
   int Merge(const AnnoDb& other);
 
-  // Drops every finding stamped with `module` (see Finding::module) so a
-  // session can retract a re-analyzed module's stale findings before merging
-  // its fresh ones. Returns the number retracted.
+  // Drops every finding, summary row, and stamped fact entry from `module`
+  // (see Finding::module / FuncFacts::module) so a session can retract a
+  // re-analyzed module's stale records before merging its fresh ones.
+  // Returns the number retracted.
   int RetractModule(const std::string& module);
 
   // Applies stored blocking/errcode attributes to functions of `prog` that
@@ -84,8 +131,39 @@ class AnnoDb {
   // number of functions updated.
   int ApplyAttributes(Program* prog) const;
 
+  // The cross-module import path (AnalysisSession's link stage). Seeds
+  // extern-declared functions of `prog` with definer-row summaries from
+  // other modules (may-block + witness, noblock, blocking_if, errcodes,
+  // error-return bit, corpus stack depth) and defined functions with
+  // usage-row facts other modules observed about them (atomic entry,
+  // irq-reachability, cross-recursion). Rows exported by `importer` itself
+  // are skipped — a module never imports its own facts, except the
+  // link-stage stack facts stored on its definer rows.
+  struct ImportOptions {
+    std::string importer;
+    // Optional out-params: the points-to seeds implied by the summary table
+    // (returns_points of extern callees, param_points of own functions) and
+    // a canonical signature of everything applied, so a session can detect
+    // "imports changed" without re-running an analysis.
+    PointsToLinkSeeds* out_seeds = nullptr;
+    std::string* out_signature = nullptr;
+  };
+  int ApplyAttributes(Program* prog, const ImportOptions& opts) const;
+
+  // The summary fact table, keyed by (module, function). AddSummary
+  // replaces any existing row with the same key.
+  void AddSummary(FuncSummary row);
+  const std::map<std::pair<std::string, std::string>, FuncSummary>& summaries() const {
+    return summaries_;
+  }
+  FuncSummary* FindSummary(const std::string& module, const std::string& function);
+
   const std::map<std::string, FuncFacts>& funcs() const { return funcs_; }
   const std::map<std::string, RecordFacts>& records() const { return records_; }
+
+  // Stamps module provenance onto every (unstamped) fact entry — what a
+  // session does per module before merging the corpus view.
+  void StampModule(const std::string& module);
 
   // Unified tool findings carried alongside the facts (serialized under the
   // "findings" key; survives the JSON round trip and Merge). The optional
@@ -101,6 +179,7 @@ class AnnoDb {
  private:
   std::map<std::string, FuncFacts> funcs_;
   std::map<std::string, RecordFacts> records_;
+  std::map<std::pair<std::string, std::string>, FuncSummary> summaries_;
   std::vector<Finding> findings_;
   const SourceManager* findings_sm_ = nullptr;
 };

@@ -74,7 +74,15 @@ bool BlockStop::CallMayBlock(const FuncDecl* callee, const std::vector<Expr*>& a
 
 std::string BlockStop::WitnessFor(const FuncDecl* fn) const {
   auto it = witness_.find(fn);
-  return it == witness_.end() ? std::string("annotated blocking") : it->second;
+  if (it != witness_.end()) {
+    return it->second;
+  }
+  // Extern-declared callee with an imported may-block bit: render the
+  // defining module's witness, exactly what a merged-source run would say.
+  if (!fn->attrs.block_witness.empty()) {
+    return fn->attrs.block_witness;
+  }
+  return "annotated blocking";
 }
 
 const FuncDecl* BlockStop::BlockingCauseOf(const FuncDecl* fn) const {
@@ -387,6 +395,7 @@ BlockStopReport BlockStop::ReportShell() const {
   report.mayblock_evals = mayblock_evals_;
   for (const FuncDecl* fn : mayblock_) {
     report.mayblock.insert(fn->name);
+    report.mayblock_witness[fn->name] = WitnessFor(fn);
   }
   for (const FuncDecl* fn : cg_->DefinedFuncs()) {
     if (fn->attrs.noblock) {
@@ -422,6 +431,12 @@ BlockStopReport BlockStop::Run() {
   std::map<const FuncDecl*, uint8_t> contexts;
   for (const FuncDecl* fn : cg_->DefinedFuncs()) {
     contexts[fn] = 1;
+    // Imported top-down fact: some other module of a linked corpus may enter
+    // this function atomically. The exporter already applied the noblock
+    // mask, but stay defensive — a noblock body asserts non-atomic entry.
+    if (fn->attrs.entered_atomic && !fn->attrs.noblock) {
+      contexts[fn] |= 2;
+    }
   }
   for (const FuncDecl* fn : cg_->irq_entries()) {
     if (!fn->attrs.noblock) {
@@ -455,6 +470,13 @@ BlockStopReport BlockStop::Run() {
           silenced.emplace(expr, std::move(v));
         }
       }
+    }
+  }
+  // Context bits that landed on extern-declared callees: the top-down link
+  // export. (The map iterates by pointer, but the name-keyed copy sorts.)
+  for (const auto& [fn, bits] : contexts) {
+    if (fn->body == nullptr && !fn->is_builtin && bits != 0) {
+      report.extern_entry_bits[fn->name] |= bits;
     }
   }
   FinishReport(&report, std::move(reported), std::move(silenced));
@@ -511,6 +533,12 @@ BlockStopReport BlockStop::Run(const FunctionSharder& sharder, WorkQueue& wq) {
       }
     }
   }
+  // Imported atomic-entry facts seed exactly like irq entries do.
+  for (size_t i = 0; i < n; ++i) {
+    if (funcs[i]->attrs.entered_atomic && !funcs[i]->attrs.noblock) {
+      irq_atomic.insert(i);
+    }
+  }
   for (size_t i : irq_atomic) {
     contexts[i] |= 2;
     frontier.push_back({i, uint8_t{2}});
@@ -535,7 +563,13 @@ BlockStopReport BlockStop::Run(const FunctionSharder& sharder, WorkQueue& wq) {
         for (auto& [callee, add] : effects.callee_bits) {
           size_t ci = sharder.IndexOf(callee);
           if (ci >= n) {
-            continue;  // declared-only callee: never walked
+            // Declared-only callee: never walked here, but the observed
+            // entry bits are the top-down link export (an OR, so chunk
+            // order cannot matter).
+            if (callee->body == nullptr && !callee->is_builtin) {
+              report.extern_entry_bits[callee->name] |= add;
+            }
+            continue;
           }
           uint8_t newbits = static_cast<uint8_t>(add & ~contexts[ci]);
           if (newbits == 0) {

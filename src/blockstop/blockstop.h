@@ -67,6 +67,15 @@ struct BlockStopReport {
   // is the solver counter the session's dirty-region tests assert on.
   // Strategy- and seed-dependent observability; findings never depend on it.
   int64_t mayblock_evals = 0;
+  // Link-stage exports (AnalysisSession::RunLinked). `mayblock_witness` is
+  // the per-function witness under the final may-block set — what an
+  // importer renders for violations that resolve into this module.
+  // `extern_entry_bits` are the context bits observed at calls into
+  // extern-declared (defined-elsewhere) functions: bit 1 = may be entered in
+  // process context with irqs on, bit 2 = may be entered atomically — the
+  // top-down half of the summary exchange. Both are strategy-independent.
+  std::map<std::string, std::string> mayblock_witness;
+  std::map<std::string, uint8_t> extern_entry_bits;
 
   std::string ToString() const;
 

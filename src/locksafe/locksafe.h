@@ -44,6 +44,13 @@ struct LockSafeReport {
   // Locks acquired both in IRQ context and in process context with IRQs on.
   std::vector<std::string> irq_unsafe_locks;
   int locks_seen = 0;
+  // Link-stage exports (AnalysisSession::RunLinked). `extern_irq_callees`:
+  // extern-declared functions reachable from this module's irq entries — the
+  // defining module must treat them as irq-reachable too. `locks_acquired`:
+  // per defined function, the sorted lock names its body acquires (the
+  // summary schema's lock-delta facts; informational for the repository).
+  std::vector<std::string> extern_irq_callees;
+  std::map<std::string, std::vector<std::string>> locks_acquired;
 
   std::string ToString() const;
 
@@ -82,6 +89,7 @@ class LockSafe {
     std::vector<LockOrderEdge> edges;
     std::set<std::pair<std::string, std::string>> edge_set;
     std::map<std::string, int> lock_ctx;
+    std::map<std::string, std::set<std::string>> locks_by_func;
   };
   void ComputeIrqReachable();
   void WalkFunction(const FuncDecl* fn, Collector* out) const;

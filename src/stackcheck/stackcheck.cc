@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/support/scc.h"
 #include "src/tool/function_sharder.h"
 
 namespace ivy {
@@ -36,61 +37,23 @@ void StackCheck::Prepare() {
     }
   }
 
-  // Iterative Tarjan in DefinedFuncs() order: SCC ids and member lists come
-  // out the same no matter who asks, which is the root of the sharding
-  // determinism contract.
-  std::vector<int> index(static_cast<size_t>(n), -1);
-  std::vector<int> low(static_cast<size_t>(n), 0);
-  std::vector<uint8_t> on_stack(static_cast<size_t>(n), 0);
-  std::vector<int> stack;
-  scc_of_.assign(static_cast<size_t>(n), -1);
-  int next_index = 0;
-  struct Frame {
-    int v;
-    size_t edge;
-  };
-  for (int root = 0; root < n; ++root) {
-    if (index[static_cast<size_t>(root)] != -1) {
-      continue;
-    }
-    std::vector<Frame> dfs;
-    dfs.push_back({root, 0});
-    index[static_cast<size_t>(root)] = low[static_cast<size_t>(root)] = next_index++;
-    stack.push_back(root);
-    on_stack[static_cast<size_t>(root)] = 1;
-    while (!dfs.empty()) {
-      Frame& f = dfs.back();
-      const std::vector<int>& edges = adj[static_cast<size_t>(f.v)];
-      if (f.edge < edges.size()) {
-        int w = edges[f.edge++];
-        if (index[static_cast<size_t>(w)] == -1) {
-          index[static_cast<size_t>(w)] = low[static_cast<size_t>(w)] = next_index++;
-          stack.push_back(w);
-          on_stack[static_cast<size_t>(w)] = 1;
-          dfs.push_back({w, 0});
-        } else if (on_stack[static_cast<size_t>(w)]) {
-          low[static_cast<size_t>(f.v)] =
-              std::min(low[static_cast<size_t>(f.v)], index[static_cast<size_t>(w)]);
-        }
-      } else {
-        if (low[static_cast<size_t>(f.v)] == index[static_cast<size_t>(f.v)]) {
-          int scc = static_cast<int>(scc_members_.size());
-          scc_members_.emplace_back();
-          int w;
-          do {
-            w = stack.back();
-            stack.pop_back();
-            on_stack[static_cast<size_t>(w)] = 0;
-            scc_of_[static_cast<size_t>(w)] = scc;
-            scc_members_.back().push_back(w);
-          } while (w != f.v);
-          std::sort(scc_members_.back().begin(), scc_members_.back().end());
-        }
-        int v = f.v;
-        dfs.pop_back();
-        if (!dfs.empty()) {
-          low[static_cast<size_t>(dfs.back().v)] =
-              std::min(low[static_cast<size_t>(dfs.back().v)], low[static_cast<size_t>(v)]);
+  // Tarjan in DefinedFuncs() order (src/support/scc.h): SCC ids and member
+  // lists come out the same no matter who asks, which is the root of the
+  // sharding determinism contract.
+  SccCondensation scc = TarjanScc(adj);
+  scc_of_ = std::move(scc.scc_of);
+  scc_members_ = std::move(scc.members);
+
+  // Imported callee summaries: a call into an extern-declared function
+  // contributes that function's corpus-level subtree depth (attrs.stack_below,
+  // set by the session's link stage) as a leaf edge.
+  std::vector<int64_t> extern_extra(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    for (const CallSite& site : cg_->SitesOf(funcs[static_cast<size_t>(i)])) {
+      for (const FuncDecl* callee : site.McCallees()) {
+        if (callee->body == nullptr && !callee->is_builtin &&
+            callee->attrs.stack_below > extern_extra[static_cast<size_t>(i)]) {
+          extern_extra[static_cast<size_t>(i)] = callee->attrs.stack_below;
         }
       }
     }
@@ -99,6 +62,8 @@ void StackCheck::Prepare() {
   const size_t scc_count = scc_members_.size();
   scc_weight_.assign(scc_count, 0);
   scc_cyclic_.assign(scc_count, 0);
+  scc_extern_extra_.assign(scc_count, 0);
+  scc_link_depth_.assign(scc_count, -1);
   scc_succs_.assign(scc_count, {});
   for (size_t s = 0; s < scc_count; ++s) {
     for (int v : scc_members_[s]) {
@@ -108,6 +73,10 @@ void StackCheck::Prepare() {
         frame = module_->funcs[static_cast<size_t>(fn->func_id)].frame_size;
       }
       scc_weight_[s] += frame;
+      scc_extern_extra_[s] = std::max(scc_extern_extra_[s], extern_extra[static_cast<size_t>(v)]);
+      if (fn->attrs.cross_recursive && fn->attrs.stack_below >= 0) {
+        scc_link_depth_[s] = std::max(scc_link_depth_[s], fn->attrs.stack_below);
+      }
       if (self_loop[static_cast<size_t>(v)]) {
         scc_cyclic_[s] = 1;
       }
@@ -136,7 +105,13 @@ int64_t StackCheck::DepthOfScc(int scc, std::vector<int64_t>* memo) const {
   if (slot >= 0) {
     return slot;
   }
-  int64_t deepest = 0;
+  // Cross-module cycle member: the corpus-level depth already counts this
+  // SCC's frames (once) plus everything below the whole cycle.
+  if (scc_link_depth_[static_cast<size_t>(scc)] >= 0) {
+    slot = scc_link_depth_[static_cast<size_t>(scc)];
+    return slot;
+  }
+  int64_t deepest = scc_extern_extra_[static_cast<size_t>(scc)];
   for (int succ : scc_succs_[static_cast<size_t>(scc)]) {
     deepest = std::max(deepest, DepthOfScc(succ, memo));
   }
@@ -201,6 +176,18 @@ StackCheckReport StackCheck::Reduce(const std::vector<const FuncDecl*>& roots,
         seen[static_cast<size_t>(succ)] = 1;
         worklist.push_back(succ);
       }
+    }
+  }
+  // Members of cross-module cycles (imported from the link stage's corpus
+  // condensation): recursive exactly like local cyclic-SCC members.
+  for (const FuncDecl* fn : cg_->DefinedFuncs()) {
+    if (!fn->attrs.cross_recursive) {
+      continue;
+    }
+    auto it = func_index_.find(fn);
+    if (it != func_index_.end() &&
+        seen[static_cast<size_t>(scc_of_[static_cast<size_t>(it->second)])]) {
+      report.recursive.insert(fn->name);
     }
   }
   report.fits_budget = report.worst_case <= budget_ && report.recursive.empty();

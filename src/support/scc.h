@@ -1,0 +1,89 @@
+// Iterative Tarjan SCC condensation over a dense adjacency list — shared by
+// StackCheck's per-module condensation (src/stackcheck/stackcheck.cc) and
+// the session link stage's corpus-level one (src/tool/session.cc). One
+// implementation, because the linked == merged-source determinism contract
+// depends on the two condensations agreeing bug for bug.
+//
+// Deterministic: roots are tried in ascending node order and edges in the
+// order given, members come out sorted ascending, and components are
+// emitted in reverse topological order — every successor component of s has
+// an id smaller than s, the property the link stage's single ascending
+// depth sweep relies on.
+#ifndef SRC_SUPPORT_SCC_H_
+#define SRC_SUPPORT_SCC_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace ivy {
+
+struct SccCondensation {
+  std::vector<int> scc_of;                // node index -> component id
+  std::vector<std::vector<int>> members;  // component -> node indices, ascending
+};
+
+inline SccCondensation TarjanScc(const std::vector<std::vector<int>>& adj) {
+  const int n = static_cast<int>(adj.size());
+  SccCondensation out;
+  out.scc_of.assign(static_cast<size_t>(n), -1);
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> low(static_cast<size_t>(n), 0);
+  std::vector<uint8_t> on_stack(static_cast<size_t>(n), 0);
+  std::vector<int> stack;
+  int next_index = 0;
+  struct Frame {
+    int v;
+    size_t edge;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<size_t>(root)] != -1) {
+      continue;
+    }
+    std::vector<Frame> dfs;
+    dfs.push_back({root, 0});
+    index[static_cast<size_t>(root)] = low[static_cast<size_t>(root)] = next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<size_t>(root)] = 1;
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const std::vector<int>& edges = adj[static_cast<size_t>(f.v)];
+      if (f.edge < edges.size()) {
+        int w = edges[f.edge++];
+        if (index[static_cast<size_t>(w)] == -1) {
+          index[static_cast<size_t>(w)] = low[static_cast<size_t>(w)] = next_index++;
+          stack.push_back(w);
+          on_stack[static_cast<size_t>(w)] = 1;
+          dfs.push_back({w, 0});
+        } else if (on_stack[static_cast<size_t>(w)]) {
+          low[static_cast<size_t>(f.v)] =
+              std::min(low[static_cast<size_t>(f.v)], index[static_cast<size_t>(w)]);
+        }
+      } else {
+        if (low[static_cast<size_t>(f.v)] == index[static_cast<size_t>(f.v)]) {
+          int scc = static_cast<int>(out.members.size());
+          out.members.emplace_back();
+          int w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<size_t>(w)] = 0;
+            out.scc_of[static_cast<size_t>(w)] = scc;
+            out.members.back().push_back(w);
+          } while (w != f.v);
+          std::sort(out.members.back().begin(), out.members.back().end());
+        }
+        int v = f.v;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          low[static_cast<size_t>(dfs.back().v)] =
+              std::min(low[static_cast<size_t>(dfs.back().v)], low[static_cast<size_t>(v)]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ivy
+
+#endif  // SRC_SUPPORT_SCC_H_

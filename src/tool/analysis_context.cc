@@ -14,6 +14,9 @@ const PointsTo& AnalysisContext::pointsto() {
       pt_->EnableIncremental(hints_ != nullptr ? hints_->pointsto_prev : nullptr,
                              hints_ != nullptr ? &hints_->pointsto_dirty : nullptr);
     }
+    if (hints_ != nullptr && hints_->pointsto_link != nullptr) {
+      pt_->SetLinkSeeds(hints_->pointsto_link);
+    }
     pt_->Solve();
     pt_builds_.fetch_add(1);
   });

@@ -1,12 +1,16 @@
 #include "src/tool/session.h"
 
 #include <algorithm>
-#include <cctype>
 #include <future>
 #include <utility>
 
 #include "src/analysis/fingerprint.h"
 #include "src/blockstop/blockstop.h"
+#include "src/errcheck/errcheck.h"
+#include "src/locksafe/locksafe.h"
+#include "src/mc/lexer.h"
+#include "src/support/diag.h"
+#include "src/support/scc.h"
 
 namespace ivy {
 
@@ -56,6 +60,19 @@ struct AnalysisSession::ModuleState {
   bool have_mayblock = false;
   std::set<std::string> prev_mayblock;
 
+  // Link stage. `import_sig` is the canonical form of every summary row the
+  // last analysis imported: when it changes, the module re-solves cold —
+  // imported facts are invisible to the source fingerprints, so the
+  // function-granular warm machinery must not run across an import change.
+  // `link_seeds` is the storage the context's IncrementalHints point at.
+  std::string import_sig;
+  PointsToLinkSeeds link_seeds;
+  // Name sets from the last analysis: what this module defines and which
+  // extern functions it references — the cross-module edge structure.
+  bool have_link_names = false;
+  std::set<std::string> defined_names;
+  std::set<std::string> extern_refs;
+
   ModuleStats stats;
 
   // Declaration order matters: `ctx` points into `hints` and `comp`, so it
@@ -72,170 +89,121 @@ struct AnalysisSession::ModuleState {
 
 namespace {
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Skips a comment or string/char literal starting at `i`; returns true if it
-// advanced. Keeps the top-level scan from miscounting braces in text.
-bool SkipNonCode(const std::string& text, size_t* i) {
-  const size_t n = text.size();
-  size_t p = *i;
-  if (text[p] == '/' && p + 1 < n && text[p + 1] == '/') {
-    while (p < n && text[p] != '\n') {
-      ++p;
-    }
-  } else if (text[p] == '/' && p + 1 < n && text[p + 1] == '*') {
-    p += 2;
-    while (p + 1 < n && !(text[p] == '*' && text[p + 1] == '/')) {
-      ++p;
-    }
-    p = p + 2 > n ? n : p + 2;
-  } else if (text[p] == '"' || text[p] == '\'') {
-    char quote = text[p];
-    ++p;
-    while (p < n && text[p] != quote) {
-      if (text[p] == '\\') {
-        ++p;
-      }
-      ++p;
-    }
-    if (p < n) {
-      ++p;
-    }
-  } else {
-    return false;
-  }
-  *i = p;
-  return true;
-}
-
-// Locates the top-level *definition* of `name` (declarations are skipped):
-// identifier at brace depth 0, then a parameter list, then optional
-// attribute words — errcode(...) arguments included — then a brace-matched
-// body. `out_begin` is the start of the line holding the identifier (Mini-C
-// signatures are single-line), `out_end` one past the closing brace.
-bool FindDefinition(const std::string& text, const std::string& name, size_t* out_begin,
-                    size_t* out_end) {
-  const size_t n = text.size();
-  int depth = 0;
-  size_t i = 0;
-  while (i < n) {
-    if (SkipNonCode(text, &i)) {
-      continue;
-    }
-    char c = text[i];
-    if (c == '{') {
-      ++depth;
-      ++i;
-      continue;
-    }
-    if (c == '}') {
-      --depth;
-      ++i;
-      continue;
-    }
-    if (depth != 0 || !IsIdentChar(c) || (i > 0 && IsIdentChar(text[i - 1]))) {
-      ++i;
-      continue;
-    }
-    size_t ident_start = i;
-    while (i < n && IsIdentChar(text[i])) {
-      ++i;
-    }
-    if (text.compare(ident_start, i - ident_start, name) != 0) {
-      continue;
-    }
-    size_t j = i;
-    while (j < n && std::isspace(static_cast<unsigned char>(text[j])) != 0) {
-      ++j;
-    }
-    if (j >= n || text[j] != '(') {
-      continue;  // a variable or call of the same name
-    }
-    int paren = 0;
-    while (j < n) {
-      if (SkipNonCode(text, &j)) {
-        continue;
-      }
-      if (text[j] == '(') {
-        ++paren;
-      } else if (text[j] == ')') {
-        --paren;
-        if (paren == 0) {
-          ++j;
-          break;
-        }
-      }
-      ++j;
-    }
-    if (paren != 0) {
+// Skips a balanced parenthesized token group starting at *k (which must
+// point at kLParen). Returns false on an unbalanced stream.
+bool SkipParenGroup(const std::vector<Token>& toks, size_t* k) {
+  int paren = 0;
+  for (size_t j = *k; j < toks.size(); ++j) {
+    if (toks[j].kind == Tok::kEof) {
       return false;
     }
-    // Attribute region: words, whitespace, and parenthesized arguments.
+    if (toks[j].kind == Tok::kLParen) {
+      ++paren;
+    } else if (toks[j].kind == Tok::kRParen) {
+      if (--paren == 0) {
+        *k = j + 1;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Locates the top-level *definition* of `name` (declarations are skipped) as
+// a [begin, end) byte range of `text`: identifier at brace depth 0, then a
+// parameter list, then optional attribute words — errcode(...) arguments
+// included — then a brace-matched body. `out_begin` is the start of the line
+// holding the identifier (Mini-C signatures are single-line), `out_end` one
+// past the closing brace.
+//
+// The scan runs over the real lexer's token stream, so braces and parens
+// inside string/char literals and comments can never miscount — the textual
+// scanner this replaced did miscount them (see
+// SessionTest.ReplaceFunctionBodyWithBraceLiterals).
+bool FindDefinition(const std::string& text, const std::string& name, size_t* out_begin,
+                    size_t* out_end) {
+  SourceManager sm;
+  DiagEngine diags(&sm);
+  Lexer lexer(sm, sm.AddFile("<replace>", text), &diags);
+  std::vector<Token> toks = lexer.Lex();
+
+  std::vector<size_t> line_starts{0};
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      line_starts.push_back(i + 1);
+    }
+  }
+  auto offset_of = [&text, &line_starts](const SourceLoc& loc) -> size_t {
+    size_t line = loc.line >= 1 ? static_cast<size_t>(loc.line - 1) : 0;
+    if (line >= line_starts.size()) {
+      return text.size();
+    }
+    size_t col = loc.col >= 1 ? static_cast<size_t>(loc.col - 1) : 0;
+    return std::min(line_starts[line] + col, text.size());
+  };
+
+  int depth = 0;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Tok::kLBrace) {
+      ++depth;
+      continue;
+    }
+    if (t.kind == Tok::kRBrace) {
+      --depth;
+      continue;
+    }
+    if (depth != 0 || t.kind != Tok::kIdent || t.text != name ||
+        toks[i + 1].kind != Tok::kLParen) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (!SkipParenGroup(toks, &j)) {
+      return false;
+    }
+    // Attribute region: words and parenthesized argument lists until the
+    // body brace; anything else (';') makes this a declaration.
     bool is_definition = false;
     size_t k = j;
-    while (k < n) {
-      if (SkipNonCode(text, &k)) {
-        continue;
-      }
-      char d = text[k];
-      if (d == '{') {
+    while (k < toks.size()) {
+      Tok kind = toks[k].kind;
+      if (kind == Tok::kLBrace) {
         is_definition = true;
         break;
       }
-      if (d == '(') {
-        int attr_paren = 0;
-        while (k < n) {
-          if (SkipNonCode(text, &k)) {
-            continue;
-          }
-          if (text[k] == '(') {
-            ++attr_paren;
-          } else if (text[k] == ')') {
-            --attr_paren;
-            if (attr_paren == 0) {
-              ++k;
-              break;
-            }
-          }
-          ++k;
+      if (kind == Tok::kLParen) {
+        if (!SkipParenGroup(toks, &k)) {
+          return false;
         }
         continue;
       }
-      if (std::isspace(static_cast<unsigned char>(d)) != 0 || IsIdentChar(d)) {
-        ++k;
-        continue;
+      if (kind == Tok::kSemi || kind == Tok::kEof) {
+        break;
       }
-      break;  // ';' or anything else: a declaration
+      ++k;
     }
     if (!is_definition) {
-      continue;  // keep scanning from i (body braces still tracked)
+      continue;  // keep scanning from i (outer depth tracking undisturbed)
     }
-    size_t begin = text.rfind('\n', ident_start);
-    begin = begin == std::string::npos ? 0 : begin + 1;
     int braces = 0;
     size_t m = k;
-    while (m < n) {
-      if (SkipNonCode(text, &m)) {
-        continue;
+    for (; m < toks.size(); ++m) {
+      if (toks[m].kind == Tok::kEof) {
+        return false;
       }
-      if (text[m] == '{') {
+      if (toks[m].kind == Tok::kLBrace) {
         ++braces;
-      } else if (text[m] == '}') {
-        --braces;
-        if (braces == 0) {
-          ++m;
-          break;
-        }
+      } else if (toks[m].kind == Tok::kRBrace && --braces == 0) {
+        break;
       }
-      ++m;
     }
-    if (braces != 0) {
+    if (m >= toks.size() || braces != 0) {
       return false;
     }
-    *out_begin = begin;
-    *out_end = m;
+    size_t ident_off = offset_of(t.loc);
+    size_t begin = ident_off == 0 ? std::string::npos : text.rfind('\n', ident_off - 1);
+    *out_begin = begin == std::string::npos ? 0 : begin + 1;
+    *out_end = offset_of(toks[m].loc) + 1;  // one past the closing brace
     return true;
   }
   return false;
@@ -266,7 +234,22 @@ void AnalysisSession::AddModule(ModuleSources module) {
 }
 
 bool AnalysisSession::RemoveModule(const std::string& name) {
-  return modules_.erase(name) != 0;
+  auto it = modules_.find(name);
+  if (it == modules_.end()) {
+    return false;
+  }
+  // A linked table must not keep seeding importers with a departed module's
+  // facts: retract its component and let the next RunLinked re-derive it.
+  if (!link_table_.summaries().empty()) {
+    for (const std::string& m : LinkedComponentOf({name})) {
+      link_table_.RetractModule(m);
+      if (m != name) {
+        Invalidate(m);
+      }
+    }
+  }
+  modules_.erase(it);
+  return true;
 }
 
 void AnalysisSession::Invalidate(const std::string& name) {
@@ -327,7 +310,6 @@ WorkQueue* AnalysisSession::pool() {
 }
 
 void AnalysisSession::Analyze(const std::string& name, ModuleState* st) {
-  (void)name;
   Compilation* comp = st->comp.get();
 
   // Per-function dirty bits: fingerprint the fresh AST, diff against the
@@ -351,7 +333,26 @@ void AnalysisSession::Analyze(const std::string& name, ModuleState* st) {
     }
   }
 
-  bool warm = track_incremental_ && st->have_snapshot && preamble == st->preamble_fp;
+  // Cross-module imports: seed this compilation's AST (and the points-to
+  // solve) with the current fact table. The fingerprints above were taken
+  // first — imports are not source edits; the import signature below is
+  // what detects their changes.
+  std::string import_sig;
+  st->link_seeds.clear();
+  if (!link_table_.summaries().empty()) {
+    AnnoDb::ImportOptions iopts;
+    iopts.importer = name;
+    iopts.out_seeds = &st->link_seeds;
+    iopts.out_signature = &import_sig;
+    link_table_.ApplyAttributes(&comp->prog, iopts);
+  }
+
+  // Warm only when sources AND imports are unchanged-compatible: the
+  // function-granular machinery is exact for source diffs, but imported
+  // facts are invisible to fingerprints, so any import change re-solves the
+  // module cold (module granularity is the link stage's incremental unit).
+  bool warm = track_incremental_ && st->have_snapshot && preamble == st->preamble_fp &&
+              import_sig == st->import_sig;
   std::set<std::string> dirty_funcs;
   if (warm) {
     // Changed/added bodies...
@@ -397,6 +398,9 @@ void AnalysisSession::Analyze(const std::string& name, ModuleState* st) {
   if (warm) {
     st->hints.pointsto_prev = &st->pt_snapshot;
     st->hints.pointsto_dirty = dirty_funcs;
+  }
+  if (!st->link_seeds.empty()) {
+    st->hints.pointsto_link = &st->link_seeds;
   }
   st->ctx = pipeline_.MakeContext(comp);
   if (track_incremental_) {
@@ -462,6 +466,16 @@ void AnalysisSession::Analyze(const std::string& name, ModuleState* st) {
   }
 
   // Refresh the snapshots the next incremental run diffs against.
+  st->import_sig = std::move(import_sig);
+  st->defined_names.clear();
+  st->extern_refs.clear();
+  for (const auto& [fname, fn] : comp->sema->func_map()) {
+    if (fn->func_id < 0 || fn->is_builtin) {
+      continue;
+    }
+    (fn->body != nullptr ? st->defined_names : st->extern_refs).insert(fname);
+  }
+  st->have_link_names = true;
   st->have_snapshot = false;
   st->have_mayblock = false;
   if (track_incremental_) {
@@ -572,6 +586,410 @@ SessionResult AnalysisSession::Run() {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// The link stage: per-function summary exchange between modules.
+// ---------------------------------------------------------------------------
+
+std::vector<FuncSummary> AnalysisSession::ExtractSummaries(const std::string& name,
+                                                           ModuleState& st) const {
+  std::vector<FuncSummary> out;
+  if (!st.ok || st.ctx == nullptr) {
+    return out;
+  }
+  const BlockStopReport* bs = nullptr;
+  const ErrCheckReport* ec = nullptr;
+  const LockSafeReport* ls = nullptr;
+  if (const ToolResult* r = st.result.ResultFor("blockstop")) {
+    bs = r->DetailAs<BlockStopReport>();
+  }
+  if (const ToolResult* r = st.result.ResultFor("errcheck")) {
+    ec = r->DetailAs<ErrCheckReport>();
+  }
+  if (const ToolResult* r = st.result.ResultFor("locksafe")) {
+    ls = r->DetailAs<LockSafeReport>();
+  }
+  // Read-only views of what the analyses already built; never force a build
+  // here (a pipeline without the consuming pass exports no such facts).
+  const CallGraph* cg = st.ctx->callgraph_builds() > 0 ? &st.ctx->callgraph() : nullptr;
+  const PointsTo* pt = st.ctx->pointsto_builds() > 0 ? &st.ctx->pointsto() : nullptr;
+  const IrModule& ir = st.ctx->module();
+
+  for (const auto& [fname, fn] : st.ctx->sema().func_map()) {
+    if (fn->func_id < 0 || fn->is_builtin) {
+      continue;
+    }
+    FuncSummary row;
+    row.module = name;
+    row.function = fname;
+    if (fn->body != nullptr) {
+      // Definer row: bottom-up facts. The attrs here are source-pure — the
+      // import path only mutates extern declarations' behavioural attrs.
+      row.defined = true;
+      row.blocking = fn->attrs.blocking;
+      row.noblock = fn->attrs.noblock;
+      row.blocking_if_param = fn->attrs.blocking_if_param;
+      row.errcodes = fn->attrs.errcodes;
+      row.frame_size = static_cast<size_t>(fn->func_id) < ir.funcs.size()
+                           ? ir.funcs[static_cast<size_t>(fn->func_id)].frame_size
+                           : fn->frame_size;
+      if (bs != nullptr) {
+        row.may_block = bs->mayblock.count(fname) != 0;
+        auto w = bs->mayblock_witness.find(fname);
+        if (w != bs->mayblock_witness.end()) {
+          row.block_witness = w->second;
+        }
+      }
+      if (ec != nullptr) {
+        row.returns_error = ec->err_funcs.count(fname) != 0;
+      }
+      if (ls != nullptr) {
+        auto lk = ls->locks_acquired.find(fname);
+        if (lk != ls->locks_acquired.end()) {
+          row.locks_acquired = lk->second;
+        }
+      }
+      if (cg != nullptr) {
+        std::set<std::string> callees;
+        for (const CallSite& site : cg->SitesOf(fn)) {
+          for (const FuncDecl* callee : site.McCallees()) {
+            callees.insert(callee->name);
+          }
+        }
+        row.callees.assign(callees.begin(), callees.end());
+      }
+      if (pt != nullptr) {
+        row.returns_points = pt->FuncNamesInCell(fn, -1);
+      }
+    } else {
+      // Usage row: top-down facts about an extern-declared function.
+      if (bs != nullptr) {
+        auto b = bs->extern_entry_bits.find(fname);
+        row.entered_atomic = b != bs->extern_entry_bits.end() && (b->second & 2) != 0;
+      }
+      if (ls != nullptr) {
+        row.entered_in_irq =
+            std::binary_search(ls->extern_irq_callees.begin(),
+                               ls->extern_irq_callees.end(), fname);
+      }
+      if (pt != nullptr) {
+        for (size_t p = 0; p < fn->params.size(); ++p) {
+          std::vector<std::string> names = pt->FuncNamesInCell(fn, static_cast<int>(p));
+          if (!names.empty()) {
+            row.param_points[static_cast<int>(p)] = std::move(names);
+          }
+        }
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+void AnalysisSession::ComputeLinkStackFacts() {
+  link_conflicts_.clear();
+  // Definer rows only; first (sorted-module) definer wins a conflicted name.
+  std::map<std::string, std::pair<std::string, const FuncSummary*>> definer;
+  for (const auto& [key, row] : link_table_.summaries()) {
+    if (!row.defined) {
+      continue;
+    }
+    auto [it, inserted] = definer.emplace(row.function, std::make_pair(key.first, &row));
+    if (!inserted) {
+      link_conflicts_.insert(row.function);
+    }
+  }
+  const int n = static_cast<int>(definer.size());
+  std::vector<std::string> names;
+  std::vector<std::string> owner;
+  std::vector<int64_t> frames;
+  names.reserve(static_cast<size_t>(n));
+  std::map<std::string, int> index;
+  for (const auto& [fname, def] : definer) {
+    index[fname] = static_cast<int>(names.size());
+    names.push_back(fname);
+    owner.push_back(def.first);
+    frames.push_back(def.second->frame_size);
+  }
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+  std::vector<uint8_t> self_loop(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    for (const std::string& callee : definer[names[static_cast<size_t>(i)]].second->callees) {
+      auto it = index.find(callee);
+      if (it == index.end()) {
+        continue;  // builtin or never-defined name: no frame, no edge
+      }
+      if (it->second == i) {
+        self_loop[static_cast<size_t>(i)] = 1;
+      }
+      adj[static_cast<size_t>(i)].push_back(it->second);
+    }
+  }
+
+  // Tarjan in sorted-name order (src/support/scc.h) — literally the same
+  // condensation code StackCheck runs per module, applied corpus-wide.
+  SccCondensation scc = TarjanScc(adj);
+  const std::vector<int>& scc_of = scc.scc_of;
+  const std::vector<std::vector<int>>& scc_members = scc.members;
+
+  const size_t scc_count = scc_members.size();
+  std::vector<int64_t> weight(scc_count, 0);
+  std::vector<uint8_t> cyclic(scc_count, 0);
+  std::vector<uint8_t> multi_module(scc_count, 0);
+  std::vector<std::vector<int>> succs(scc_count);
+  for (size_t s = 0; s < scc_count; ++s) {
+    std::set<std::string> mods;
+    for (int v : scc_members[s]) {
+      weight[s] += frames[static_cast<size_t>(v)];
+      mods.insert(owner[static_cast<size_t>(v)]);
+      if (self_loop[static_cast<size_t>(v)]) {
+        cyclic[s] = 1;
+      }
+    }
+    if (scc_members[s].size() > 1) {
+      cyclic[s] = 1;
+    }
+    multi_module[s] = mods.size() > 1 ? 1 : 0;
+  }
+  for (int v = 0; v < n; ++v) {
+    for (int w : adj[static_cast<size_t>(v)]) {
+      int sv = scc_of[static_cast<size_t>(v)];
+      int sw = scc_of[static_cast<size_t>(w)];
+      if (sv != sw) {
+        succs[static_cast<size_t>(sv)].push_back(sw);
+      }
+    }
+  }
+  // Tarjan emits SCCs in reverse topological order: successors of s always
+  // have smaller scc ids, so one ascending sweep computes the depths.
+  std::vector<int64_t> depth(scc_count, 0);
+  for (size_t s = 0; s < scc_count; ++s) {
+    int64_t deepest = 0;
+    for (int succ : succs[s]) {
+      deepest = std::max(deepest, depth[static_cast<size_t>(succ)]);
+    }
+    depth[s] = weight[s] + deepest;
+  }
+
+  for (int v = 0; v < n; ++v) {
+    FuncSummary* row =
+        link_table_.FindSummary(owner[static_cast<size_t>(v)], names[static_cast<size_t>(v)]);
+    if (row == nullptr) {
+      continue;
+    }
+    size_t s = static_cast<size_t>(scc_of[static_cast<size_t>(v)]);
+    row->stack_below = depth[s];
+    row->cross_recursive = cyclic[s] != 0 && multi_module[s] != 0;
+  }
+}
+
+std::set<std::string> AnalysisSession::LinkedComponentOf(
+    const std::set<std::string>& roots) const {
+  std::map<std::string, std::vector<std::string>> definers;
+  std::map<std::string, std::vector<std::string>> referencers;
+  for (const auto& [mname, st] : modules_) {
+    if (!st->have_link_names) {
+      continue;
+    }
+    for (const std::string& f : st->defined_names) {
+      definers[f].push_back(mname);
+    }
+    for (const std::string& f : st->extern_refs) {
+      referencers[f].push_back(mname);
+    }
+  }
+  std::set<std::string> out;
+  std::vector<std::string> work(roots.begin(), roots.end());
+  while (!work.empty()) {
+    std::string m = std::move(work.back());
+    work.pop_back();
+    if (!out.insert(m).second) {
+      continue;
+    }
+    auto it = modules_.find(m);
+    if (it == modules_.end() || !it->second->have_link_names) {
+      continue;
+    }
+    for (const std::string& f : it->second->defined_names) {
+      for (const std::string& user : referencers[f]) {
+        if (out.count(user) == 0) {
+          work.push_back(user);
+        }
+      }
+    }
+    for (const std::string& f : it->second->extern_refs) {
+      for (const std::string& def : definers[f]) {
+        if (out.count(def) == 0) {
+          work.push_back(def);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SessionResult AnalysisSession::RunLinked() {
+  link_stats_ = LinkStats{};
+
+  // Retraction safety. A monotone fixpoint cannot un-derive facts, and a
+  // stale "f may block" row can keep supporting itself around a
+  // cross-module cycle after the edit that justified it is gone. So every
+  // edit clears the whole cross-module dependency component containing the
+  // edited modules — their rows are re-derived from below, while modules
+  // outside the component keep their converged facts and cached results.
+  std::set<std::string> source_dirty;
+  for (auto& [name, st] : modules_) {
+    if (st->dirty) {
+      source_dirty.insert(name);
+    }
+  }
+  if (!linked_ever_) {
+    link_table_ = AnnoDb();
+    for (auto& [name, st] : modules_) {
+      (void)name;
+      st->dirty = true;
+    }
+  } else if (!source_dirty.empty()) {
+    for (const std::string& m : LinkedComponentOf(source_dirty)) {
+      link_table_.RetractModule(m);
+      Invalidate(m);
+    }
+  }
+
+  // Safety cap: facts grow monotonically within a linked run, so the
+  // fixpoint terminates on its own; the cap only guards against a future
+  // non-monotone exporter bug turning into an infinite loop.
+  const int max_rounds = static_cast<int>(modules_.size()) * 4 + 8;
+  struct RowState {
+    std::string canon;
+    bool defined = false;
+    bool cross_recursive = false;
+    int64_t stack_below = -1;
+  };
+  SessionResult result;
+  for (;;) {
+    ++link_stats_.rounds;
+    result = Run();
+    link_stats_.module_analyses += result.modules_analyzed;
+
+    std::map<std::pair<std::string, std::string>, RowState> before;
+    for (const auto& [key, row] : link_table_.summaries()) {
+      before[key] = {row.Canonical(), row.defined, row.cross_recursive, row.stack_below};
+    }
+    for (auto& [name, st] : modules_) {
+      if (!st->analyzed_now) {
+        continue;
+      }
+      link_table_.RetractModule(name);  // the table holds only summary rows
+      for (FuncSummary& row : ExtractSummaries(name, *st)) {
+        link_table_.AddSummary(std::move(row));
+      }
+    }
+    ComputeLinkStackFacts();
+    std::map<std::pair<std::string, std::string>, RowState> after;
+    for (const auto& [key, row] : link_table_.summaries()) {
+      after[key] = {row.Canonical(), row.defined, row.cross_recursive, row.stack_below};
+    }
+
+    // Diff the table and mark exactly the importers of changed facts dirty:
+    // a changed definer row dirties the modules that declare the function
+    // extern; a changed usage row dirties its definer; changed link-stage
+    // stack facts feed back into the definer itself when a cross-module
+    // cycle appears or disappears.
+    std::set<std::string> dirty;
+    auto visit_changed = [this, &dirty](const std::pair<std::string, std::string>& key,
+                                        const RowState* oldr, const RowState* newr) {
+      const std::string& exporter = key.first;
+      const std::string& fname = key.second;
+      bool defined = newr != nullptr ? newr->defined : oldr->defined;
+      for (const auto& [mname, st] : modules_) {
+        if (mname == exporter || !st->have_link_names) {
+          continue;
+        }
+        if (defined ? st->extern_refs.count(fname) != 0
+                    : st->defined_names.count(fname) != 0) {
+          dirty.insert(mname);
+        }
+      }
+      if (defined) {
+        bool xrec_changed =
+            (oldr == nullptr ? false : oldr->cross_recursive) !=
+                (newr == nullptr ? false : newr->cross_recursive) ||
+            ((oldr != nullptr && oldr->cross_recursive) &&
+             (newr != nullptr && newr->cross_recursive) &&
+             oldr->stack_below != newr->stack_below);
+        if (xrec_changed) {
+          dirty.insert(exporter);
+        }
+      }
+    };
+    for (const auto& [key, oldr] : before) {
+      auto it = after.find(key);
+      if (it == after.end()) {
+        visit_changed(key, &oldr, nullptr);
+      } else if (it->second.canon != oldr.canon) {
+        visit_changed(key, &oldr, &it->second);
+      }
+    }
+    for (const auto& [key, newr] : after) {
+      if (before.count(key) == 0) {
+        visit_changed(key, nullptr, &newr);
+      }
+    }
+
+    if (dirty.empty()) {
+      link_stats_.converged = true;
+      break;
+    }
+    // Invalidate BEFORE the cap check: if the cap fires, the unconverged
+    // modules stay dirty, so a follow-up RunLinked() resumes the fixpoint
+    // instead of reporting the stale table as converged.
+    for (const std::string& m : dirty) {
+      Invalidate(m);
+    }
+    if (link_stats_.rounds >= max_rounds) {
+      break;
+    }
+  }
+
+  link_stats_.summary_rows = static_cast<int>(link_table_.summaries().size());
+  for (const auto& [mname, st] : modules_) {
+    if (!st->have_link_names) {
+      continue;
+    }
+    for (const auto& [nname, nst] : modules_) {
+      if (mname == nname || !nst->have_link_names) {
+        continue;
+      }
+      for (const std::string& f : st->extern_refs) {
+        if (nst->defined_names.count(f) != 0) {
+          ++link_stats_.cross_edges;
+          break;
+        }
+      }
+    }
+  }
+  linked_ever_ = true;
+
+  if (!link_stats_.converged) {
+    Finding f;
+    f.tool = "session";
+    f.severity = FindingSeverity::kError;
+    f.message = "cross-module link fixpoint did not converge within " +
+                std::to_string(max_rounds) + " rounds";
+    result.findings.push_back(std::move(f));
+  }
+  for (const std::string& fname : link_conflicts_) {
+    Finding f;
+    f.tool = "session";
+    f.severity = FindingSeverity::kError;
+    f.message = "function '" + fname +
+                "' is defined in multiple modules; linking used the first definer's facts";
+    f.witness = {fname};
+    result.findings.push_back(std::move(f));
+  }
+  return result;
+}
+
 AnnoDb AnalysisSession::ExportAnnoDb() {
   AnnoDb merged;
   for (auto& [name, st] : modules_) {
@@ -579,6 +997,7 @@ AnnoDb AnalysisSession::ExportAnnoDb() {
       continue;
     }
     AnnoDb db = AnnoDb::Extract(*st->ctx, &st->result);
+    db.StampModule(name);
     std::vector<Finding> stamped = st->result.findings;
     for (Finding& f : stamped) {
       f.module = name;
@@ -586,7 +1005,24 @@ AnnoDb AnalysisSession::ExportAnnoDb() {
     db.SetFindings(std::move(stamped), &st->ctx->sm());
     merged.Merge(db);
   }
+  // The summary fact table rides along: the converged link table when the
+  // session has linked, else fresh per-module rows (no corpus stack facts —
+  // those need the link fixpoint).
+  if (linked_ever_) {
+    merged.Merge(link_table_);
+  } else {
+    for (auto& [name, st] : modules_) {
+      for (FuncSummary& row : ExtractSummaries(name, *st)) {
+        merged.AddSummary(std::move(row));
+      }
+    }
+  }
   return merged;
+}
+
+const Compilation* AnalysisSession::CompilationFor(const std::string& name) const {
+  auto it = modules_.find(name);
+  return it == modules_.end() ? nullptr : it->second->comp.get();
 }
 
 ModuleStats AnalysisSession::StatsFor(const std::string& name) const {

@@ -72,6 +72,15 @@ struct SessionResult {
   int ErrorCount() const;
 };
 
+// Outcome counters of the last RunLinked() fixpoint.
+struct LinkStats {
+  int rounds = 0;              // analysis rounds until the table stabilized
+  int module_analyses = 0;     // sum of modules analyzed across rounds
+  int summary_rows = 0;        // rows in the converged fact table
+  int cross_edges = 0;         // (importer, definer) module pairs
+  bool converged = false;      // false only if the safety cap fired
+};
+
 // Solver-effort counters from a module's most recent analysis — how much of
 // it the incremental layer actually re-derived.
 struct ModuleStats {
@@ -120,8 +129,36 @@ class AnalysisSession {
   // Compiles and analyzes every dirty module (batched: shared prelude
   // tokens, shared pool, modules analyzed concurrently when the pipeline is
   // Parallel), reuses every clean module's cached result, and returns the
-  // deterministic corpus merge.
+  // deterministic corpus merge. Modules are analyzed as independent
+  // programs — calls into other modules are opaque (see RunLinked).
   SessionResult Run();
+
+  // The link stage: Run() in rounds, with per-function summaries flowing
+  // between modules through the annodb fact table until it stops changing.
+  // After each round the summaries of every re-analyzed module are
+  // re-exported and diffed; modules that import a changed fact — callers of
+  // a function whose bottom-up summary changed, or the definer of a
+  // function whose observed usage changed — are marked dirty for the next
+  // round, so round N+1 re-analyzes only importers of changed facts.
+  //
+  // Determinism contract (extends Run()'s): the converged findings are
+  // byte-identical regardless of module registration order, shard count,
+  // and cold-vs-incremental linking; on a corpus whose modules share facts
+  // only through declared extern functions, the converged finding set
+  // equals the merged-source single-program run's (see
+  // tests/session_linked_test.cc and docs/ARCHITECTURE.md for the exact
+  // statement, including the stackcheck per-report caveat).
+  //
+  // Incremental: a later RunLinked() after source edits retracts and
+  // re-derives only the cross-module dependency component containing the
+  // edited modules; everything outside keeps its converged facts and cached
+  // results.
+  SessionResult RunLinked();
+  const LinkStats& link_stats() const { return link_stats_; }
+
+  // The converged fact table (empty before the first RunLinked). The same
+  // rows are merged into ExportAnnoDb()'s repository view.
+  const AnnoDb& link_table() const { return link_table_; }
 
   // The §3.2 repository view of the whole corpus: per-module facts merged,
   // findings stamped with module provenance (so a later Run can
@@ -133,6 +170,11 @@ class AnalysisSession {
   size_t module_count() const { return modules_.size(); }
   const Pipeline& pipeline() const { return pipeline_; }
 
+  // The module's frontend artifacts from its last analysis (null before the
+  // first Run or after a compile failure). Callers render finding locations
+  // through ->sm; file ids are private to each module's compilation.
+  const Compilation* CompilationFor(const std::string& name) const;
+
   // Moves a module's artifacts out of the session (its cached state is
   // erased). The CompileAndRun shim: a one-module session, run, taken.
   PipelineRun TakeModule(const std::string& name);
@@ -142,6 +184,14 @@ class AnalysisSession {
 
   WorkQueue* pool();
   void Analyze(const std::string& name, ModuleState* st);
+  // Rebuilds a module's exported summary rows from its last analysis.
+  std::vector<FuncSummary> ExtractSummaries(const std::string& name, ModuleState& st) const;
+  // Corpus-level stack facts over the current table (condensation of the
+  // exported call edges; cross-module cyclic SCC members marked recursive).
+  void ComputeLinkStackFacts();
+  // Modules transitively connected to `roots` through shared function names
+  // (in either import direction), per the last exported name sets.
+  std::set<std::string> LinkedComponentOf(const std::set<std::string>& roots) const;
 
   Pipeline pipeline_;
   bool track_incremental_;
@@ -151,6 +201,15 @@ class AnalysisSession {
   // of registration order. Node stability also keeps ModuleState addresses
   // (and the IncrementalHints the contexts point at) valid across inserts.
   std::map<std::string, std::unique_ptr<ModuleState>> modules_;
+  // The link stage's fact table and its outcome counters. The table holds
+  // only summary rows; per-module facts/findings stay with the modules and
+  // are merged on ExportAnnoDb().
+  AnnoDb link_table_;
+  bool linked_ever_ = false;
+  LinkStats link_stats_;
+  // Function names defined in more than one module (a merged-source corpus
+  // would reject them); surfaced as session findings by RunLinked.
+  std::set<std::string> link_conflicts_;
 };
 
 }  // namespace ivy

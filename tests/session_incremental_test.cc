@@ -285,6 +285,56 @@ TEST(AnalysisSession, ReplaceFunctionUnknownTargets) {
   EXPECT_FALSE(session.ReplaceFunction("mod_00", "msleep", "void msleep(int n) {}"));
 }
 
+TEST(AnalysisSession, ReplaceFunctionBodyWithBraceLiterals) {
+  // Regression: the splice is driven by the lexer's token stream, so braces
+  // inside string/char literals and comments can never skew the definition
+  // span (the old textual scanner had to re-implement literal skipping —
+  // and miscounting there splices into the wrong function).
+  const char* text =
+      "void alpha(int n) {\n"
+      "  // stray closer } and opener { in a comment\n"
+      "  /* \" unbalanced quote and } */\n"
+      "  char c;\n"
+      "  c = '}';\n"
+      "  if (n > '{') { alpha(n - 1); }\n"
+      "}\n"
+      "void beta(int n) {\n"
+      "  char* nullterm s;\n"
+      "  s = \"}}}{{{\";\n"
+      "  msleep(n);\n"
+      "}\n"
+      "void gamma(int n) {\n"
+      "  if (n > 0) { beta(n - 1); }\n"
+      "}\n";
+  std::vector<ModuleSources> corpus{{"m", {SourceFile{"m.mc", text}}}};
+  AnalysisSession session = TestPipeline().ForEachModule(corpus).BuildSession();
+  SessionResult first = session.Run();
+  ASSERT_EQ(first.compile_failures, 0)
+      << first.ModuleFor("m")->compile_errors;
+  auto mayblock_count = [](const SessionResult& r) {
+    const ToolResult* bs = r.ModuleFor("m")->result.ResultFor("blockstop");
+    return bs == nullptr ? int64_t{-1} : bs->Metric("mayblock_funcs");
+  };
+  // beta (msleep) and gamma (calls beta) may block.
+  EXPECT_EQ(mayblock_count(first), 2);
+
+  // Replace gamma — its definition sits AFTER the brace-laden literals, so
+  // a miscounting scanner would splice into beta's string instead.
+  ASSERT_TRUE(session.ReplaceFunction(
+      "m", "gamma", "void gamma(int n) {\n  udelay(n);\n}\n"));
+  SessionResult second = session.Run();
+  ASSERT_EQ(second.compile_failures, 0)
+      << second.ModuleFor("m")->compile_errors;
+  EXPECT_EQ(mayblock_count(second), 1);  // only beta still blocks
+
+  // And replace beta itself, whose own body holds the "}" literals.
+  ASSERT_TRUE(session.ReplaceFunction(
+      "m", "beta", "void beta(int n) {\n  udelay(n);\n}\n"));
+  SessionResult third = session.Run();
+  ASSERT_EQ(third.compile_failures, 0) << third.ModuleFor("m")->compile_errors;
+  EXPECT_EQ(mayblock_count(third), 0);
+}
+
 TEST(AnalysisSession, AnnoDbCarriesProvenanceAndRetracts) {
   std::vector<ModuleSources> corpus = MakeCorpus(3, 1700, 48);
   AnalysisSession session = TestPipeline().ForEachModule(corpus).BuildSession();
@@ -298,8 +348,9 @@ TEST(AnalysisSession, AnnoDbCarriesProvenanceAndRetracts) {
   }
   EXPECT_EQ(modules_seen, (std::set<std::string>{"mod_00", "mod_01", "mod_02"}));
 
-  // Retraction removes exactly one module's findings — and survives a JSON
-  // round trip, so a repository consumer can do the same.
+  // Retraction removes exactly one module's records — findings, stamped
+  // fact entries, and summary rows alike — and survives a JSON round trip,
+  // so a repository consumer can do the same.
   Json j = db.ToJson();
   AnnoDb loaded = AnnoDb::FromJson(j);
   size_t total = loaded.findings().size();
@@ -307,11 +358,28 @@ TEST(AnalysisSession, AnnoDbCarriesProvenanceAndRetracts) {
   for (const Finding& f : loaded.findings()) {
     mod1 += f.module == "mod_01" ? 1 : 0;
   }
+  size_t mod1_facts = 0;
+  for (const auto& [name, facts] : loaded.funcs()) {
+    mod1_facts += facts.module == "mod_01" ? 1 : 0;
+  }
+  for (const auto& [name, facts] : loaded.records()) {
+    mod1_facts += facts.module == "mod_01" ? 1 : 0;
+  }
+  for (const auto& [key, row] : loaded.summaries()) {
+    mod1_facts += key.first == "mod_01" ? 1 : 0;
+  }
   ASSERT_GT(mod1, 0u);
-  EXPECT_EQ(loaded.RetractModule("mod_01"), static_cast<int>(mod1));
+  ASSERT_GT(mod1_facts, 0u);
+  EXPECT_EQ(loaded.RetractModule("mod_01"), static_cast<int>(mod1 + mod1_facts));
   EXPECT_EQ(loaded.findings().size(), total - mod1);
   for (const Finding& f : loaded.findings()) {
     EXPECT_NE(f.module, "mod_01");
+  }
+  for (const auto& [name, facts] : loaded.funcs()) {
+    EXPECT_NE(facts.module, "mod_01") << name;
+  }
+  for (const auto& [key, row] : loaded.summaries()) {
+    EXPECT_NE(key.first, "mod_01");
   }
 
   // After an edit, the re-exported repository reflects exactly the new

@@ -1,0 +1,315 @@
+// The cross-module link stage (AnalysisSession::RunLinked): corpus-level
+// fact fixpoint via annodb summaries.
+//
+//   1. Linked == merged-source: on corpora whose modules share facts only
+//      through declared extern functions, the converged linked findings
+//      (canonically rendered and sorted — the linked merge orders by module
+//      first, a merged program by pass) equal the single merged-source
+//      program's, including cross-module may-block propagation, atomic-entry
+//      contexts, irq-reachability, error-return facts, fn-ptr registration
+//      through extern calls, and cross-module recursion. StackCheck's
+//      per-report budget-overrun finding is the one shape that cannot match
+//      (one report per module vs one merged report), so the property runs
+//      with an unreachable budget and checks the depth maps directly.
+//   2. Determinism: converged findings are byte-identical across module
+//      registration order and shard counts.
+//   3. Incremental relink == cold relink, and the fixpoint re-analyzes only
+//      the cross-module component of the edit.
+//   4. Convergence: the fixpoint settles without oscillation and reports
+//      its round count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/annodb/annodb.h"
+#include "src/stackcheck/stackcheck.h"
+#include "src/tool/pipeline.h"
+#include "src/tool/session.h"
+#include "tests/synth_corpus.h"
+
+namespace ivy {
+namespace {
+
+constexpr int64_t kHugeBudget = int64_t{1} << 40;
+
+PipelineBuilder LinkedPipeline(int shards = 1) {
+  PipelineBuilder b;
+  ToolOptions sc;
+  sc.SetInt("budget", kHugeBudget);
+  b.Tool("blockstop").Tool("stackcheck", sc).Tool("errcheck").Tool("locksafe");
+  b.ShardFunctions(shards);
+  return b;
+}
+
+std::string Dump(const std::vector<Finding>& findings) {
+  Json arr = Json::MakeArray();
+  for (const Finding& f : findings) {
+    arr.Append(f.ToJson());
+  }
+  return arr.Dump();
+}
+
+// Canonical rendering: tool/severity/rendered-location/message/witness.
+// Rendered locations use file *names*, which match between a module's own
+// compilation and the merged program; raw file ids do not.
+std::vector<std::string> CanonSorted(const std::vector<Finding>& findings,
+                                     const SourceManager* sm) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) {
+    out.push_back(f.ToString(sm));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> LinkedCanon(AnalysisSession& session, const SessionResult& result) {
+  std::vector<std::string> all;
+  for (const ModuleRunResult& mr : result.modules) {
+    const Compilation* comp = session.CompilationFor(mr.module);
+    EXPECT_NE(comp, nullptr) << mr.module;
+    std::vector<std::string> canon =
+        CanonSorted(mr.result.findings, comp != nullptr ? &comp->sm : nullptr);
+    all.insert(all.end(), canon.begin(), canon.end());
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+TEST(SessionLinked, LinkedMatchesMergedSource) {
+  for (uint64_t seed : {3u, 17u}) {
+    LinkedCorpusOptions opt;
+    opt.modules = 4;
+    opt.functions = 32;
+    opt.seed = seed;
+    std::vector<ModuleSources> corpus = GenerateLinkedCorpus(opt);
+
+    AnalysisSession session = LinkedPipeline().ForEachModule(corpus).BuildSession();
+    SessionResult linked = session.RunLinked();
+    ASSERT_EQ(linked.compile_failures, 0) << "seed " << seed;
+    ASSERT_TRUE(session.link_stats().converged) << "seed " << seed;
+    EXPECT_GE(session.link_stats().rounds, 2) << "seed " << seed;
+    EXPECT_GT(session.link_stats().cross_edges, 0) << "seed " << seed;
+    // No session-level findings (no multi-definition conflicts, converged).
+    for (const Finding& f : linked.findings) {
+      EXPECT_NE(f.tool, "session") << f.message;
+    }
+
+    Pipeline merged_pipeline = LinkedPipeline().Build();
+    PipelineRun merged = merged_pipeline.CompileAndRun(MergedLinkedSources(corpus));
+    ASSERT_TRUE(merged.comp->ok) << "seed " << seed << ": " << merged.comp->Errors();
+
+    std::vector<std::string> linked_canon = LinkedCanon(session, linked);
+    std::vector<std::string> merged_canon =
+        CanonSorted(merged.result.findings, &merged.comp->sm);
+    EXPECT_FALSE(merged_canon.empty());
+    ASSERT_EQ(linked_canon, merged_canon) << "seed " << seed;
+
+    // StackCheck detail: corpus-level depths and the recursive set must
+    // match the merged condensation function by function.
+    std::map<std::string, int64_t> linked_depths;
+    std::set<std::string> linked_recursive;
+    for (const ModuleRunResult& mr : linked.modules) {
+      const ToolResult* r = mr.result.ResultFor("stackcheck");
+      ASSERT_NE(r, nullptr);
+      const StackCheckReport* rep = r->DetailAs<StackCheckReport>();
+      ASSERT_NE(rep, nullptr);
+      linked_depths.insert(rep->entry_depths.begin(), rep->entry_depths.end());
+      linked_recursive.insert(rep->recursive.begin(), rep->recursive.end());
+    }
+    const StackCheckReport* merged_rep =
+        merged.result.ResultFor("stackcheck")->DetailAs<StackCheckReport>();
+    ASSERT_NE(merged_rep, nullptr);
+    EXPECT_EQ(linked_depths, merged_rep->entry_depths) << "seed " << seed;
+    EXPECT_EQ(linked_recursive, merged_rep->recursive) << "seed " << seed;
+    EXPECT_FALSE(linked_recursive.empty());  // the cross-module cycle is real
+  }
+}
+
+TEST(SessionLinked, ConvergedFindingsDeterministic) {
+  LinkedCorpusOptions opt;
+  opt.modules = 4;
+  opt.functions = 28;
+  opt.seed = 5;
+  std::vector<ModuleSources> corpus = GenerateLinkedCorpus(opt);
+
+  AnalysisSession forward = LinkedPipeline().ForEachModule(corpus).BuildSession();
+  std::string golden = Dump(forward.RunLinked().findings);
+  ASSERT_TRUE(forward.link_stats().converged);
+  EXPECT_FALSE(golden.empty());
+
+  std::vector<ModuleSources> reversed(corpus.rbegin(), corpus.rend());
+  AnalysisSession backward = LinkedPipeline().ForEachModule(reversed).BuildSession();
+  EXPECT_EQ(Dump(backward.RunLinked().findings), golden);
+
+  AnalysisSession sharded = LinkedPipeline(3).ForEachModule(corpus).BuildSession();
+  EXPECT_EQ(Dump(sharded.RunLinked().findings), golden);
+}
+
+TEST(SessionLinked, IncrementalRelinkMatchesColdAndStaysInComponent) {
+  LinkedCorpusOptions opt;
+  opt.modules = 3;
+  opt.functions = 24;
+  opt.seed = 9;
+  std::vector<ModuleSources> corpus = GenerateLinkedCorpus(opt);
+  // An isolated module: no cross calls in or out, so it sits in its own
+  // link component and must never be re-analyzed by other modules' edits.
+  SynthCorpusOptions iso;
+  iso.functions = 16;
+  iso.seed = 77;
+  iso.prefix = "iso_";
+  corpus.push_back(ModuleSources{"zz_iso", {SourceFile{"zz_iso.mc", GenerateSynthCorpus(iso)}}});
+
+  AnalysisSession session = LinkedPipeline().ForEachModule(corpus).BuildSession();
+  session.RunLinked();
+  ASSERT_TRUE(session.link_stats().converged);
+
+  // Re-linking an unchanged corpus is one cheap round: nothing re-analyzed.
+  SessionResult idle = session.RunLinked();
+  EXPECT_EQ(session.link_stats().rounds, 1);
+  EXPECT_EQ(session.link_stats().module_analyses, 0);
+  EXPECT_EQ(idle.modules_reused, static_cast<int>(corpus.size()));
+
+  // Edit inside the linked component: make a mid-chain function of mod_01 a
+  // blocking leaf. Cross importers re-converge; the isolated module reuses
+  // its cached result through every round.
+  const std::string fn = SynthFuncName(LinkedModulePrefix(1), 5);
+  const std::string def =
+      "void " + fn + "(int n) {\n  int pad[16]; pad[0] = n;\n  msleep(n);\n}\n";
+  ASSERT_TRUE(session.ReplaceFunction("mod_01", fn, def));
+  SessionResult warm = session.RunLinked();
+  ASSERT_TRUE(session.link_stats().converged);
+  EXPECT_LE(session.link_stats().module_analyses,
+            session.link_stats().rounds * (static_cast<int>(corpus.size()) - 1));
+
+  AnalysisSession cold = LinkedPipeline().ForEachModule(corpus).BuildSession();
+  ASSERT_TRUE(cold.ReplaceFunction("mod_01", fn, def));
+  SessionResult cold_result = cold.RunLinked();
+  ASSERT_TRUE(cold.link_stats().converged);
+  EXPECT_EQ(Dump(warm.findings), Dump(cold_result.findings));
+
+  // Editing only the isolated module re-analyzes only it.
+  ASSERT_TRUE(session.ReplaceFunction("zz_iso", SynthFuncName("iso_", 3),
+                                      "void " + SynthFuncName("iso_", 3) +
+                                          "(int n) {\n  int pad[4]; pad[0] = n;\n  udelay(1);\n}\n"));
+  session.RunLinked();
+  ASSERT_TRUE(session.link_stats().converged);
+  EXPECT_EQ(session.link_stats().module_analyses, 1);
+}
+
+TEST(SessionLinked, SummariesExportedAndRetractable) {
+  LinkedCorpusOptions opt;
+  opt.modules = 3;
+  opt.functions = 24;
+  opt.seed = 21;
+  std::vector<ModuleSources> corpus = GenerateLinkedCorpus(opt);
+  AnalysisSession session = LinkedPipeline().ForEachModule(corpus).BuildSession();
+  session.RunLinked();
+  ASSERT_TRUE(session.link_stats().converged);
+
+  // The converged table carries both halves of the exchange.
+  const AnnoDb& table = session.link_table();
+  ASSERT_FALSE(table.summaries().empty());
+  bool saw_mayblock_definer = false;
+  bool saw_usage_atomic = false;
+  bool saw_param_points = false;
+  bool saw_stack = false;
+  for (const auto& [key, row] : table.summaries()) {
+    if (row.defined && row.may_block && !row.block_witness.empty()) {
+      saw_mayblock_definer = true;
+    }
+    if (row.defined && row.stack_below >= 0) {
+      saw_stack = true;
+    }
+    if (!row.defined && row.entered_atomic) {
+      saw_usage_atomic = true;
+    }
+    if (!row.defined && !row.param_points.empty()) {
+      saw_param_points = true;
+    }
+  }
+  EXPECT_TRUE(saw_mayblock_definer);
+  EXPECT_TRUE(saw_usage_atomic);
+  EXPECT_TRUE(saw_param_points);
+  EXPECT_TRUE(saw_stack);
+
+  // The repository export includes the table, round-trips through JSON, and
+  // retraction drops exactly one module's rows (facts and summaries both).
+  AnnoDb db = session.ExportAnnoDb();
+  ASSERT_FALSE(db.summaries().empty());
+  std::string err;
+  AnnoDb loaded = AnnoDb::FromJson(Json::Parse(db.ToJson().Dump(), &err));
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(loaded.ToJson().Dump(), db.ToJson().Dump());
+
+  size_t before = loaded.summaries().size();
+  size_t mod1_rows = 0;
+  for (const auto& [key, row] : loaded.summaries()) {
+    mod1_rows += key.first == "mod_01" ? 1 : 0;
+  }
+  ASSERT_GT(mod1_rows, 0u);
+  loaded.RetractModule("mod_01");
+  EXPECT_EQ(loaded.summaries().size(), before - mod1_rows);
+  for (const auto& [key, row] : loaded.summaries()) {
+    EXPECT_NE(key.first, "mod_01");
+  }
+  for (const auto& [name, facts] : loaded.funcs()) {
+    EXPECT_NE(facts.module, "mod_01") << name;
+  }
+
+  // Re-merging the same export is idempotent for summary rows.
+  AnnoDb twice = session.ExportAnnoDb();
+  std::string once_dump = twice.ToJson().Dump();
+  twice.Merge(session.ExportAnnoDb());
+  EXPECT_EQ(twice.ToJson().Dump(), once_dump);
+}
+
+TEST(SessionLinked, RemoveModuleRetractsItsFactsFromTheTable) {
+  LinkedCorpusOptions opt;
+  opt.modules = 3;
+  opt.functions = 24;
+  opt.seed = 41;
+  std::vector<ModuleSources> corpus = GenerateLinkedCorpus(opt);
+  AnalysisSession session = LinkedPipeline().ForEachModule(corpus).BuildSession();
+  session.RunLinked();
+  ASSERT_TRUE(session.link_stats().converged);
+
+  // Dropping mod_02 must drop its facts: the relinked corpus equals a cold
+  // two-module link, not the stale three-module fixpoint.
+  ASSERT_TRUE(session.RemoveModule("mod_02"));
+  SessionResult relinked = session.RunLinked();
+  ASSERT_TRUE(session.link_stats().converged);
+  for (const auto& [key, row] : session.link_table().summaries()) {
+    EXPECT_NE(key.first, "mod_02");
+  }
+
+  corpus.pop_back();
+  AnalysisSession cold = LinkedPipeline().ForEachModule(corpus).BuildSession();
+  EXPECT_EQ(Dump(relinked.findings), Dump(cold.RunLinked().findings));
+}
+
+TEST(SessionLinked, UnlinkedRunStaysIndependent) {
+  // Run() (no link stage) must keep its historical semantics: modules
+  // analyzed as independent programs, no imported facts.
+  LinkedCorpusOptions opt;
+  opt.modules = 2;
+  opt.functions = 20;
+  opt.seed = 33;
+  std::vector<ModuleSources> corpus = GenerateLinkedCorpus(opt);
+
+  AnalysisSession plain = LinkedPipeline().ForEachModule(corpus).BuildSession();
+  SessionResult unlinked = plain.Run();
+  AnalysisSession linked = LinkedPipeline().ForEachModule(corpus).BuildSession();
+  SessionResult converged = linked.RunLinked();
+
+  // The linked run sees strictly more: cross-module facts add findings.
+  EXPECT_NE(Dump(unlinked.findings), Dump(converged.findings));
+  EXPECT_GT(converged.findings.size(), unlinked.findings.size());
+}
+
+}  // namespace
+}  // namespace ivy

@@ -191,6 +191,55 @@ TEST(TaskGroup, ConcurrentGroupsStress) {
   EXPECT_EQ(total.load(), 4 * 20 * 50);
 }
 
+TEST(TaskGroup, TwoFailingKernelsRethrowLowestIndexDeterministically) {
+  // The session scenario: two pass kernels share one pool and BOTH fail.
+  // Each group must rethrow the exception its own serial loop would have
+  // hit first — the lowest submission index within that group — on every
+  // repetition, no matter how the workers interleave the two kernels'
+  // tasks.
+  WorkQueue wq(4);
+  for (int iter = 0; iter < 200; ++iter) {
+    TaskGroup kernel_a(wq);
+    TaskGroup kernel_b(wq);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i) {
+      kernel_a.Submit([i, &ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i % 7 == 3) {
+          throw std::runtime_error("a" + std::to_string(i));
+        }
+      });
+      kernel_b.Submit([i, &ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i % 5 == 2) {
+          throw std::runtime_error("b" + std::to_string(i));
+        }
+      });
+    }
+    // Lowest throwing index in kernel_a is 3, in kernel_b is 2 — always.
+    try {
+      kernel_a.Wait();
+      FAIL() << "kernel_a did not throw (iter " << iter << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "a3") << "iter " << iter;
+    }
+    try {
+      kernel_b.Wait();
+      FAIL() << "kernel_b did not throw (iter " << iter << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "b2") << "iter " << iter;
+    }
+    EXPECT_EQ(ran.load(), 128) << "iter " << iter;
+    // Both groups drained and stay reusable: a clean second burst.
+    std::atomic<int> again{0};
+    kernel_a.Submit([&again] { again.fetch_add(1); });
+    kernel_b.Submit([&again] { again.fetch_add(1); });
+    kernel_a.Wait();
+    kernel_b.Wait();
+    EXPECT_EQ(again.load(), 2);
+  }
+}
+
 TEST(FunctionSharder, MapChunksReducesInChunkOrder) {
   FunctionSharder sharder({}, 3);
   WorkQueue wq(3);

@@ -5,6 +5,12 @@
 //   annodb-query <db.json> --function read_chan [--tool blockstop] [--module net]
 //   annodb-query - --function kmalloc              # read the JSON from stdin
 //   annodb-query --from-kernel --function read_chan  # build the db in-process
+//   annodb-query --from-kernel --summaries --function read_chan
+//
+// --summaries prints the cross-module link-stage fact table (per-function
+// summary rows keyed by (module, function): may-block bits + witnesses,
+// error-return facts, lock deltas, callee lists, points-to escape sets,
+// corpus stack depths), filtered by --function/--module when given.
 //
 // --from-kernel runs the full tool suite over the built-in kernel corpus
 // through an AnalysisSession (so findings carry module provenance) and
@@ -30,7 +36,63 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: annodb-query [<db.json>|-|--from-kernel] --function <name>\n"
-               "                    [--tool <tool>] [--module <module>]\n");
+               "                    [--tool <tool>] [--module <module>] [--summaries]\n");
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    out += out.empty() ? n : "," + n;
+  }
+  return out;
+}
+
+void PrintSummaries(const ivy::AnnoDb& db, const std::string& function,
+                    const std::string& module) {
+  int rows = 0;
+  for (const auto& [key, row] : db.summaries()) {
+    if (!function.empty() && key.second != function) {
+      continue;
+    }
+    if (!module.empty() && key.first != module) {
+      continue;
+    }
+    ++rows;
+    if (row.defined) {
+      std::printf("summary %s/%s: defined may_block=%d", key.first.c_str(),
+                  key.second.c_str(), row.may_block ? 1 : 0);
+      if (!row.block_witness.empty()) {
+        std::printf(" witness=\"%s\"", row.block_witness.c_str());
+      }
+      std::printf(" returns_error=%d frame=%lld", row.returns_error ? 1 : 0,
+                  static_cast<long long>(row.frame_size));
+      if (row.stack_below >= 0) {
+        std::printf(" stack_below=%lld", static_cast<long long>(row.stack_below));
+      }
+      if (row.cross_recursive) {
+        std::printf(" cross_recursive=1");
+      }
+      if (!row.callees.empty()) {
+        std::printf(" callees=%zu", row.callees.size());
+      }
+      if (!row.locks_acquired.empty()) {
+        std::printf(" locks=%s", JoinNames(row.locks_acquired).c_str());
+      }
+      if (!row.returns_points.empty()) {
+        std::printf(" returns_points=%s", JoinNames(row.returns_points).c_str());
+      }
+      std::printf("\n");
+    } else {
+      std::printf("summary %s/%s: used entered_atomic=%d entered_in_irq=%d",
+                  key.first.c_str(), key.second.c_str(), row.entered_atomic ? 1 : 0,
+                  row.entered_in_irq ? 1 : 0);
+      for (const auto& [idx, names] : row.param_points) {
+        std::printf(" param%d->{%s}", idx, JoinNames(names).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("%d summary row(s) of %zu total\n", rows, db.summaries().size());
 }
 
 bool FindingMatches(const ivy::Finding& f, const std::string& function,
@@ -60,6 +122,7 @@ int main(int argc, char** argv) {
   std::string tool;
   std::string module;
   bool from_kernel = false;
+  bool summaries = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,6 +153,8 @@ int main(int argc, char** argv) {
       module = v;
     } else if (arg == "--from-kernel") {
       from_kernel = true;
+    } else if (arg == "--summaries") {
+      summaries = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -142,6 +207,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     db = ivy::AnnoDb::FromJson(j);
+  }
+
+  if (summaries) {
+    PrintSummaries(db, function, module);
   }
 
   // Facts first: the repository's stored knowledge about the function.
