@@ -5,10 +5,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <thread>
 
 #include "src/analysis/callgraph.h"
 #include "src/analysis/pointsto.h"
@@ -16,6 +19,9 @@
 #include "src/errcheck/errcheck.h"
 #include "src/kernel/corpus.h"
 #include "src/locksafe/locksafe.h"
+#include "src/server/client.h"
+#include "src/server/epoch.h"
+#include "src/server/server.h"
 #include "src/stackcheck/stackcheck.h"
 #include "src/support/work_queue.h"
 #include "src/tool/function_sharder.h"
@@ -458,6 +464,156 @@ double MedianMs(F&& fn, int reps = 3) {
   return times[times.size() / 2];
 }
 
+// Analysis-server latency: an in-process AnnodServer over a real TCP socket
+// serving an 8x400 linked corpus. Measures per-query wire latency (p50/p99)
+// while a background editor streams ReplaceFunction edits — so relinks are
+// continuously in flight and queries are answered from pinned epochs — and
+// the edit-to-new-epoch latency a save hook would observe. The final epoch
+// is FATAL-checked byte-identical to a cold batch RunLinked() over the same
+// final sources: a server that answers fast from a diverged snapshot must
+// never post a number.
+ivy::Json ServerBenchJson() {
+  ivy::LinkedCorpusOptions copt;
+  copt.modules = kCorpusModules;
+  copt.functions = kCorpusFunctions;
+  copt.seed = 5150;
+  std::vector<ivy::ModuleSources> corpus = ivy::GenerateLinkedCorpus(copt);
+
+  ivy::AnnodServer::Options sopts;
+  sopts.pipeline = LinkedSessionPipeline().Build();
+  ivy::AnnodServer server(std::move(sopts));
+  server.OpenCorpus("bench");
+  for (const ivy::ModuleSources& m : corpus) {
+    server.EnqueueUpsert("bench", m);
+  }
+  std::string err;
+  if (!server.Start("127.0.0.1:0", &err)) {
+    std::fprintf(stderr, "FATAL: server bench Start: %s\n", err.c_str());
+    std::abort();
+  }
+  if (server.SyncEpoch("bench") == 0) {
+    std::fprintf(stderr, "FATAL: server bench corpus did not publish\n");
+    std::abort();
+  }
+
+  const std::string edit_module = ivy::LinkedModuleName(1);
+  const std::string edit_fn = ivy::SynthFuncName(ivy::LinkedModulePrefix(1), 5);
+  auto def_for = [&edit_fn](int flavor) {
+    return "void " + edit_fn + "(int n) {\n  int pad[" +
+           std::to_string(4 << (flavor % 3)) + "]; pad[0] = n;\n  msleep(n);\n}\n";
+  };
+
+  // Edit-to-new-epoch: submit one function edit, block until the relinked
+  // epoch it lands in is queryable.
+  int edit_i = 0;
+  double edit_to_epoch_ms = MedianMs(
+      [&server, &edit_module, &edit_fn, &def_for, &edit_i] {
+        server.EnqueueReplaceFunction("bench", edit_module, edit_fn, def_for(edit_i++));
+        if (server.SyncEpoch("bench") == 0) {
+          std::fprintf(stderr, "FATAL: server bench edit epoch did not publish\n");
+          std::abort();
+        }
+      },
+      5);
+
+  // Query latency with the relink worker continuously busy.
+  std::atomic<bool> stop{false};
+  std::thread editor([&server, &edit_module, &edit_fn, &def_for, &stop] {
+    int flavor = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      server.EnqueueReplaceFunction("bench", edit_module, edit_fn, def_for(flavor++));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  ivy::AnnodClient client;
+  if (!client.Connect(server.bound_address(), &err)) {
+    std::fprintf(stderr, "FATAL: server bench connect: %s\n", err.c_str());
+    std::abort();
+  }
+  constexpr int kQueries = 300;
+  std::vector<double> lat_us;
+  lat_us.reserve(kQueries);
+  uint64_t rows_sink = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    ivy::RowsReplyMsg rows;
+    bool ok;
+    // Rotate the three query shapes a live client mixes: full-corpus
+    // findings, per-module findings, per-module summaries.
+    if (i % 3 == 2) {
+      ivy::SummariesQueryMsg q;
+      q.corpus = "bench";
+      q.module = ivy::LinkedModuleName(i % kCorpusModules);
+      ok = client.QuerySummaries(q, &rows, &err);
+    } else {
+      ivy::FindingsQueryMsg q;
+      q.corpus = "bench";
+      if (i % 3 == 1) {
+        q.module = ivy::LinkedModuleName(i % kCorpusModules);
+      }
+      ok = client.QueryFindings(q, &rows, &err);
+    }
+    auto end = std::chrono::steady_clock::now();
+    if (!ok) {
+      std::fprintf(stderr, "FATAL: server bench query: %s\n", err.c_str());
+      std::abort();
+    }
+    rows_sink += rows.rows.size();
+    lat_us.push_back(std::chrono::duration<double, std::micro>(end - start).count());
+  }
+  benchmark::DoNotOptimize(rows_sink);
+  stop.store(true);
+  editor.join();
+
+  // Quiesce on one final known definition, then hold the server to the
+  // byte-identity contract.
+  const std::string final_def = def_for(0);
+  server.EnqueueReplaceFunction("bench", edit_module, edit_fn, final_def);
+  if (server.SyncEpoch("bench") == 0) {
+    std::abort();
+  }
+  std::shared_ptr<const ivy::EpochSnapshot> warm_snap = server.Snapshot("bench");
+  ivy::PipelineBuilder cold_b = LinkedSessionPipeline();
+  cold_b.ForEachModule(corpus);
+  ivy::AnalysisSession cold_session = cold_b.BuildSession();
+  if (!cold_session.ReplaceFunction(edit_module, edit_fn, final_def)) {
+    std::fprintf(stderr, "FATAL: server bench cold edit did not apply\n");
+    std::abort();
+  }
+  ivy::SessionResult cold_result = cold_session.RunLinked();
+  std::shared_ptr<ivy::EpochSnapshot> cold_snap =
+      ivy::BuildEpochSnapshot(1, cold_result, cold_session.link_table());
+  if (warm_snap == nullptr || warm_snap->findings_canon != cold_snap->findings_canon ||
+      warm_snap->summaries_canon != cold_snap->summaries_canon) {
+    std::fprintf(stderr, "FATAL: server epoch diverges from cold batch run\n");
+    std::abort();
+  }
+  uint64_t final_epoch = warm_snap->id;
+  server.RequestShutdown();
+  server.Wait();
+
+  std::sort(lat_us.begin(), lat_us.end());
+  double p50_us = lat_us[lat_us.size() / 2];
+  double p99_us = lat_us[(lat_us.size() * 99) / 100];
+
+  ivy::Json srv = ivy::Json::MakeObject();
+  srv["modules"] = ivy::Json::MakeInt(kCorpusModules);
+  srv["functions_per_module"] = ivy::Json::MakeInt(kCorpusFunctions);
+  srv["queries"] = ivy::Json::MakeInt(kQueries);
+  srv["query_p50_us"] = ivy::Json::MakeInt(static_cast<int64_t>(p50_us));
+  srv["query_p99_us"] = ivy::Json::MakeInt(static_cast<int64_t>(p99_us));
+  srv["edit_to_epoch_us"] = ivy::Json::MakeInt(static_cast<int64_t>(edit_to_epoch_ms * 1000));
+  srv["epochs_published"] = ivy::Json::MakeInt(static_cast<int64_t>(final_epoch));
+  srv["identical_to_cold"] = ivy::Json::MakeBool(true);
+  std::fprintf(stderr,
+               "BENCH server: query p50=%.0fus p99=%.0fus edit_to_epoch=%.1fms "
+               "epochs=%llu\n",
+               p50_us, p99_us, edit_to_epoch_ms,
+               static_cast<unsigned long long>(final_epoch));
+  return srv;
+}
+
 void WriteBenchPipelineJson() {
   const char* out_path = std::getenv("BENCH_PIPELINE_OUT");
   if (out_path == nullptr || out_path[0] == '\0') {
@@ -637,6 +793,7 @@ void WriteBenchPipelineJson() {
   linked_j["relink_after_edit_us"] = ivy::Json::MakeInt(static_cast<int64_t>(relink_ms * 1000));
   linked_j["identical_to_merged"] = ivy::Json::MakeBool(true);
   j["linked"] = std::move(linked_j);
+  j["server"] = ServerBenchJson();
 
   std::string path = out_path;
   std::ofstream out(path);

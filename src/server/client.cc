@@ -1,0 +1,200 @@
+#include "src/server/client.h"
+
+namespace ivy {
+
+bool AnnodClient::Connect(const std::string& address, std::string* err) {
+  sock_ = ConnectTo(address, err);
+  return sock_.valid();
+}
+
+bool AnnodClient::RoundTrip(MsgType req, const std::string& payload,
+                            MsgType want, std::string* reply_payload,
+                            std::string* err) {
+  if (!sock_.valid()) {
+    if (err != nullptr) {
+      *err = "not connected";
+    }
+    return false;
+  }
+  if (!WriteFrame(sock_, req, payload, err)) {
+    sock_.Close();
+    return false;
+  }
+  Frame reply;
+  int r = ReadFrame(sock_, &reply, err);
+  if (r <= 0) {
+    if (r == 0 && err != nullptr) {
+      *err = "server closed the connection";
+    }
+    sock_.Close();
+    return false;
+  }
+  if (reply.type == MsgType::kError) {
+    ErrorMsg e;
+    if (err != nullptr) {
+      *err = e.Decode(reply.payload) ? e.message : "undecodable error reply";
+    }
+    return false;
+  }
+  if (reply.type != want) {
+    if (err != nullptr) {
+      *err = std::string("unexpected reply type ") + MsgTypeName(reply.type) +
+             " (wanted " + MsgTypeName(want) + ")";
+    }
+    sock_.Close();  // reply framing no longer trustworthy
+    return false;
+  }
+  if (reply_payload != nullptr) {
+    *reply_payload = std::move(reply.payload);
+  }
+  return true;
+}
+
+bool AnnodClient::Ping(std::string* err) {
+  CorpusMsg m;
+  return RoundTrip(MsgType::kPing, m.Encode(), MsgType::kOk, nullptr, err);
+}
+
+bool AnnodClient::OpenCorpus(const std::string& corpus, std::string* err) {
+  CorpusMsg m;
+  m.corpus = corpus;
+  return RoundTrip(MsgType::kOpenCorpus, m.Encode(), MsgType::kOk, nullptr, err);
+}
+
+bool AnnodClient::CloseCorpus(const std::string& corpus, std::string* err) {
+  CorpusMsg m;
+  m.corpus = corpus;
+  return RoundTrip(MsgType::kCloseCorpus, m.Encode(), MsgType::kOk, nullptr, err);
+}
+
+bool AnnodClient::QueryFindings(const FindingsQueryMsg& q, RowsReplyMsg* out,
+                                std::string* err) {
+  std::string payload;
+  if (!RoundTrip(MsgType::kQueryFindings, q.Encode(), MsgType::kFindings,
+                 &payload, err)) {
+    return false;
+  }
+  if (!out->Decode(payload)) {
+    if (err != nullptr) {
+      *err = "undecodable findings reply";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool AnnodClient::QuerySummaries(const SummariesQueryMsg& q, RowsReplyMsg* out,
+                                 std::string* err) {
+  std::string payload;
+  if (!RoundTrip(MsgType::kQuerySummaries, q.Encode(), MsgType::kSummaries,
+                 &payload, err)) {
+    return false;
+  }
+  if (!out->Decode(payload)) {
+    if (err != nullptr) {
+      *err = "undecodable summaries reply";
+    }
+    return false;
+  }
+  return true;
+}
+
+namespace {
+bool DecodeEpochInto(const std::string& payload, uint64_t* epoch,
+                     std::string* err) {
+  EpochMsg e;
+  if (!e.Decode(payload)) {
+    if (err != nullptr) {
+      *err = "undecodable epoch reply";
+    }
+    return false;
+  }
+  if (epoch != nullptr) {
+    *epoch = e.epoch;
+  }
+  return true;
+}
+}  // namespace
+
+bool AnnodClient::UpsertModule(const std::string& corpus, const std::string& module,
+                               std::vector<std::pair<std::string, std::string>> files,
+                               uint64_t* epoch_at_enqueue, std::string* err) {
+  UpsertModuleMsg m;
+  m.corpus = corpus;
+  m.module = module;
+  m.files = std::move(files);
+  std::string payload;
+  if (!RoundTrip(MsgType::kUpsertModule, m.Encode(), MsgType::kEpoch, &payload,
+                 err)) {
+    return false;
+  }
+  return DecodeEpochInto(payload, epoch_at_enqueue, err);
+}
+
+bool AnnodClient::ReplaceFunction(const std::string& corpus, const std::string& module,
+                                  const std::string& function,
+                                  const std::string& definition,
+                                  uint64_t* epoch_at_enqueue, std::string* err) {
+  ReplaceFunctionMsg m;
+  m.corpus = corpus;
+  m.module = module;
+  m.function = function;
+  m.definition = definition;
+  std::string payload;
+  if (!RoundTrip(MsgType::kReplaceFunction, m.Encode(), MsgType::kEpoch,
+                 &payload, err)) {
+    return false;
+  }
+  return DecodeEpochInto(payload, epoch_at_enqueue, err);
+}
+
+bool AnnodClient::RemoveModule(const std::string& corpus, const std::string& module,
+                               uint64_t* epoch_at_enqueue, std::string* err) {
+  RemoveModuleMsg m;
+  m.corpus = corpus;
+  m.module = module;
+  std::string payload;
+  if (!RoundTrip(MsgType::kRemoveModule, m.Encode(), MsgType::kEpoch, &payload,
+                 err)) {
+    return false;
+  }
+  return DecodeEpochInto(payload, epoch_at_enqueue, err);
+}
+
+bool AnnodClient::Stats(const std::string& corpus, StatsReplyMsg* out,
+                        std::string* err) {
+  CorpusMsg m;
+  m.corpus = corpus;
+  std::string payload;
+  if (!RoundTrip(MsgType::kStats, m.Encode(), MsgType::kStatsReply, &payload,
+                 err)) {
+    return false;
+  }
+  if (!out->Decode(payload)) {
+    if (err != nullptr) {
+      *err = "undecodable stats reply";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool AnnodClient::Sync(const std::string& corpus, uint64_t* epoch,
+                       std::string* err) {
+  CorpusMsg m;
+  m.corpus = corpus;
+  std::string payload;
+  if (!RoundTrip(MsgType::kSync, m.Encode(), MsgType::kEpoch, &payload, err)) {
+    return false;
+  }
+  return DecodeEpochInto(payload, epoch, err);
+}
+
+bool AnnodClient::Shutdown(std::string* err) {
+  CorpusMsg m;
+  bool ok = RoundTrip(MsgType::kShutdown, m.Encode(), MsgType::kOk, nullptr, err);
+  sock_.Close();
+  return ok;
+}
+
+}  // namespace ivy

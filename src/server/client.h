@@ -1,0 +1,75 @@
+// AnnodClient: the one request-encoding path to an annod server. Everything
+// that talks to the daemon — annodb_query --connect, the server tests, the
+// benchmark's latency probes, the CI smoke script — goes through this class,
+// so a wire-format change has exactly one encode site and one decode site
+// per message on the client half.
+//
+// Synchronous request/response: each call writes one frame, blocks for one
+// reply frame, and decodes it. A kError reply surfaces as `false` with the
+// server's message in *err; a transport failure closes the connection (a
+// half-read frame leaves the stream unframed, so the only safe recovery is
+// reconnecting).
+#ifndef SRC_SERVER_CLIENT_H_
+#define SRC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/server/wire.h"
+#include "src/support/socket.h"
+
+namespace ivy {
+
+class AnnodClient {
+ public:
+  AnnodClient() = default;
+
+  bool Connect(const std::string& address, std::string* err);
+  bool connected() const { return sock_.valid(); }
+  void Disconnect() { sock_.Close(); }
+
+  bool Ping(std::string* err);
+  bool OpenCorpus(const std::string& corpus, std::string* err);
+  bool CloseCorpus(const std::string& corpus, std::string* err);
+
+  // Queries. The reply carries the pinned epoch id, the epoch's total row
+  // count, and the matching rows in canonical JSON byte form.
+  bool QueryFindings(const FindingsQueryMsg& q, RowsReplyMsg* out, std::string* err);
+  bool QuerySummaries(const SummariesQueryMsg& q, RowsReplyMsg* out, std::string* err);
+
+  // Mutations. `*epoch_at_enqueue` (optional) receives the epoch current
+  // when the server accepted the edit — the new epoch exists only after a
+  // later Sync() observes the relink.
+  bool UpsertModule(const std::string& corpus, const std::string& module,
+                    std::vector<std::pair<std::string, std::string>> files,
+                    uint64_t* epoch_at_enqueue, std::string* err);
+  bool ReplaceFunction(const std::string& corpus, const std::string& module,
+                       const std::string& function, const std::string& definition,
+                       uint64_t* epoch_at_enqueue, std::string* err);
+  bool RemoveModule(const std::string& corpus, const std::string& module,
+                    uint64_t* epoch_at_enqueue, std::string* err);
+
+  bool Stats(const std::string& corpus, StatsReplyMsg* out, std::string* err);
+
+  // Blocks until the corpus's edit queue is drained and every scheduled
+  // relink has finished; `*epoch` receives the then-latest epoch id.
+  bool Sync(const std::string& corpus, uint64_t* epoch, std::string* err);
+
+  // Asks the whole server to drain and stop, then disconnects.
+  bool Shutdown(std::string* err);
+
+ private:
+  // One frame out, one frame back. Decodes a kError reply into *err;
+  // enforces `want` on anything else. Closes the socket on transport
+  // failure.
+  bool RoundTrip(MsgType req, const std::string& payload, MsgType want,
+                 std::string* reply_payload, std::string* err);
+
+  Socket sock_;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_SERVER_CLIENT_H_

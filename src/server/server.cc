@@ -1,0 +1,621 @@
+#include "src/server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ivy {
+
+namespace {
+// Rolling window of mutation failures kept per corpus for kStats.
+constexpr size_t kMaxApplyErrors = 64;
+}  // namespace
+
+AnnodServer::AnnodServer(Options opts) : opts_(std::move(opts)) {}
+
+AnnodServer::~AnnodServer() {
+  RequestShutdown();
+  Wait();
+}
+
+bool AnnodServer::Start(const std::string& address, std::string* err) {
+  if (!listener_.Listen(address, err)) {
+    return false;
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void AnnodServer::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  // Unblock the acceptor.
+  listener_.Close();
+  // Signal every corpus: no new epochs, abandon queued relinks, abort the
+  // in-flight fixpoint at its next module boundary. The actual drain (Wait
+  // on the relink group) happens in Wait() — never here, because a
+  // connection handler serving kShutdown calls this and must not join
+  // against itself or block on analysis work.
+  std::vector<std::shared_ptr<Corpus>> all;
+  {
+    std::lock_guard<std::mutex> lock(corpora_mu_);
+    for (auto& [name, c] : corpora_) {
+      all.push_back(c);
+    }
+  }
+  for (auto& c : all) {
+    {
+      std::lock_guard<std::mutex> lock(c->mu);
+      c->closing = true;
+    }
+    c->relink_group.Cancel();
+    c->session.RequestCancel();
+    c->cv.notify_all();
+  }
+  // Unblock every connection thread parked in recv().
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, fd] : live_fds_) {
+      (void)id;
+      Socket::ShutdownFd(fd);
+    }
+  }
+}
+
+void AnnodServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    stop_cv_.wait(lock, [this] { return stopping_; });
+    if (joined_) {
+      return;
+    }
+    joined_ = true;
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  // Join every connection thread (RequestShutdown already unblocked them).
+  std::map<uint64_t, std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+    finished_.clear();
+  }
+  for (auto& [id, t] : conns) {
+    (void)id;
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  // Drain every corpus: cancelled queued tasks complete instantly, the
+  // in-flight relink stops at its next cancellation check and publishes
+  // nothing. Drained corpora stay in the map (closing, so mutations are
+  // rejected) — published epochs remain inspectable post-shutdown.
+  std::vector<std::shared_ptr<Corpus>> all;
+  {
+    std::lock_guard<std::mutex> lock(corpora_mu_);
+    for (auto& [name, c] : corpora_) {
+      (void)name;
+      all.push_back(c);
+    }
+  }
+  for (auto& c : all) {
+    DrainCorpus(c);
+  }
+}
+
+void AnnodServer::DrainCorpus(const std::shared_ptr<Corpus>& c) {
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    c->closing = true;
+  }
+  c->relink_group.Cancel();
+  c->session.RequestCancel();
+  c->cv.notify_all();
+  c->relink_group.Wait(/*rethrow=*/false);
+  c->relink_queue.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Control plane (shared by wire handlers and in-process callers)
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<AnnodServer::Corpus> AnnodServer::FindCorpus(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(corpora_mu_);
+  auto it = corpora_.find(name);
+  return it == corpora_.end() ? nullptr : it->second;
+}
+
+bool AnnodServer::OpenCorpus(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  std::shared_ptr<Corpus> c;
+  {
+    std::lock_guard<std::mutex> lock(corpora_mu_);
+    auto it = corpora_.find(name);
+    if (it != corpora_.end()) {
+      return true;  // idempotent
+    }
+    c = std::make_shared<Corpus>(opts_.pipeline, opts_.epoch_retain);
+    corpora_.emplace(name, c);
+  }
+  // Publish epoch 1 (the empty corpus) so queries have something to pin
+  // immediately after Sync.
+  ScheduleRelink(c);
+  return true;
+}
+
+bool AnnodServer::CloseCorpus(const std::string& name) {
+  std::shared_ptr<Corpus> c;
+  {
+    std::lock_guard<std::mutex> lock(corpora_mu_);
+    auto it = corpora_.find(name);
+    if (it == corpora_.end()) {
+      return false;
+    }
+    c = it->second;
+    corpora_.erase(it);
+  }
+  DrainCorpus(c);
+  return true;
+}
+
+bool AnnodServer::EnqueueUpsert(const std::string& corpus, ModuleSources module) {
+  auto c = FindCorpus(corpus);
+  if (!c || module.name.empty()) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    if (c->closing) {
+      return false;
+    }
+    Edit e;
+    e.kind = Edit::kUpsert;
+    e.upsert = std::move(module);
+    c->edits.push_back(std::move(e));
+  }
+  ScheduleRelink(c);
+  return true;
+}
+
+bool AnnodServer::EnqueueReplaceFunction(const std::string& corpus,
+                                         const std::string& module,
+                                         const std::string& function,
+                                         const std::string& definition) {
+  auto c = FindCorpus(corpus);
+  if (!c || module.empty() || function.empty()) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    if (c->closing) {
+      return false;
+    }
+    Edit e;
+    e.kind = Edit::kReplace;
+    e.module = module;
+    e.function = function;
+    e.definition = definition;
+    c->edits.push_back(std::move(e));
+  }
+  ScheduleRelink(c);
+  return true;
+}
+
+bool AnnodServer::EnqueueRemoveModule(const std::string& corpus,
+                                      const std::string& module) {
+  auto c = FindCorpus(corpus);
+  if (!c || module.empty()) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    if (c->closing) {
+      return false;
+    }
+    Edit e;
+    e.kind = Edit::kRemove;
+    e.module = module;
+    c->edits.push_back(std::move(e));
+  }
+  ScheduleRelink(c);
+  return true;
+}
+
+uint64_t AnnodServer::SyncEpoch(const std::string& corpus) {
+  auto c = FindCorpus(corpus);
+  if (!c) {
+    return 0;
+  }
+  {
+    std::unique_lock<std::mutex> lock(c->mu);
+    c->cv.wait(lock, [&c] {
+      return c->closing || (c->edits.empty() && c->pending_relinks == 0);
+    });
+    if (c->closing) {
+      return 0;
+    }
+  }
+  return c->epochs.current_id();
+}
+
+std::shared_ptr<const EpochSnapshot> AnnodServer::Snapshot(
+    const std::string& corpus, uint64_t epoch) {
+  auto c = FindCorpus(corpus);
+  if (!c) {
+    return nullptr;
+  }
+  return epoch == 0 ? c->epochs.Current() : c->epochs.Get(epoch);
+}
+
+std::vector<std::string> AnnodServer::CorpusNames() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(corpora_mu_);
+  names.reserve(corpora_.size());
+  for (const auto& [name, c] : corpora_) {
+    (void)c;
+    names.push_back(name);
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// The relink worker
+// ---------------------------------------------------------------------------
+
+void AnnodServer::ScheduleRelink(const std::shared_ptr<Corpus>& c) {
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    if (c->closing) {
+      return;
+    }
+    ++c->pending_relinks;
+  }
+  c->relink_group.Submit([this, c] { RelinkTask(c); });
+}
+
+void AnnodServer::RelinkTask(const std::shared_ptr<Corpus>& c) {
+  // Drain whatever accumulated; a burst of edits rides one fixpoint, and the
+  // later tasks the burst scheduled find an empty queue and skip.
+  std::deque<Edit> batch;
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    batch.swap(c->edits);
+    first = c->relinks_done == 0;
+  }
+  if (batch.empty() && !first) {
+    std::lock_guard<std::mutex> lock(c->mu);
+    --c->pending_relinks;
+    c->cv.notify_all();
+    return;
+  }
+
+  std::vector<std::string> errors;
+  for (Edit& e : batch) {
+    switch (e.kind) {
+      case Edit::kUpsert:
+        c->session.AddModule(std::move(e.upsert));
+        break;
+      case Edit::kReplace:
+        if (!c->session.ReplaceFunction(e.module, e.function, e.definition)) {
+          errors.push_back("replace_function " + e.module + ":" + e.function +
+                           ": no such module/function");
+        }
+        break;
+      case Edit::kRemove:
+        if (!c->session.RemoveModule(e.module)) {
+          errors.push_back("remove_module " + e.module + ": no such module");
+        }
+        break;
+    }
+  }
+
+  SessionResult result = c->session.RunLinked();
+
+  // A cancelled fixpoint is incomplete by contract: publish nothing, leave
+  // the touched modules dirty. A surviving server would re-run them on the
+  // next relink; a shutting-down one just drains.
+  if (!result.cancelled) {
+    auto snap = BuildEpochSnapshot(0, result, c->session.link_table());
+    snap->link = c->session.link_stats();
+    snap->apply_errors = errors;
+    {
+      std::lock_guard<std::mutex> lock(c->mu);
+      snap->id = c->next_epoch++;
+    }
+    c->epochs.Publish(std::move(snap));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    --c->pending_relinks;
+    ++c->relinks_done;
+    for (std::string& e : errors) {
+      c->apply_errors.push_back(std::move(e));
+    }
+    while (c->apply_errors.size() > kMaxApplyErrors) {
+      c->apply_errors.erase(c->apply_errors.begin());
+    }
+    c->cv.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire plumbing
+// ---------------------------------------------------------------------------
+
+void AnnodServer::AcceptLoop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(stop_mu_);
+      if (stopping_) {
+        return;
+      }
+    }
+    Socket sock = listener_.Accept();
+    if (!sock.valid()) {
+      // Listener closed (shutdown) or transient error; re-check stopping.
+      std::lock_guard<std::mutex> lock(stop_mu_);
+      if (stopping_) {
+        return;
+      }
+      continue;
+    }
+    ReapFinishedConnections();
+    uint64_t id;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      id = next_conn_id_++;
+      live_fds_[id] = sock.fd();
+    }
+    std::thread t([this, id, s = std::move(sock)]() mutable {
+      HandleConnection(id, std::move(s));
+    });
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.emplace(id, std::move(t));
+    }
+  }
+}
+
+void AnnodServer::ReapFinishedConnections() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (uint64_t id : finished_) {
+      auto it = conns_.find(id);
+      if (it != conns_.end()) {
+        done.push_back(std::move(it->second));
+        conns_.erase(it);
+      }
+    }
+    finished_.clear();
+  }
+  for (std::thread& t : done) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void AnnodServer::HandleConnection(uint64_t conn_id, Socket sock) {
+  for (;;) {
+    Frame req;
+    std::string err;
+    int r = ReadFrame(sock, &req, &err);
+    if (r <= 0) {
+      break;  // clean EOF, malformed frame, or shutdown-unblocked recv
+    }
+    if (!Dispatch(req, sock)) {
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  live_fds_.erase(conn_id);
+  finished_.push_back(conn_id);
+}
+
+bool AnnodServer::Dispatch(const Frame& req, Socket& sock) {
+  std::string werr;
+  auto reply_error = [&](const std::string& message) {
+    ErrorMsg e;
+    e.message = message;
+    return WriteFrame(sock, MsgType::kError, e.Encode(), &werr);
+  };
+  auto reply_ok = [&](const std::string& corpus = std::string()) {
+    CorpusMsg ok;
+    ok.corpus = corpus;
+    return WriteFrame(sock, MsgType::kOk, ok.Encode(), &werr);
+  };
+  auto reply_epoch = [&](uint64_t epoch) {
+    EpochMsg e;
+    e.epoch = epoch;
+    return WriteFrame(sock, MsgType::kEpoch, e.Encode(), &werr);
+  };
+
+  switch (req.type) {
+    case MsgType::kPing: {
+      return reply_ok();
+    }
+    case MsgType::kOpenCorpus: {
+      CorpusMsg m;
+      if (!m.Decode(req.payload)) {
+        return reply_error("malformed open_corpus payload");
+      }
+      if (!OpenCorpus(m.corpus)) {
+        return reply_error("open_corpus: empty corpus name");
+      }
+      return reply_ok(m.corpus);
+    }
+    case MsgType::kCloseCorpus: {
+      CorpusMsg m;
+      if (!m.Decode(req.payload)) {
+        return reply_error("malformed close_corpus payload");
+      }
+      if (!CloseCorpus(m.corpus)) {
+        return reply_error("close_corpus: unknown corpus '" + m.corpus + "'");
+      }
+      return reply_ok(m.corpus);
+    }
+    case MsgType::kQueryFindings: {
+      FindingsQueryMsg m;
+      if (!m.Decode(req.payload)) {
+        return reply_error("malformed query_findings payload");
+      }
+      auto snap = Snapshot(m.corpus, m.epoch);
+      if (!snap) {
+        if (!FindCorpus(m.corpus)) {
+          return reply_error("unknown corpus '" + m.corpus + "'");
+        }
+        return reply_error(m.epoch == 0
+                               ? "no published epoch yet (sync first)"
+                               : "epoch " + std::to_string(m.epoch) +
+                                     " evicted from retention ring");
+      }
+      FindingQuery q;
+      q.function = m.function;
+      q.tool = m.tool;
+      q.module = m.module;
+      RowsReplyMsg reply;
+      reply.epoch = snap->id;
+      reply.total = snap->findings.size();
+      for (size_t i = 0; i < snap->findings.size(); ++i) {
+        if (q.Matches(snap->findings[i])) {
+          reply.rows.push_back(snap->findings_canon[i]);
+        }
+      }
+      return WriteFrame(sock, MsgType::kFindings, reply.Encode(), &werr);
+    }
+    case MsgType::kQuerySummaries: {
+      SummariesQueryMsg m;
+      if (!m.Decode(req.payload)) {
+        return reply_error("malformed query_summaries payload");
+      }
+      auto snap = Snapshot(m.corpus, m.epoch);
+      if (!snap) {
+        if (!FindCorpus(m.corpus)) {
+          return reply_error("unknown corpus '" + m.corpus + "'");
+        }
+        return reply_error(m.epoch == 0
+                               ? "no published epoch yet (sync first)"
+                               : "epoch " + std::to_string(m.epoch) +
+                                     " evicted from retention ring");
+      }
+      RowsReplyMsg reply;
+      reply.epoch = snap->id;
+      reply.total = snap->summaries.size();
+      for (size_t i = 0; i < snap->summaries.size(); ++i) {
+        const FuncSummary& row = snap->summaries[i];
+        if (!m.function.empty() && row.function != m.function) {
+          continue;
+        }
+        if (!m.module.empty() && row.module != m.module) {
+          continue;
+        }
+        reply.rows.push_back(snap->summaries_canon[i]);
+      }
+      return WriteFrame(sock, MsgType::kSummaries, reply.Encode(), &werr);
+    }
+    case MsgType::kUpsertModule: {
+      UpsertModuleMsg m;
+      if (!m.Decode(req.payload)) {
+        return reply_error("malformed upsert_module payload");
+      }
+      ModuleSources mod;
+      mod.name = m.module;
+      for (auto& [name, text] : m.files) {
+        mod.files.push_back(SourceFile{name, text});
+      }
+      auto c = FindCorpus(m.corpus);
+      uint64_t at = c ? c->epochs.current_id() : 0;
+      if (!EnqueueUpsert(m.corpus, std::move(mod))) {
+        return reply_error("upsert_module: unknown corpus or empty module name");
+      }
+      return reply_epoch(at);
+    }
+    case MsgType::kReplaceFunction: {
+      ReplaceFunctionMsg m;
+      if (!m.Decode(req.payload)) {
+        return reply_error("malformed replace_function payload");
+      }
+      auto c = FindCorpus(m.corpus);
+      uint64_t at = c ? c->epochs.current_id() : 0;
+      if (!EnqueueReplaceFunction(m.corpus, m.module, m.function, m.definition)) {
+        return reply_error("replace_function: unknown corpus or empty target");
+      }
+      return reply_epoch(at);
+    }
+    case MsgType::kRemoveModule: {
+      RemoveModuleMsg m;
+      if (!m.Decode(req.payload)) {
+        return reply_error("malformed remove_module payload");
+      }
+      auto c = FindCorpus(m.corpus);
+      uint64_t at = c ? c->epochs.current_id() : 0;
+      if (!EnqueueRemoveModule(m.corpus, m.module)) {
+        return reply_error("remove_module: unknown corpus or empty module name");
+      }
+      return reply_epoch(at);
+    }
+    case MsgType::kStats: {
+      CorpusMsg m;
+      if (!m.Decode(req.payload)) {
+        return reply_error("malformed stats payload");
+      }
+      auto c = FindCorpus(m.corpus);
+      if (!c) {
+        return reply_error("unknown corpus '" + m.corpus + "'");
+      }
+      StatsReplyMsg s;
+      auto snap = c->epochs.Current();
+      if (snap) {
+        s.epoch = snap->id;
+        s.modules = static_cast<uint32_t>(snap->modules);
+        s.findings = snap->findings.size();
+        s.summary_rows = snap->summaries.size();
+        s.link_rounds = static_cast<uint32_t>(snap->link.rounds);
+        s.converged = snap->link.converged ? 1 : 0;
+      }
+      {
+        std::lock_guard<std::mutex> lock(c->mu);
+        s.queued_edits = static_cast<uint32_t>(c->edits.size());
+        s.relinks = static_cast<uint64_t>(c->relinks_done);
+        s.apply_errors = c->apply_errors;
+      }
+      return WriteFrame(sock, MsgType::kStatsReply, s.Encode(), &werr);
+    }
+    case MsgType::kSync: {
+      CorpusMsg m;
+      if (!m.Decode(req.payload)) {
+        return reply_error("malformed sync payload");
+      }
+      if (!FindCorpus(m.corpus)) {
+        return reply_error("unknown corpus '" + m.corpus + "'");
+      }
+      uint64_t epoch = SyncEpoch(m.corpus);
+      if (epoch == 0) {
+        return reply_error("sync: corpus closing");
+      }
+      return reply_epoch(epoch);
+    }
+    case MsgType::kShutdown: {
+      reply_ok();
+      RequestShutdown();
+      return false;  // close this connection; Wait() joins us later
+    }
+    default:
+      return reply_error(std::string("unexpected message type ") +
+                         MsgTypeName(req.type));
+  }
+}
+
+}  // namespace ivy

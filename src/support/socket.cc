@@ -1,0 +1,311 @@
+#include "src/support/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ivy {
+
+namespace {
+
+void SetErr(std::string* err, const std::string& what) {
+  if (err != nullptr) {
+    *err = what + ": " + std::strerror(errno);
+  }
+}
+
+// Splits "unix:<path>" vs "<ipv4>:<port>". Returns false on syntax errors.
+bool ParseAddress(const std::string& address, bool* is_unix, std::string* path,
+                  std::string* host, int* port, std::string* err) {
+  if (address.rfind("unix:", 0) == 0) {
+    *is_unix = true;
+    *path = address.substr(5);
+    if (path->empty()) {
+      if (err != nullptr) {
+        *err = "empty unix socket path in '" + address + "'";
+      }
+      return false;
+    }
+    if (path->size() >= sizeof(sockaddr_un{}.sun_path)) {
+      if (err != nullptr) {
+        *err = "unix socket path too long: '" + *path + "'";
+      }
+      return false;
+    }
+    return true;
+  }
+  *is_unix = false;
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= address.size()) {
+    if (err != nullptr) {
+      *err = "address '" + address + "' is neither unix:<path> nor <host>:<port>";
+    }
+    return false;
+  }
+  *host = address.substr(0, colon);
+  const std::string port_s = address.substr(colon + 1);
+  char* end = nullptr;
+  long p = std::strtol(port_s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || p < 0 || p > 65535) {
+    if (err != nullptr) {
+      *err = "bad port '" + port_s + "' in '" + address + "'";
+    }
+    return false;
+  }
+  *port = static_cast<int>(p);
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Socket
+// ---------------------------------------------------------------------------
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::ReadFull(void* buf, size_t n, bool* eof, std::string* err) {
+  if (eof != nullptr) {
+    *eof = false;
+  }
+  char* p = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::recv(fd_, p + done, n - done, 0);
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      if (eof != nullptr) {
+        *eof = done == 0;  // clean close only before the first byte
+      }
+      if (err != nullptr && done != 0) {
+        *err = "connection closed mid-message";
+      }
+      return false;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    SetErr(err, "recv");
+    return false;
+  }
+  return true;
+}
+
+bool Socket::WriteFull(const void* buf, size_t n, std::string* err) {
+  const char* p = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t put = ::send(fd_, p + done, n - done, MSG_NOSIGNAL);
+    if (put > 0) {
+      done += static_cast<size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) {
+      continue;
+    }
+    SetErr(err, "send");
+    return false;
+  }
+  return true;
+}
+
+void Socket::ShutdownBoth() {
+  ShutdownFd(fd_);
+}
+
+void Socket::ShutdownFd(int fd) {
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ListenSocket
+// ---------------------------------------------------------------------------
+
+bool ListenSocket::Listen(const std::string& address, std::string* err) {
+  bool is_unix = false;
+  std::string path;
+  std::string host;
+  int port = 0;
+  if (!ParseAddress(address, &is_unix, &path, &host, &port, err)) {
+    return false;
+  }
+  if (is_unix) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      SetErr(err, "socket(AF_UNIX)");
+      return false;
+    }
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+    ::unlink(path.c_str());  // a stale socket file from a dead daemon
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      SetErr(err, "bind('" + path + "')");
+      ::close(fd);
+      return false;
+    }
+    if (::listen(fd, 128) != 0) {
+      SetErr(err, "listen('" + path + "')");
+      ::close(fd);
+      ::unlink(path.c_str());
+      return false;
+    }
+    fd_ = fd;
+    unix_path_ = path;
+    bound_address_ = "unix:" + path;
+    return true;
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    SetErr(err, "socket(AF_INET)");
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    if (err != nullptr) {
+      *err = "bad IPv4 host '" + host + "'";
+    }
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    SetErr(err, "bind('" + address + "')");
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 128) != 0) {
+    SetErr(err, "listen('" + address + "')");
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    SetErr(err, "getsockname");
+    ::close(fd);
+    return false;
+  }
+  char ip[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &bound.sin_addr, ip, sizeof(ip));
+  fd_ = fd;
+  bound_address_ = std::string(ip) + ":" + std::to_string(ntohs(bound.sin_port));
+  return true;
+}
+
+Socket ListenSocket::Accept(std::string* err) {
+  // Load once: Close() may swap fd_ to -1 from another thread while we block
+  // in accept(); the kernel-level shutdown() is what actually wakes us.
+  const int listen_fd = fd_.load(std::memory_order_acquire);
+  if (listen_fd < 0) {
+    if (err != nullptr) {
+      *err = "listener closed";
+    }
+    return Socket();
+  }
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      return Socket(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    SetErr(err, "accept");
+    return Socket();
+  }
+}
+
+void ListenSocket::Close() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // shutdown() first: a thread blocked in accept() wakes with an error;
+    // plain close() of an fd in use by accept() is not a reliable unblock.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ConnectTo
+// ---------------------------------------------------------------------------
+
+Socket ConnectTo(const std::string& address, std::string* err) {
+  bool is_unix = false;
+  std::string path;
+  std::string host;
+  int port = 0;
+  if (!ParseAddress(address, &is_unix, &path, &host, &port, err)) {
+    return Socket();
+  }
+  if (is_unix) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      SetErr(err, "socket(AF_UNIX)");
+      return Socket();
+    }
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      SetErr(err, "connect('" + path + "')");
+      ::close(fd);
+      return Socket();
+    }
+    return Socket(fd);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    SetErr(err, "socket(AF_INET)");
+    return Socket();
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    if (err != nullptr) {
+      *err = "bad IPv4 host '" + host + "'";
+    }
+    ::close(fd);
+    return Socket();
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    SetErr(err, "connect('" + address + "')");
+    ::close(fd);
+    return Socket();
+  }
+  return Socket(fd);
+}
+
+}  // namespace ivy

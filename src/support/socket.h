@@ -1,0 +1,98 @@
+// Minimal POSIX socket RAII wrappers for the analysis server (src/server/).
+//
+// Two address forms, one string syntax everywhere (annod --listen,
+// annodb_query --connect, tests):
+//
+//   "unix:/path/to.sock"   unix-domain stream socket
+//   "127.0.0.1:7077"       TCP (IPv4); port 0 binds an ephemeral port and
+//                          bound_address() reports the resolved one
+//
+// Blocking I/O only: the server dedicates a thread per connection, and
+// ReadFull/WriteFull retry short reads/writes and EINTR, so callers see
+// all-or-nothing transfers. Writes use MSG_NOSIGNAL — a peer that vanished
+// mid-frame surfaces as an error return, never SIGPIPE.
+//
+// Unblocking contract: Socket::ShutdownBoth() and ListenSocket::Close() may
+// be called from another thread to make a blocked ReadFull/Accept return —
+// that is how the server drains its connection threads on shutdown.
+#ifndef SRC_SUPPORT_SOCKET_H_
+#define SRC_SUPPORT_SOCKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace ivy {
+
+// One connected stream socket (move-only fd owner).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { Close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Reads exactly `n` bytes. Returns false on error or EOF; `*eof` (optional)
+  // distinguishes a clean close before the first byte from a mid-buffer loss.
+  bool ReadFull(void* buf, size_t n, bool* eof = nullptr, std::string* err = nullptr);
+
+  // Writes exactly `n` bytes (MSG_NOSIGNAL). False on any error.
+  bool WriteFull(const void* buf, size_t n, std::string* err = nullptr);
+
+  // Thread-safe unblock: a ReadFull blocked in another thread returns EOF.
+  void ShutdownBoth();
+
+  // The same unblock on a raw fd whose owning Socket lives on another thread
+  // (the server's connection-drain path tracks fds, not Socket pointers).
+  static void ShutdownFd(int fd);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// A listening socket bound to a parsed address string.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ListenSocket(ListenSocket&&) = delete;
+  ~ListenSocket() { Close(); }
+
+  // Binds + listens on `address` (syntax above). False (with *err) on parse
+  // or syscall failure. For "host:0" the resolved port is reflected in
+  // bound_address().
+  bool Listen(const std::string& address, std::string* err);
+
+  // Blocks for one connection. Invalid Socket after Close() or on error.
+  Socket Accept(std::string* err = nullptr);
+
+  // Canonical form of the bound address ("unix:<path>" or "<ip>:<port>").
+  const std::string& bound_address() const { return bound_address_; }
+
+  bool listening() const { return fd_.load(std::memory_order_acquire) >= 0; }
+
+  // Thread-safe: unblocks a pending Accept and (for unix sockets) unlinks
+  // the path.
+  void Close();
+
+ private:
+  // Atomic because Close() races with an Accept() blocked on another thread
+  // by design (the unblocking contract above).
+  std::atomic<int> fd_{-1};
+  std::string bound_address_;
+  std::string unix_path_;  // non-empty for unix-domain: unlinked on Close
+};
+
+// Connects to an address in the same syntax. Invalid Socket + *err on failure.
+Socket ConnectTo(const std::string& address, std::string* err);
+
+}  // namespace ivy
+
+#endif  // SRC_SUPPORT_SOCKET_H_

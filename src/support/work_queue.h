@@ -29,6 +29,7 @@
 #ifndef SRC_SUPPORT_WORK_QUEUE_H_
 #define SRC_SUPPORT_WORK_QUEUE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -208,6 +209,15 @@ class WorkQueue {
 // Lifetime rule: the group (and the submitting code) must drain via Wait()
 // before the queue's Shutdown() discards queued tasks; keep the queue alive
 // for as long as any group built on it is in flight.
+//
+// Cancellation: Cancel() marks the group cancelled — tasks the queue has not
+// started yet complete immediately without running their payload (they still
+// count as done, so Wait() drains normally), and tasks submitted after the
+// cancel are skipped outright. In-flight payloads finish; Cancel never
+// interrupts running code. This is the drain path a shutting-down owner uses
+// to abandon queued background work (e.g. a pending relink) without
+// deadlocking on it — see AnalysisSession::RequestCancel for the
+// cooperative in-flight half.
 class TaskGroup {
  public:
   explicit TaskGroup(WorkQueue& wq) : wq_(wq) {}
@@ -226,10 +236,12 @@ class TaskGroup {
     }
     auto wrapper = [this, seq, fn = std::move(task)] {
       std::exception_ptr err;
-      try {
-        fn();
-      } catch (...) {
-        err = std::current_exception();
+      if (!cancelled_.load(std::memory_order_acquire)) {
+        try {
+          fn();
+        } catch (...) {
+          err = std::current_exception();
+        }
       }
       Done(seq, err);
     };
@@ -237,6 +249,12 @@ class TaskGroup {
       wrapper();
     }
   }
+
+  // Sticky: queued-but-unstarted payloads are skipped from here on. Safe to
+  // call from any thread, including concurrently with Submit/Wait.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
 
   // Blocks until every task submitted through this group finished. With
   // `rethrow` (the default), the lowest-submission-index exception — what a
@@ -270,6 +288,7 @@ class TaskGroup {
   WorkQueue& wq_;
   std::mutex mu_;
   std::condition_variable cv_done_;
+  std::atomic<bool> cancelled_{false};
   size_t pending_ = 0;
   uint64_t next_seq_ = 0;
   std::exception_ptr first_error_;

@@ -103,6 +103,24 @@ std::string Finding::ToString(const SourceManager* sm) const {
   return out;
 }
 
+bool FindingQuery::Matches(const Finding& f) const {
+  if (!tool.empty() && f.tool != tool) {
+    return false;
+  }
+  if (!module.empty() && f.module != module) {
+    return false;
+  }
+  if (function.empty()) {
+    return true;
+  }
+  for (const std::string& step : f.witness) {
+    if (step == function || step == "calls " + function) {
+      return true;
+    }
+  }
+  return f.message.find("'" + function + "'") != std::string::npos;
+}
+
 int ToolResult::CountAtLeast(FindingSeverity min) const {
   int n = 0;
   for (const Finding& f : findings_) {

@@ -49,6 +49,19 @@ struct Finding {
   std::string ToString(const SourceManager* sm = nullptr) const;
 };
 
+// One findings query, shared by the annodb_query CLI (file mode), the annod
+// server's query handler, and the client library — a single definition of
+// "matches" so connected and offline queries can never diverge. Empty fields
+// match everything; `function` matches a finding whose witness chain mentions
+// the function (bare or as "calls <fn>") or whose message quotes it ('name').
+struct FindingQuery {
+  std::string function;
+  std::string tool;
+  std::string module;
+
+  bool Matches(const Finding& f) const;
+};
+
 // What one pass returns: findings, scalar metrics (the counters the old
 // report structs carried), a one-paragraph summary, and the legacy
 // tool-specific report for callers that still want the full view.

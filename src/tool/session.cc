@@ -216,7 +216,9 @@ bool FindDefinition(const std::string& text, const std::string& name, size_t* ou
 // ---------------------------------------------------------------------------
 
 AnalysisSession::AnalysisSession(Pipeline pipeline, bool track_incremental)
-    : pipeline_(std::move(pipeline)), track_incremental_(track_incremental) {}
+    : pipeline_(std::move(pipeline)),
+      track_incremental_(track_incremental),
+      cancel_(std::make_shared<std::atomic<bool>>(false)) {}
 
 AnalysisSession::~AnalysisSession() = default;
 
@@ -531,9 +533,16 @@ SessionResult AnalysisSession::Run() {
   // materialized here, before any Analyze thread exists — lazy construction
   // inside concurrent Analyze calls would race.
   pool();
+  bool cancelled = false;
   size_t batch = static_cast<size_t>(WorkQueue::ResolveHardware());
   if (pipeline_.parallel() && to_analyze.size() > 1 && batch > 1) {
     for (size_t i = 0; i < to_analyze.size(); i += batch) {
+      // Cancellation boundary: a batch that started finishes (kernels are
+      // never interrupted); everything after it stays dirty for the resume.
+      if (cancel_requested()) {
+        cancelled = true;
+        break;
+      }
       size_t end = std::min(i + batch, to_analyze.size());
       std::vector<std::future<void>> futures;
       futures.reserve(end - i);
@@ -548,12 +557,17 @@ SessionResult AnalysisSession::Run() {
     }
   } else {
     for (auto [mod_name, st] : to_analyze) {
+      if (cancel_requested()) {
+        cancelled = true;
+        break;
+      }
       Analyze(*mod_name, st);
     }
   }
 
   // Phase C — deterministic corpus merge, in sorted-module-name order.
   SessionResult out;
+  out.cancelled = cancelled;
   for (auto& [name, st] : modules_) {
     ModuleRunResult mr;
     mr.module = name;
@@ -867,8 +881,22 @@ SessionResult AnalysisSession::RunLinked() {
   };
   SessionResult result;
   for (;;) {
+    // Cancellation boundary between rounds (Run() also checks between
+    // modules): an aborted fixpoint reports cancelled, leaves the dirty
+    // modules dirty, and skips the summary re-export — the table keeps the
+    // last fully-exported round, so a resumed RunLinked() re-derives from a
+    // consistent base.
+    if (cancel_requested()) {
+      link_stats_.cancelled = true;
+      result.cancelled = true;
+      break;
+    }
     ++link_stats_.rounds;
     result = Run();
+    if (result.cancelled) {
+      link_stats_.cancelled = true;
+      break;
+    }
     link_stats_.module_analyses += result.modules_analyzed;
 
     std::map<std::pair<std::string, std::string>, RowState> before;
@@ -970,7 +998,7 @@ SessionResult AnalysisSession::RunLinked() {
   }
   linked_ever_ = true;
 
-  if (!link_stats_.converged) {
+  if (!link_stats_.converged && !link_stats_.cancelled) {
     Finding f;
     f.tool = "session";
     f.severity = FindingSeverity::kError;

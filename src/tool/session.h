@@ -33,6 +33,7 @@
 #ifndef SRC_TOOL_SESSION_H_
 #define SRC_TOOL_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -67,6 +68,11 @@ struct SessionResult {
   int modules_analyzed = 0;
   int modules_reused = 0;
   int compile_failures = 0;
+  // True when RequestCancel() aborted the run: the result is INCOMPLETE
+  // (unanalyzed modules contribute stale or empty findings) and must be
+  // discarded. The abandoned modules stay dirty, so the next Run()/
+  // RunLinked() resumes exactly where the cancel hit.
+  bool cancelled = false;
 
   const ModuleRunResult* ModuleFor(const std::string& name) const;
   int ErrorCount() const;
@@ -78,7 +84,8 @@ struct LinkStats {
   int module_analyses = 0;     // sum of modules analyzed across rounds
   int summary_rows = 0;        // rows in the converged fact table
   int cross_edges = 0;         // (importer, definer) module pairs
-  bool converged = false;      // false only if the safety cap fired
+  bool converged = false;      // false if the safety cap fired or cancelled
+  bool cancelled = false;      // RequestCancel() aborted the fixpoint
 };
 
 // Solver-effort counters from a module's most recent analysis — how much of
@@ -156,6 +163,17 @@ class AnalysisSession {
   SessionResult RunLinked();
   const LinkStats& link_stats() const { return link_stats_; }
 
+  // Cooperative cancellation for an in-flight Run()/RunLinked() on another
+  // thread (the annod server's shutdown-while-relinking path). Checked
+  // between module analyses and between link rounds — never mid-kernel — so
+  // a cancelled run stops at the next module boundary, leaves every
+  // unprocessed module dirty, and reports cancelled=true. The flag is
+  // sticky until ClearCancel(); a cancelled session is resumable, not
+  // poisoned.
+  void RequestCancel() { cancel_->store(true, std::memory_order_release); }
+  void ClearCancel() { cancel_->store(false, std::memory_order_release); }
+  bool cancel_requested() const { return cancel_->load(std::memory_order_acquire); }
+
   // The converged fact table (empty before the first RunLinked). The same
   // rows are merged into ExportAnnoDb()'s repository view.
   const AnnoDb& link_table() const { return link_table_; }
@@ -196,6 +214,10 @@ class AnalysisSession {
   Pipeline pipeline_;
   bool track_incremental_;
   FrontendCache cache_;
+  // shared_ptr, not a member atomic: the session stays movable, and
+  // RequestCancel() from another thread races only with the atomic load,
+  // never with the pointer (which changes only under single-threaded moves).
+  std::shared_ptr<std::atomic<bool>> cancel_;
   std::unique_ptr<WorkQueue> pool_;
   // std::map: sorted iteration is what makes every merge order-independent
   // of registration order. Node stability also keeps ModuleState addresses

@@ -240,6 +240,70 @@ TEST(TaskGroup, TwoFailingKernelsRethrowLowestIndexDeterministically) {
   }
 }
 
+TEST(TaskGroup, CancelSkipsQueuedPayloadsButStillDrains) {
+  WorkQueue wq(1);  // one worker: everything behind the blocker stays queued
+  TaskGroup group(wq);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  group.Submit([&release] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int i = 0; i < 16; ++i) {
+    group.Submit([&ran] { ran.fetch_add(1); });
+  }
+
+  group.Cancel();
+  EXPECT_TRUE(group.cancelled());
+  release.store(true, std::memory_order_release);
+  group.Wait();  // drains: skipped payloads still count as done
+
+  EXPECT_EQ(ran.load(), 0) << "queued payload ran after Cancel()";
+
+  // Submissions after the cancel are skipped outright too.
+  group.Submit([&ran] { ran.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(TaskGroup, CancelDoesNotInterruptInFlightPayload) {
+  WorkQueue wq(1);
+  TaskGroup group(wq);
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> finished{false};
+  group.Submit([&] {
+    started.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    finished.store(true, std::memory_order_release);
+  });
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  group.Cancel();  // in-flight payload must run to completion
+  release.store(true, std::memory_order_release);
+  group.Wait();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(TaskGroup, CancelOnDeadQueueSkipsInlineFallback) {
+  WorkQueue wq(1);
+  wq.Shutdown();
+  TaskGroup group(wq);
+  group.Cancel();
+  std::atomic<int> ran{0};
+  // Submit on a dead queue falls back to inline execution — which must also
+  // honor the cancel.
+  group.Submit([&ran] { ran.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 0);
+}
+
 TEST(FunctionSharder, MapChunksReducesInChunkOrder) {
   FunctionSharder sharder({}, 3);
   WorkQueue wq(3);

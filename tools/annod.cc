@@ -1,0 +1,122 @@
+// annod: the persistent analysis-server daemon. Owns one warm
+// AnalysisSession per corpus and serves queries, mutations, and control
+// requests over the framed wire protocol (src/server/wire.h).
+//
+//   annod --listen unix:/tmp/annod.sock --synth 4:40
+//   annod --listen 127.0.0.1:0 --synth 8:400:7 --corpus kernel
+//   annod --listen unix:/tmp/annod.sock            # open corpora via the wire
+//
+// --synth M:N[:seed] opens a corpus (default name "synth") seeded with the
+// deterministic linked synthetic corpus — the same corpus and pipeline
+// `annodb_query --from-synth M:N[:seed]` analyzes offline, so the two can be
+// diffed byte for byte (the CI smoke job does exactly that).
+//
+// The daemon runs until a client sends kShutdown (annodb-query
+// --shutdown-server) — shutdown is a graceful drain: queued relinks are
+// abandoned, the in-flight fixpoint stops at its next module boundary, and
+// no partial epoch is ever published.
+#include <cstdio>
+#include <string>
+
+#include "src/server/server.h"
+#include "tools/synth_common.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: annod --listen <unix:/path | host:port>\n"
+               "             [--synth M:N[:seed]] [--corpus <name>] [--retain <epochs>]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen;
+  std::string synth_spec;
+  std::string corpus = "synth";
+  int retain = 8;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&i, argc, argv](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "annod: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--listen") {
+      const char* v = next("--listen");
+      if (v == nullptr) {
+        return 1;
+      }
+      listen = v;
+    } else if (arg == "--synth") {
+      const char* v = next("--synth");
+      if (v == nullptr) {
+        return 1;
+      }
+      synth_spec = v;
+    } else if (arg == "--corpus") {
+      const char* v = next("--corpus");
+      if (v == nullptr) {
+        return 1;
+      }
+      corpus = v;
+    } else if (arg == "--retain") {
+      const char* v = next("--retain");
+      if (v == nullptr) {
+        return 1;
+      }
+      retain = std::atoi(v);
+      if (retain < 1) {
+        std::fprintf(stderr, "annod: --retain must be >= 1\n");
+        return 1;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "annod: unknown argument '%s'\n", arg.c_str());
+      Usage();
+      return 1;
+    }
+  }
+  if (listen.empty()) {
+    Usage();
+    return 1;
+  }
+
+  ivy::AnnodServer::Options opts;
+  opts.pipeline = ivy::SynthServePipeline().Build();
+  opts.epoch_retain = retain;
+  ivy::AnnodServer server(std::move(opts));
+
+  if (!synth_spec.empty()) {
+    ivy::LinkedCorpusOptions synth;
+    if (!ivy::ParseSynthSpec(synth_spec, &synth)) {
+      std::fprintf(stderr, "annod: bad --synth spec '%s' (want M:N[:seed])\n",
+                   synth_spec.c_str());
+      return 1;
+    }
+    server.OpenCorpus(corpus);
+    for (ivy::ModuleSources& mod : ivy::GenerateLinkedCorpus(synth)) {
+      server.EnqueueUpsert(corpus, std::move(mod));
+    }
+    std::fprintf(stderr, "annod: corpus '%s' seeded (%d modules x %d functions)\n",
+                 corpus.c_str(), synth.modules, synth.functions);
+  }
+
+  std::string err;
+  if (!server.Start(listen, &err)) {
+    std::fprintf(stderr, "annod: cannot listen on '%s': %s\n", listen.c_str(),
+                 err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "annod: listening on %s\n", server.bound_address().c_str());
+
+  server.Wait();
+  std::fprintf(stderr, "annod: stopped\n");
+  return 0;
+}

@@ -1,42 +1,68 @@
-// annodb-query: the §3.2 repository's read side. Queries an exported
-// annotation database (facts + unified tool findings with per-module
-// provenance) by function, tool, and module.
+// annodb-query: the §3.2 repository's read side — and the annod daemon's
+// command-line client. Queries findings and link-stage summary rows by
+// function, tool, and module.
 //
+// Offline (batch) modes:
 //   annodb-query <db.json> --function read_chan [--tool blockstop] [--module net]
-//   annodb-query - --function kmalloc              # read the JSON from stdin
-//   annodb-query --from-kernel --function read_chan  # build the db in-process
-//   annodb-query --from-kernel --summaries --function read_chan
+//   annodb-query - --function kmalloc               # read the JSON from stdin
+//   annodb-query --from-kernel --function read_chan   # build the db in-process
+//   annodb-query --from-synth 4:40 [--summaries]      # cold RunLinked() over the
+//                                                     # deterministic synth corpus
+//   annodb-query --from-synth 4:40 --dump-module mod_01   # print that module's
+//                                                         # generated source
 //
-// --summaries prints the cross-module link-stage fact table (per-function
-// summary rows keyed by (module, function): may-block bits + witnesses,
-// error-return facts, lock deltas, callee lists, points-to escape sets,
-// corpus stack depths), filtered by --function/--module when given.
+// Connected mode (talks to a running annod over the framed wire protocol;
+// every request is encoded through the same AnnodClient library the server
+// tests and benchmarks use):
+//   annodb-query --connect unix:/tmp/annod.sock --corpus synth --function m00_fn_0004
+//   annodb-query --connect ... --corpus synth --summaries --module mod_01
+//   annodb-query --connect ... --corpus synth --epoch 3        # pin an epoch
+//   annodb-query --connect ... --corpus synth --sync           # wait for quiescence
+//   annodb-query --connect ... --corpus synth --sync
+//       --replace mod_01:m01_fn_0005 --with-file new_def.mc
+//   annodb-query --connect ... --corpus synth --upsert mod_09 --with-file mod.mc
+//   annodb-query --connect ... --corpus synth --remove mod_09
+//   annodb-query --connect ... --corpus synth --stats
+//   annodb-query --connect ... --shutdown-server
 //
-// --from-kernel runs the full tool suite over the built-in kernel corpus
-// through an AnalysisSession (so findings carry module provenance) and
-// queries the resulting database — a self-contained smoke path for CI.
+// Connected queries and --from-synth print identical bytes for the same
+// corpus state (both render the canonical snapshot rows; epoch ids go to
+// stderr), so `diff <(--from-synth ...) <(--connect ...)` is the
+// byte-identity check CI runs.
 //
 // A finding matches --function when its witness chain mentions the function
-// or its message quotes it ('name'). Exit code: 0 on success (matches or
-// none), 1 on usage/parse errors.
+// or its message quotes it ('name') — FindingQuery in src/tool/finding.h,
+// shared with the server's query handler. Exit code: 0 on success (matches
+// or none), 1 on usage/parse/connection errors.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/annodb/annodb.h"
 #include "src/kernel/corpus.h"
+#include "src/server/client.h"
+#include "src/server/epoch.h"
 #include "src/tool/session.h"
+#include "tools/synth_common.h"
 
 namespace {
 
 void Usage() {
-  std::fprintf(stderr,
-               "usage: annodb-query [<db.json>|-|--from-kernel] --function <name>\n"
-               "                    [--tool <tool>] [--module <module>] [--summaries]\n");
+  std::fprintf(
+      stderr,
+      "usage: annodb-query [<db.json>|-|--from-kernel|--from-synth M:N[:seed]]\n"
+      "                    [--function <name>] [--tool <tool>] [--module <module>]\n"
+      "                    [--summaries]\n"
+      "       annodb-query --connect <unix:/path|host:port> --corpus <name>\n"
+      "                    [query flags above] [--epoch <id>] [--sync] [--stats]\n"
+      "                    [--open] [--upsert <module> --with-file <path>]\n"
+      "                    [--replace <module>:<function> --with-file <path>]\n"
+      "                    [--remove <module>] [--shutdown-server]\n");
 }
 
 std::string JoinNames(const std::vector<std::string>& names) {
@@ -47,82 +73,339 @@ std::string JoinNames(const std::vector<std::string>& names) {
   return out;
 }
 
-void PrintSummaries(const ivy::AnnoDb& db, const std::string& function,
-                    const std::string& module) {
-  int rows = 0;
-  for (const auto& [key, row] : db.summaries()) {
-    if (!function.empty() && key.second != function) {
-      continue;
+// One summary row, one line — shared verbatim by every mode so outputs diff.
+void PrintSummaryRow(const std::string& module, const std::string& function,
+                     const ivy::FuncSummary& row) {
+  if (row.defined) {
+    std::printf("summary %s/%s: defined may_block=%d", module.c_str(),
+                function.c_str(), row.may_block ? 1 : 0);
+    if (!row.block_witness.empty()) {
+      std::printf(" witness=\"%s\"", row.block_witness.c_str());
     }
-    if (!module.empty() && key.first != module) {
-      continue;
+    std::printf(" returns_error=%d frame=%lld", row.returns_error ? 1 : 0,
+                static_cast<long long>(row.frame_size));
+    if (row.stack_below >= 0) {
+      std::printf(" stack_below=%lld", static_cast<long long>(row.stack_below));
     }
-    ++rows;
-    if (row.defined) {
-      std::printf("summary %s/%s: defined may_block=%d", key.first.c_str(),
-                  key.second.c_str(), row.may_block ? 1 : 0);
-      if (!row.block_witness.empty()) {
-        std::printf(" witness=\"%s\"", row.block_witness.c_str());
-      }
-      std::printf(" returns_error=%d frame=%lld", row.returns_error ? 1 : 0,
-                  static_cast<long long>(row.frame_size));
-      if (row.stack_below >= 0) {
-        std::printf(" stack_below=%lld", static_cast<long long>(row.stack_below));
-      }
-      if (row.cross_recursive) {
-        std::printf(" cross_recursive=1");
-      }
-      if (!row.callees.empty()) {
-        std::printf(" callees=%zu", row.callees.size());
-      }
-      if (!row.locks_acquired.empty()) {
-        std::printf(" locks=%s", JoinNames(row.locks_acquired).c_str());
-      }
-      if (!row.returns_points.empty()) {
-        std::printf(" returns_points=%s", JoinNames(row.returns_points).c_str());
-      }
-      std::printf("\n");
-    } else {
-      std::printf("summary %s/%s: used entered_atomic=%d entered_in_irq=%d",
-                  key.first.c_str(), key.second.c_str(), row.entered_atomic ? 1 : 0,
-                  row.entered_in_irq ? 1 : 0);
-      for (const auto& [idx, names] : row.param_points) {
-        std::printf(" param%d->{%s}", idx, JoinNames(names).c_str());
-      }
-      std::printf("\n");
+    if (row.cross_recursive) {
+      std::printf(" cross_recursive=1");
     }
+    if (!row.callees.empty()) {
+      std::printf(" callees=%zu", row.callees.size());
+    }
+    if (!row.locks_acquired.empty()) {
+      std::printf(" locks=%s", JoinNames(row.locks_acquired).c_str());
+    }
+    if (!row.returns_points.empty()) {
+      std::printf(" returns_points=%s", JoinNames(row.returns_points).c_str());
+    }
+    std::printf("\n");
+  } else {
+    std::printf("summary %s/%s: used entered_atomic=%d entered_in_irq=%d",
+                module.c_str(), function.c_str(), row.entered_atomic ? 1 : 0,
+                row.entered_in_irq ? 1 : 0);
+    for (const auto& [idx, names] : row.param_points) {
+      std::printf(" param%d->{%s}", idx, JoinNames(names).c_str());
+    }
+    std::printf("\n");
   }
-  std::printf("%d summary row(s) of %zu total\n", rows, db.summaries().size());
 }
 
-bool FindingMatches(const ivy::Finding& f, const std::string& function,
-                    const std::string& tool, const std::string& module) {
-  if (!tool.empty() && f.tool != tool) {
-    return false;
-  }
-  if (!module.empty() && f.module != module) {
-    return false;
-  }
-  if (function.empty()) {
-    return true;
-  }
-  for (const std::string& step : f.witness) {
-    if (step == function || step == "calls " + function) {
-      return true;
-    }
-  }
-  return f.message.find("'" + function + "'") != std::string::npos;
+void PrintSummariesTrailer(int rows, size_t total) {
+  std::printf("%d summary row(s) of %zu total\n", rows, total);
 }
 
-}  // namespace
+void PrintFinding(const ivy::Finding& f) {
+  std::string line = f.module.empty() ? std::string() : "{" + f.module + "} ";
+  line += f.ToString();
+  std::printf("%s\n", line.c_str());
+}
 
-int main(int argc, char** argv) {
+void PrintFindingsTrailer(int matches, size_t total, const std::string& function,
+                          const std::string& tool, const std::string& module) {
+  std::printf("%d finding(s)", matches);
+  if (!function.empty()) {
+    std::printf(" for --function %s", function.c_str());
+  }
+  if (!tool.empty()) {
+    std::printf(" --tool %s", tool.c_str());
+  }
+  if (!module.empty()) {
+    std::printf(" --module %s", module.c_str());
+  }
+  std::printf(" of %zu total\n", total);
+}
+
+bool ReadFileOrDie(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "annodb-query: cannot read '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+struct Args {
   std::string input;
   std::string function;
   std::string tool;
   std::string module;
   bool from_kernel = false;
   bool summaries = false;
+  std::string from_synth;
+  std::string dump_module;
+
+  std::string connect;
+  std::string corpus = "synth";
+  uint64_t epoch = 0;
+  bool sync = false;
+  bool stats = false;
+  bool open = false;
+  bool shutdown_server = false;
+  std::string upsert_module;
+  std::string replace_spec;  // module:function
+  std::string remove_module;
+  std::string with_file;
+
+  bool HasAction() const {
+    return open || stats || shutdown_server || !upsert_module.empty() ||
+           !replace_spec.empty() || !remove_module.empty();
+  }
+};
+
+// Runs the query pair (optional summaries block, then findings) against a
+// connected daemon and prints exactly what the offline modes print.
+int RunConnectedQuery(ivy::AnnodClient& client, const Args& a) {
+  std::string err;
+  if (a.summaries) {
+    ivy::SummariesQueryMsg q;
+    q.corpus = a.corpus;
+    q.epoch = a.epoch;
+    q.function = a.function;
+    q.module = a.module;
+    ivy::RowsReplyMsg reply;
+    if (!client.QuerySummaries(q, &reply, &err)) {
+      std::fprintf(stderr, "annodb-query: %s\n", err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "epoch %llu\n", static_cast<unsigned long long>(reply.epoch));
+    for (const std::string& row : reply.rows) {
+      std::string perr;
+      ivy::Json j = ivy::Json::Parse(row, &perr);
+      if (!perr.empty()) {
+        std::fprintf(stderr, "annodb-query: bad summary row: %s\n", perr.c_str());
+        return 1;
+      }
+      ivy::FuncSummary s = ivy::FuncSummary::FromJson(j);
+      PrintSummaryRow(s.module, s.function, s);
+    }
+    PrintSummariesTrailer(static_cast<int>(reply.rows.size()),
+                          static_cast<size_t>(reply.total));
+  }
+
+  ivy::FindingsQueryMsg q;
+  q.corpus = a.corpus;
+  q.epoch = a.epoch;
+  q.function = a.function;
+  q.tool = a.tool;
+  q.module = a.module;
+  ivy::RowsReplyMsg reply;
+  if (!client.QueryFindings(q, &reply, &err)) {
+    std::fprintf(stderr, "annodb-query: %s\n", err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "epoch %llu\n", static_cast<unsigned long long>(reply.epoch));
+  for (const std::string& row : reply.rows) {
+    std::string perr;
+    ivy::Json j = ivy::Json::Parse(row, &perr);
+    if (!perr.empty()) {
+      std::fprintf(stderr, "annodb-query: bad finding row: %s\n", perr.c_str());
+      return 1;
+    }
+    PrintFinding(ivy::Finding::FromJson(j));
+  }
+  PrintFindingsTrailer(static_cast<int>(reply.rows.size()),
+                       static_cast<size_t>(reply.total), a.function, a.tool,
+                       a.module);
+  return 0;
+}
+
+int RunConnected(const Args& a) {
+  ivy::AnnodClient client;
+  std::string err;
+  if (!client.Connect(a.connect, &err)) {
+    std::fprintf(stderr, "annodb-query: %s\n", err.c_str());
+    return 1;
+  }
+  if (a.open) {
+    if (!client.OpenCorpus(a.corpus, &err)) {
+      std::fprintf(stderr, "annodb-query: %s\n", err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "opened corpus '%s'\n", a.corpus.c_str());
+  }
+  if (!a.upsert_module.empty()) {
+    if (a.with_file.empty()) {
+      std::fprintf(stderr, "annodb-query: --upsert needs --with-file\n");
+      return 1;
+    }
+    std::string text;
+    if (!ReadFileOrDie(a.with_file, &text)) {
+      return 1;
+    }
+    uint64_t at = 0;
+    if (!client.UpsertModule(a.corpus, a.upsert_module,
+                             {{a.upsert_module + ".mc", text}}, &at, &err)) {
+      std::fprintf(stderr, "annodb-query: %s\n", err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "upsert '%s' accepted at epoch %llu\n",
+                 a.upsert_module.c_str(), static_cast<unsigned long long>(at));
+  }
+  if (!a.replace_spec.empty()) {
+    size_t colon = a.replace_spec.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= a.replace_spec.size()) {
+      std::fprintf(stderr, "annodb-query: --replace wants <module>:<function>\n");
+      return 1;
+    }
+    if (a.with_file.empty()) {
+      std::fprintf(stderr, "annodb-query: --replace needs --with-file\n");
+      return 1;
+    }
+    std::string definition;
+    if (!ReadFileOrDie(a.with_file, &definition)) {
+      return 1;
+    }
+    uint64_t at = 0;
+    if (!client.ReplaceFunction(a.corpus, a.replace_spec.substr(0, colon),
+                                a.replace_spec.substr(colon + 1), definition, &at,
+                                &err)) {
+      std::fprintf(stderr, "annodb-query: %s\n", err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "replace '%s' accepted at epoch %llu\n",
+                 a.replace_spec.c_str(), static_cast<unsigned long long>(at));
+  }
+  if (!a.remove_module.empty()) {
+    uint64_t at = 0;
+    if (!client.RemoveModule(a.corpus, a.remove_module, &at, &err)) {
+      std::fprintf(stderr, "annodb-query: %s\n", err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "remove '%s' accepted at epoch %llu\n",
+                 a.remove_module.c_str(), static_cast<unsigned long long>(at));
+  }
+  if (a.sync) {
+    uint64_t epoch = 0;
+    if (!client.Sync(a.corpus, &epoch, &err)) {
+      std::fprintf(stderr, "annodb-query: %s\n", err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "synced epoch %llu\n", static_cast<unsigned long long>(epoch));
+  }
+  if (a.stats) {
+    ivy::StatsReplyMsg s;
+    if (!client.Stats(a.corpus, &s, &err)) {
+      std::fprintf(stderr, "annodb-query: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("corpus %s: epoch=%llu modules=%u findings=%llu summary_rows=%llu\n",
+                a.corpus.c_str(), static_cast<unsigned long long>(s.epoch), s.modules,
+                static_cast<unsigned long long>(s.findings),
+                static_cast<unsigned long long>(s.summary_rows));
+    std::printf("  link_rounds=%u converged=%u queued_edits=%u relinks=%llu\n",
+                s.link_rounds, s.converged, s.queued_edits,
+                static_cast<unsigned long long>(s.relinks));
+    for (const std::string& e : s.apply_errors) {
+      std::printf("  apply_error: %s\n", e.c_str());
+    }
+  }
+  if (a.shutdown_server) {
+    if (!client.Shutdown(&err)) {
+      std::fprintf(stderr, "annodb-query: %s\n", err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "server shutting down\n");
+    return 0;
+  }
+  if (a.HasAction()) {
+    return 0;  // mutation/control invocation: no query block
+  }
+  return RunConnectedQuery(client, a);
+}
+
+// Cold batch reference: RunLinked() over the deterministic synthetic corpus,
+// rendered through the same BuildEpochSnapshot the server publishes from.
+int RunFromSynth(const Args& a) {
+  ivy::LinkedCorpusOptions opt;
+  if (!ivy::ParseSynthSpec(a.from_synth, &opt)) {
+    std::fprintf(stderr, "annodb-query: bad --from-synth spec '%s' (want M:N[:seed])\n",
+                 a.from_synth.c_str());
+    return 1;
+  }
+  if (!a.dump_module.empty()) {
+    // Source dump only (no analysis): what a client needs to re-upsert a
+    // module's pristine sources after experimenting with edits.
+    for (const ivy::ModuleSources& mod : ivy::GenerateLinkedCorpus(opt)) {
+      if (mod.name == a.dump_module) {
+        for (const ivy::SourceFile& f : mod.files) {
+          std::fputs(f.text.c_str(), stdout);
+        }
+        return 0;
+      }
+    }
+    std::fprintf(stderr, "annodb-query: no module '%s' in this corpus\n",
+                 a.dump_module.c_str());
+    return 1;
+  }
+  ivy::AnalysisSession session = ivy::SynthServePipeline()
+                                     .ForEachModule(ivy::GenerateLinkedCorpus(opt))
+                                     .BuildSession();
+  ivy::SessionResult result = session.RunLinked();
+  if (result.compile_failures > 0) {
+    std::fprintf(stderr, "annodb-query: synth corpus failed to compile\n");
+    return 1;
+  }
+  auto snap = ivy::BuildEpochSnapshot(1, result, session.link_table());
+
+  if (a.summaries) {
+    int rows = 0;
+    for (const ivy::FuncSummary& row : snap->summaries) {
+      if (!a.function.empty() && row.function != a.function) {
+        continue;
+      }
+      if (!a.module.empty() && row.module != a.module) {
+        continue;
+      }
+      ++rows;
+      PrintSummaryRow(row.module, row.function, row);
+    }
+    PrintSummariesTrailer(rows, snap->summaries.size());
+  }
+
+  ivy::FindingQuery q;
+  q.function = a.function;
+  q.tool = a.tool;
+  q.module = a.module;
+  int matches = 0;
+  for (const ivy::Finding& f : snap->findings) {
+    if (!q.Matches(f)) {
+      continue;
+    }
+    ++matches;
+    PrintFinding(f);
+  }
+  PrintFindingsTrailer(matches, snap->findings.size(), a.function, a.tool, a.module);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -133,28 +416,52 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    auto want = [&next](const char* flag, std::string* out) {
+      const char* v = next(flag);
+      if (v == nullptr) {
+        return false;
+      }
+      *out = v;
+      return true;
+    };
     if (arg == "--function") {
-      const char* v = next("--function");
-      if (v == nullptr) {
-        return 1;
-      }
-      function = v;
+      if (!want("--function", &a.function)) return 1;
     } else if (arg == "--tool") {
-      const char* v = next("--tool");
-      if (v == nullptr) {
-        return 1;
-      }
-      tool = v;
+      if (!want("--tool", &a.tool)) return 1;
     } else if (arg == "--module") {
-      const char* v = next("--module");
-      if (v == nullptr) {
-        return 1;
-      }
-      module = v;
+      if (!want("--module", &a.module)) return 1;
     } else if (arg == "--from-kernel") {
-      from_kernel = true;
+      a.from_kernel = true;
+    } else if (arg == "--from-synth") {
+      if (!want("--from-synth", &a.from_synth)) return 1;
+    } else if (arg == "--dump-module") {
+      if (!want("--dump-module", &a.dump_module)) return 1;
     } else if (arg == "--summaries") {
-      summaries = true;
+      a.summaries = true;
+    } else if (arg == "--connect") {
+      if (!want("--connect", &a.connect)) return 1;
+    } else if (arg == "--corpus") {
+      if (!want("--corpus", &a.corpus)) return 1;
+    } else if (arg == "--epoch") {
+      const char* v = next("--epoch");
+      if (v == nullptr) return 1;
+      a.epoch = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--sync") {
+      a.sync = true;
+    } else if (arg == "--stats") {
+      a.stats = true;
+    } else if (arg == "--open") {
+      a.open = true;
+    } else if (arg == "--shutdown-server") {
+      a.shutdown_server = true;
+    } else if (arg == "--upsert") {
+      if (!want("--upsert", &a.upsert_module)) return 1;
+    } else if (arg == "--replace") {
+      if (!want("--replace", &a.replace_spec)) return 1;
+    } else if (arg == "--remove") {
+      if (!want("--remove", &a.remove_module)) return 1;
+    } else if (arg == "--with-file") {
+      if (!want("--with-file", &a.with_file)) return 1;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -163,16 +470,23 @@ int main(int argc, char** argv) {
       Usage();
       return 1;
     } else {
-      input = arg;
+      a.input = arg;
     }
   }
-  if (!from_kernel && input.empty()) {
+
+  if (!a.connect.empty()) {
+    return RunConnected(a);
+  }
+  if (!a.from_synth.empty()) {
+    return RunFromSynth(a);
+  }
+  if (!a.from_kernel && a.input.empty()) {
     Usage();
     return 1;
   }
 
   ivy::AnnoDb db;
-  if (from_kernel) {
+  if (a.from_kernel) {
     ivy::AnalysisSession session = ivy::PipelineBuilder()
                                        .AllTools()
                                        .FieldSensitive(false)
@@ -186,19 +500,12 @@ int main(int argc, char** argv) {
     db = session.ExportAnnoDb();
   } else {
     std::string text;
-    if (input == "-") {
+    if (a.input == "-") {
       std::ostringstream ss;
       ss << std::cin.rdbuf();
       text = ss.str();
-    } else {
-      std::ifstream in(input);
-      if (!in) {
-        std::fprintf(stderr, "annodb-query: cannot read '%s'\n", input.c_str());
-        return 1;
-      }
-      std::ostringstream ss;
-      ss << in.rdbuf();
-      text = ss.str();
+    } else if (!ReadFileOrDie(a.input, &text)) {
+      return 1;
     }
     std::string err;
     ivy::Json j = ivy::Json::Parse(text, &err);
@@ -209,16 +516,27 @@ int main(int argc, char** argv) {
     db = ivy::AnnoDb::FromJson(j);
   }
 
-  if (summaries) {
-    PrintSummaries(db, function, module);
+  if (a.summaries) {
+    int rows = 0;
+    for (const auto& [key, row] : db.summaries()) {
+      if (!a.function.empty() && key.second != a.function) {
+        continue;
+      }
+      if (!a.module.empty() && key.first != a.module) {
+        continue;
+      }
+      ++rows;
+      PrintSummaryRow(key.first, key.second, row);
+    }
+    PrintSummariesTrailer(rows, db.summaries().size());
   }
 
   // Facts first: the repository's stored knowledge about the function.
-  if (!function.empty()) {
-    auto it = db.funcs().find(function);
+  if (!a.function.empty()) {
+    auto it = db.funcs().find(a.function);
     if (it != db.funcs().end()) {
       const ivy::FuncFacts& facts = it->second;
-      std::printf("function %s\n", function.c_str());
+      std::printf("function %s\n", a.function.c_str());
       std::printf("  blocking=%d noblock=%d may_block=%d blocking_if_param=%d frame_size=%lld\n",
                   facts.blocking ? 1 : 0, facts.noblock ? 1 : 0, facts.may_block ? 1 : 0,
                   facts.blocking_if_param, static_cast<long long>(facts.frame_size));
@@ -233,30 +551,22 @@ int main(int argc, char** argv) {
         std::printf("  param: %s\n", p.c_str());
       }
     } else {
-      std::printf("function %s: not in the database\n", function.c_str());
+      std::printf("function %s: not in the database\n", a.function.c_str());
     }
   }
 
+  ivy::FindingQuery q;
+  q.function = a.function;
+  q.tool = a.tool;
+  q.module = a.module;
   int matches = 0;
   for (const ivy::Finding& f : db.findings()) {
-    if (!FindingMatches(f, function, tool, module)) {
+    if (!q.Matches(f)) {
       continue;
     }
     ++matches;
-    std::string line = f.module.empty() ? std::string() : "{" + f.module + "} ";
-    line += f.ToString();
-    std::printf("%s\n", line.c_str());
+    PrintFinding(f);
   }
-  std::printf("%d finding(s)", matches);
-  if (!function.empty()) {
-    std::printf(" for --function %s", function.c_str());
-  }
-  if (!tool.empty()) {
-    std::printf(" --tool %s", tool.c_str());
-  }
-  if (!module.empty()) {
-    std::printf(" --module %s", module.c_str());
-  }
-  std::printf(" of %zu total\n", db.findings().size());
+  PrintFindingsTrailer(matches, db.findings().size(), a.function, a.tool, a.module);
   return 0;
 }
