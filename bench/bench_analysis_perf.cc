@@ -614,6 +614,84 @@ ivy::Json ServerBenchJson() {
   return srv;
 }
 
+// Persistent-store warm start: a cold RunLinked() + SaveStore, then a fresh
+// session (the restart shape: same corpus re-registered) LoadStore +
+// RunLinked. The warm restart is FATAL-checked byte-identical to the cold
+// fixpoint with zero module analyses — it must cost about one incremental
+// relink, not a cold corpus run.
+ivy::Json StoreBenchJson(const std::string& out_path) {
+  const std::string spath = out_path + ".store.tmp";
+  std::remove(spath.c_str());
+  std::vector<ivy::ModuleSources> corpus = LinkedBenchCorpus();
+
+  ivy::SessionResult cold_result;
+  int cold_rounds = 0;
+  double cold_ms = MedianMs(
+      [&corpus, &cold_result, &cold_rounds, &spath] {
+        ivy::PipelineBuilder b = LinkedSessionPipeline();
+        b.ForEachModule(corpus);
+        ivy::AnalysisSession fresh = b.BuildSession();
+        cold_result = fresh.RunLinked();
+        cold_rounds = fresh.link_stats().rounds;
+        std::string err;
+        if (!fresh.SaveStore(spath, &err)) {
+          std::fprintf(stderr, "FATAL: store bench SaveStore: %s\n", err.c_str());
+          std::abort();
+        }
+      },
+      3);
+
+  int64_t store_bytes = 0;
+  {
+    std::ifstream in(spath, std::ios::binary | std::ios::ate);
+    store_bytes = static_cast<int64_t>(in.tellg());
+  }
+
+  ivy::SessionResult warm_result;
+  int warm_rounds = 0;
+  int warm_analyses = 0;
+  double warm_ms = MedianMs(
+      [&corpus, &warm_result, &warm_rounds, &warm_analyses, &spath] {
+        ivy::PipelineBuilder b = LinkedSessionPipeline();
+        b.ForEachModule(corpus);
+        ivy::AnalysisSession restarted = b.BuildSession();
+        std::string err;
+        if (!restarted.LoadStore(spath, &err)) {
+          std::fprintf(stderr, "FATAL: store bench LoadStore: %s\n", err.c_str());
+          std::abort();
+        }
+        warm_result = restarted.RunLinked();
+        warm_rounds = restarted.link_stats().rounds;
+        warm_analyses = restarted.link_stats().module_analyses;
+      },
+      3);
+  if (FindingsDump(warm_result.findings) != FindingsDump(cold_result.findings)) {
+    std::fprintf(stderr, "FATAL: warm-started findings diverge from cold run\n");
+    std::abort();
+  }
+  if (warm_analyses != 0) {
+    std::fprintf(stderr, "FATAL: warm restart re-analyzed %d modules\n", warm_analyses);
+    std::abort();
+  }
+  std::remove(spath.c_str());
+
+  ivy::Json st = ivy::Json::MakeObject();
+  st["modules"] = ivy::Json::MakeInt(static_cast<int64_t>(corpus.size()));
+  st["cold_linked_us"] = ivy::Json::MakeInt(static_cast<int64_t>(cold_ms * 1000));
+  st["rounds_cold"] = ivy::Json::MakeInt(cold_rounds);
+  st["store_bytes"] = ivy::Json::MakeInt(store_bytes);
+  st["warm_restart_us"] = ivy::Json::MakeInt(static_cast<int64_t>(warm_ms * 1000));
+  st["rounds_warm"] = ivy::Json::MakeInt(warm_rounds);
+  st["warm_module_analyses"] = ivy::Json::MakeInt(warm_analyses);
+  st["identical_to_cold"] = ivy::Json::MakeBool(true);
+  std::fprintf(stderr,
+               "BENCH store: cold=%.1fms (%d rounds) warm_restart=%.1fms "
+               "(%d rounds, 0 analyses) store=%lld bytes\n",
+               cold_ms, cold_rounds, warm_ms, warm_rounds,
+               static_cast<long long>(store_bytes));
+  return st;
+}
+
 void WriteBenchPipelineJson() {
   const char* out_path = std::getenv("BENCH_PIPELINE_OUT");
   if (out_path == nullptr || out_path[0] == '\0') {
@@ -794,6 +872,7 @@ void WriteBenchPipelineJson() {
   linked_j["identical_to_merged"] = ivy::Json::MakeBool(true);
   j["linked"] = std::move(linked_j);
   j["server"] = ServerBenchJson();
+  j["store"] = StoreBenchJson(out_path);
 
   std::string path = out_path;
   std::ofstream out(path);

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "src/ccount/layouts.h"
+#include "src/support/numbers.h"
 #include "src/tool/analysis_context.h"
 #include "src/tool/pipeline.h"
 
@@ -138,6 +139,13 @@ Json FuncSummary::ToJson() const {
 
 FuncSummary FuncSummary::FromJson(const Json& j) {
   FuncSummary s;
+  std::string ignored;
+  FromJson(j, &s, &ignored);
+  return s;
+}
+
+bool FuncSummary::FromJson(const Json& j, FuncSummary* out, std::string* error) {
+  FuncSummary& s = *out;
   if (const Json* v = j.Find("module")) {
     s.module = v->AsString();
   }
@@ -190,10 +198,21 @@ FuncSummary FuncSummary::FromJson(const Json& j) {
   }
   if (const Json* v = j.Find("param_points")) {
     for (const auto& [key, names] : v->object()) {
-      s.param_points[std::atoi(key.c_str())] = StringsFromJson(&names);
+      // The writer emits std::to_string(idx) keys; anything else ("abc",
+      // "01", "7x") used to atoi-alias onto parameter 0 and corrupt the
+      // imported escape sets. 4095 comfortably exceeds any real arity.
+      int idx = 0;
+      if (!ParseIndexStrict(key, 4095, &idx)) {
+        if (error != nullptr) {
+          *error = "bad param_points index \"" + key + "\" in summary row " +
+                   s.module + ":" + s.function;
+        }
+        return false;
+      }
+      s.param_points[idx] = StringsFromJson(&names);
     }
   }
-  return s;
+  return true;
 }
 
 Json AnnoDb::ToJson() const {
@@ -254,7 +273,7 @@ Json AnnoDb::ToJson() const {
   return root;
 }
 
-AnnoDb AnnoDb::FromJson(const Json& j) {
+AnnoDb AnnoDb::FromJson(const Json& j, std::vector<std::string>* errors) {
   AnnoDb db;
   if (const Json* funcs = j.Find("functions")) {
     for (const auto& [name, f] : funcs->object()) {
@@ -311,7 +330,13 @@ AnnoDb AnnoDb::FromJson(const Json& j) {
   }
   if (const Json* rows = j.Find("summaries")) {
     for (const Json& row : rows->array()) {
-      db.AddSummary(FuncSummary::FromJson(row));
+      FuncSummary s;
+      std::string err;
+      if (FuncSummary::FromJson(row, &s, &err)) {
+        db.AddSummary(std::move(s));
+      } else if (errors != nullptr) {
+        errors->push_back(err);
+      }
     }
   }
   if (const Json* fs = j.Find("findings")) {

@@ -89,6 +89,12 @@ struct FuncSummary {
 
   Json ToJson() const;
   static FuncSummary FromJson(const Json& j);
+  // Strict variant: returns false (with a diagnostic in *error) for
+  // malformed rows — e.g. a param_points key that is not a canonical
+  // in-range decimal index — instead of silently aliasing garbage onto
+  // parameter 0. On failure *out holds the fields parsed so far; callers
+  // must discard it.
+  static bool FromJson(const Json& j, FuncSummary* out, std::string* error);
   // Canonical byte form — what the link fixpoint diffs and import
   // signatures hash. Json objects are sorted maps, so this is stable.
   std::string Canonical() const { return ToJson().Dump(-1); }
@@ -107,9 +113,10 @@ class AnnoDb {
   // and what the tools concluded from them (§3.2's shared repository).
   static AnnoDb Extract(AnalysisContext& ctx, const PipelineResult* pipeline);
 
-  // Serialization round trip.
+  // Serialization round trip. Malformed summary rows are rejected (not
+  // loaded); pass `errors` to collect one diagnostic per rejected row.
   Json ToJson() const;
-  static AnnoDb FromJson(const Json& j);
+  static AnnoDb FromJson(const Json& j, std::vector<std::string>* errors = nullptr);
 
   // Merge: facts from `other` fill gaps in this database; conflicting
   // boolean facts are OR-ed (conservative for blocking). Findings are

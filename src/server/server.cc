@@ -119,6 +119,14 @@ void AnnodServer::DrainCorpus(const std::shared_ptr<Corpus>& c) {
   c->cv.notify_all();
   c->relink_group.Wait(/*rethrow=*/false);
   c->relink_queue.Shutdown();
+  // The session is quiescent now (no task can touch it), so the snapshot is
+  // single-threaded. A cancelled fixpoint saves as linked-but-unconverged:
+  // the loader marks everything dirty and re-derives — never a wrong warm
+  // start, at worst a cold-priced one.
+  if (!c->store_path.empty()) {
+    std::string serr;
+    c->session.SaveStore(c->store_path, &serr);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -144,6 +152,9 @@ bool AnnodServer::OpenCorpus(const std::string& name) {
       return true;  // idempotent
     }
     c = std::make_shared<Corpus>(opts_.pipeline, opts_.epoch_retain);
+    if (!opts_.store_dir.empty()) {
+      c->store_path = opts_.store_dir + "/" + name + ".store";
+    }
     corpora_.emplace(name, c);
   }
   // Publish epoch 1 (the empty corpus) so queries have something to pin
@@ -300,6 +311,14 @@ void AnnodServer::RelinkTask(const std::shared_ptr<Corpus>& c) {
   }
 
   std::vector<std::string> errors;
+  if (first && !c->store_path.empty()) {
+    // Warm start before the seed edits apply: modules the batch re-adds with
+    // byte-identical sources stay clean (AddModule's no-op contract), edited
+    // ones go dirty over the restored table — the first fixpoint costs one
+    // incremental relink. Any load failure just means a cold run.
+    std::string lerr;
+    c->session.LoadStore(c->store_path, &lerr);
+  }
   for (Edit& e : batch) {
     switch (e.kind) {
       case Edit::kUpsert:

@@ -57,6 +57,12 @@ class AnnodServer {
   struct Options {
     Pipeline pipeline;    // session template: every opened corpus runs this
     int epoch_retain = 8;  // published snapshots kept for pinned queries
+    // When non-empty, each corpus persists its converged facts to
+    // <store_dir>/<corpus>.store (src/store/store.h): the first relink
+    // after open warm-starts from the file, and the drain on close/shutdown
+    // writes it back — a restarted daemon's first fixpoint costs one
+    // incremental relink instead of a cold corpus analysis.
+    std::string store_dir;
   };
 
   explicit AnnodServer(Options opts);
@@ -124,6 +130,7 @@ class AnnodServer {
     bool closing = false;
     uint64_t next_epoch = 1;
     std::vector<std::string> apply_errors;  // rolling window, capped
+    std::string store_path;        // empty: no persistence (set at open)
 
     AnalysisSession session;       // relink tasks only
     EpochPublisher epochs;

@@ -1,0 +1,143 @@
+// The persistent analysis store: a versioned on-disk snapshot of a
+// session's converged facts, so a fresh process warm-starts from the
+// previous run's fixpoint instead of paying a full cold analysis — the
+// paper's "analysis cost scales with the edit" property extended across
+// process restarts, and the exchange medium for multi-process distributed
+// relink (tools/annolink).
+//
+// File layout (little-endian):
+//
+//   offset  size  field
+//   0       1     magic0 = 0xA7
+//   1       1     magic1 = 0xD5        (store; the wire protocol is 0xDB)
+//   2       1     version = kStoreVersion
+//   3       1     flags (bit0 = linked, bit1 = converged; others reserved)
+//   4       ...   body: WireWriter-encoded sections (src/server/wire.h)
+//
+// Body encoding:
+//
+//   u64  corpus_digest          pipeline recipe hash — see
+//                               AnalysisSession::CorpusDigest(); a mismatch
+//                               rejects the whole file (stale recipe)
+//   u32  module_count
+//        per module:            name, source digest, sources, and — when
+//                               `analyzed` — the incremental snapshot
+//                               (preamble/function/signature fingerprints,
+//                               import signature, link name sets) plus the
+//                               module's unstamped canonical findings
+//   u32  summary_count
+//        per row:               module, function, FuncSummary::Canonical()
+//
+// Every field of a module record is always written (zeroed when
+// !analyzed), so the decoder is total: fixed schema, no optional sections.
+// Decoders are bounds-checked in the wire.h style — truncated, oversized,
+// or mutated input returns false, never a crash (fuzzed in
+// tests/store_test.cc).
+//
+// Version policy: strict. kStoreVersion bumps on any schema change and a
+// version mismatch rejects the file — a store is a cache of re-derivable
+// facts, so the correct fallback is always a cold run, never a migration.
+//
+// Concurrency: the store file is shared by annolink's worker processes.
+// Writers take an advisory flock on `<path>.lock` (StoreLock), write
+// `<path>.tmp.<pid>`, and rename() over `<path>` — readers of the plain
+// path therefore always see a complete file (append-then-swap), and a
+// worker killed mid-merge leaves either the old or the new store, never a
+// torn one.
+#ifndef SRC_STORE_STORE_H_
+#define SRC_STORE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ivy {
+
+inline constexpr uint8_t kStoreMagic0 = 0xA7;
+inline constexpr uint8_t kStoreMagic1 = 0xD5;
+inline constexpr uint8_t kStoreVersion = 1;
+inline constexpr uint8_t kStoreFlagLinked = 1u << 0;
+inline constexpr uint8_t kStoreFlagConverged = 1u << 1;
+inline constexpr size_t kStoreHeaderSize = 4;
+// A store holds sources + facts for one corpus; far below this in practice.
+inline constexpr uint64_t kMaxStoreBytes = 256ull << 20;
+
+// One module's persisted state. When `analyzed` is false only the sources
+// are meaningful (the module was dirty at save time — its snapshot fields
+// are written zeroed and it re-analyzes cold on load).
+struct StoreModule {
+  std::string name;
+  uint64_t source_digest = 0;  // SourcesDigest(files)
+  std::vector<std::pair<std::string, std::string>> files;  // (name, text)
+
+  bool analyzed = false;
+  bool ok = false;  // compiled successfully (false: compile_errors applies)
+  std::string compile_errors;
+  uint64_t preamble_fp = 0;
+  // function name -> (full fingerprint, signature fingerprint)
+  std::map<std::string, std::pair<uint64_t, uint64_t>> func_fps;
+  std::string import_sig;
+  bool has_link_names = false;
+  std::vector<std::string> defined_names;
+  std::vector<std::string> extern_refs;
+  // Unstamped canonical finding JSON (Finding::ToJson(nullptr).Dump(-1)),
+  // exactly what the session caches per module.
+  std::vector<std::string> findings_canon;
+};
+
+struct StoreFile {
+  uint64_t corpus_digest = 0;
+  bool linked = false;     // a RunLinked() table (vs per-module Run() only)
+  bool converged = false;  // table reached its fixpoint; false after a
+                           // mid-run crash — loaders re-derive from scratch
+  std::map<std::string, StoreModule> modules;
+  // (module, function) -> FuncSummary::Canonical()
+  std::map<std::pair<std::string, std::string>, std::string> summaries;
+};
+
+// In-memory encode/decode (the unit the format tests fuzz).
+std::string EncodeStore(const StoreFile& sf);
+bool DecodeStore(const std::string& bytes, StoreFile* out, std::string* err);
+
+// Whole-file read. Returns false (with *err) on I/O errors, oversized
+// files, or any decode failure.
+bool ReadStoreFile(const std::string& path, StoreFile* out, std::string* err);
+
+// Atomic replace: write `<path>.tmp.<pid>`, rename() over `<path>`. Does
+// NOT take the lock — for callers that already hold a StoreLock (the
+// worker merge) or own the file exclusively (a coordinator, a daemon).
+bool WriteStoreFile(const std::string& path, const StoreFile& sf, std::string* err);
+
+// RAII advisory lock on `<path>.lock` — serializes the workers'
+// read-merge-write cycles against each other. Blocks until acquired.
+class StoreLock {
+ public:
+  StoreLock() = default;
+  ~StoreLock() { Release(); }
+  StoreLock(const StoreLock&) = delete;
+  StoreLock& operator=(const StoreLock&) = delete;
+
+  bool Acquire(const std::string& store_path, std::string* err);
+  void Release();
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+// Locked read-modify-write convenience: lock, read-or-empty, mutate via
+// `fn`, write, unlock. `fn` returns false to abort without writing.
+bool UpdateStoreFileLocked(const std::string& path,
+                           bool (*fn)(StoreFile*, void*), void* arg,
+                           std::string* err);
+
+// FNV-1a 64 over length-framed (name, text) pairs — the per-module source
+// identity the warm-start check compares.
+uint64_t SourcesDigest(const std::vector<std::pair<std::string, std::string>>& files);
+uint64_t Fnv1a64(const void* data, size_t n, uint64_t seed);
+
+}  // namespace ivy
+
+#endif  // SRC_STORE_STORE_H_

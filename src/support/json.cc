@@ -1,6 +1,7 @@
 #include "src/support/json.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -325,37 +326,125 @@ class JsonParser {
     return arr;
   }
 
+  // Decodes exactly four hex digits of a \u escape. Returns -1 after
+  // Fail()ing on truncation or a non-hex digit — strtol's "garbage parses
+  // as 0" behavior aliased distinct strings, which the canonical-JSON
+  // digests downstream cannot tolerate.
+  int ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      Fail("truncated \\u escape");
+      return -1;
+    }
+    int v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      int d;
+      if (c >= '0' && c <= '9') {
+        d = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        d = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        d = c - 'A' + 10;
+      } else {
+        Fail("bad hex digit in \\u escape");
+        return -1;
+      }
+      v = v * 16 + d;
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
   std::string ParseString() {
     std::string out;
     ++pos_;  // opening quote
     while (pos_ < text_.size() && text_[pos_] != '"') {
       char c = text_[pos_++];
-      if (c == '\\' && pos_ < text_.size()) {
-        char e = text_[pos_++];
-        switch (e) {
-          case 'n':
-            out.push_back('\n');
-            break;
-          case 't':
-            out.push_back('\t');
-            break;
-          case 'r':
-            out.push_back('\r');
-            break;
-          case 'u': {
-            // Only ASCII escapes are produced by our writer.
-            if (pos_ + 4 <= text_.size()) {
-              std::string hex = text_.substr(pos_, 4);
-              pos_ += 4;
-              out.push_back(static_cast<char>(std::strtol(hex.c_str(), nullptr, 16)));
-            }
-            break;
-          }
-          default:
-            out.push_back(e);
-        }
-      } else {
+      if (c != '\\') {
         out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("truncated escape");
+        return out;
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'u': {
+          int unit = ParseHex4();
+          if (unit < 0) {
+            return out;
+          }
+          uint32_t cp = static_cast<uint32_t>(unit);
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a \uDC00-\uDFFF low surrogate must follow.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              Fail("unpaired high surrogate in \\u escape");
+              return out;
+            }
+            pos_ += 2;
+            int low = ParseHex4();
+            if (low < 0) {
+              return out;
+            }
+            if (low < 0xDC00 || low > 0xDFFF) {
+              Fail("invalid low surrogate in \\u escape");
+              return out;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (static_cast<uint32_t>(low) - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            Fail("unpaired low surrogate in \\u escape");
+            return out;
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          Fail("bad escape character");
+          return out;
       }
     }
     if (pos_ >= text_.size()) {

@@ -1,0 +1,75 @@
+// Strict integer parsing for untrusted textual inputs (CLI flags, address
+// strings, JSON object keys used as indices).
+//
+// The std::atoi / strtol idioms these replace have three failure modes that
+// repeatedly turned into bugs here: trailing junk silently ignored
+// ("8abc" -> 8), garbage silently aliased onto 0 ("abc" -> 0 — which is a
+// *valid* value for things like parameter indices), and out-of-range values
+// silently clamped or wrapped. ParseInt64Strict accepts exactly the strings
+// this codebase itself produces with std::to_string: an optional single '-',
+// then decimal digits with no leading zeros (except "0" itself), nothing
+// else — no whitespace, no '+', no hex. Anything else returns false and
+// leaves *out untouched.
+#ifndef SRC_SUPPORT_NUMBERS_H_
+#define SRC_SUPPORT_NUMBERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ivy {
+
+inline bool ParseInt64Strict(const std::string& s, int64_t min, int64_t max,
+                             int64_t* out) {
+  size_t i = 0;
+  bool neg = false;
+  if (i < s.size() && s[i] == '-') {
+    neg = true;
+    ++i;
+  }
+  if (i >= s.size()) {
+    return false;  // empty, or a lone '-'
+  }
+  if (s[i] == '0' && s.size() > i + 1) {
+    return false;  // leading zeros are not canonical ("007", "-01")
+  }
+  // Accumulate negatively: |INT64_MIN| > INT64_MAX, so the negative range
+  // covers every representable magnitude without overflowing mid-parse.
+  int64_t acc = 0;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    int digit = c - '0';
+    if (acc < (INT64_MIN + digit) / 10) {
+      return false;  // would overflow
+    }
+    acc = acc * 10 - digit;
+  }
+  if (!neg) {
+    if (acc == INT64_MIN) {
+      return false;  // +9223372036854775808 is out of range
+    }
+    acc = -acc;
+  }
+  if (acc < min || acc > max) {
+    return false;
+  }
+  *out = acc;
+  return true;
+}
+
+// The common "small non-negative index" case (JSON param_points keys,
+// ports): [0, max], canonical digits only.
+inline bool ParseIndexStrict(const std::string& s, int64_t max, int* out) {
+  int64_t v = 0;
+  if (!ParseInt64Strict(s, 0, max, &v)) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace ivy
+
+#endif  // SRC_SUPPORT_NUMBERS_H_

@@ -8,6 +8,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "src/support/numbers.h"
+
 namespace ivy {
 
 namespace {
@@ -19,8 +21,11 @@ void SetErr(std::string* err, const std::string& what) {
 }
 
 // Splits "unix:<path>" vs "<ipv4>:<port>". Returns false on syntax errors.
-bool ParseAddress(const std::string& address, bool* is_unix, std::string* path,
-                  std::string* host, int* port, std::string* err) {
+// `min_port` is 0 for listeners (port 0 = kernel-assigned ephemeral port)
+// and 1 for connects — there is nothing to connect *to* on port 0.
+bool ParseAddress(const std::string& address, int min_port, bool* is_unix,
+                  std::string* path, std::string* host, int* port,
+                  std::string* err) {
   if (address.rfind("unix:", 0) == 0) {
     *is_unix = true;
     *path = address.substr(5);
@@ -48,11 +53,15 @@ bool ParseAddress(const std::string& address, bool* is_unix, std::string* path,
   }
   *host = address.substr(0, colon);
   const std::string port_s = address.substr(colon + 1);
-  char* end = nullptr;
-  long p = std::strtol(port_s.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || p < 0 || p > 65535) {
+  // Strict parse: strtol tolerated leading whitespace and '+' signs
+  // (" 80", "+80"), which then leaked into error messages and scripts as
+  // accepted addresses.
+  int64_t p = 0;
+  if (!ParseInt64Strict(port_s, min_port, 65535, &p)) {
     if (err != nullptr) {
-      *err = "bad port '" + port_s + "' in '" + address + "'";
+      *err = "bad port '" + port_s + "' in '" + address +
+             "' (expected an integer in [" + std::to_string(min_port) +
+             ", 65535])";
     }
     return false;
   }
@@ -149,7 +158,8 @@ bool ListenSocket::Listen(const std::string& address, std::string* err) {
   std::string path;
   std::string host;
   int port = 0;
-  if (!ParseAddress(address, &is_unix, &path, &host, &port, err)) {
+  if (!ParseAddress(address, /*min_port=*/0, &is_unix, &path, &host, &port,
+                    err)) {
     return false;
   }
   if (is_unix) {
@@ -266,7 +276,8 @@ Socket ConnectTo(const std::string& address, std::string* err) {
   std::string path;
   std::string host;
   int port = 0;
-  if (!ParseAddress(address, &is_unix, &path, &host, &port, err)) {
+  if (!ParseAddress(address, /*min_port=*/1, &is_unix, &path, &host, &port,
+                    err)) {
     return Socket();
   }
   if (is_unix) {

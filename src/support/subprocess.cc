@@ -1,0 +1,77 @@
+#include "src/support/subprocess.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ivy {
+
+bool SpawnProcess(const std::vector<std::string>& argv, Subprocess* proc,
+                  std::string* err) {
+  if (argv.empty()) {
+    if (err != nullptr) {
+      *err = "empty argv";
+    }
+    return false;
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    if (err != nullptr) {
+      *err = std::string("fork: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    // exec failed; _exit (not exit) — no atexit handlers in the forked
+    // child, which shares the parent's state.
+    _exit(127);
+  }
+  proc->pid = pid;
+  return true;
+}
+
+bool WaitProcess(Subprocess* proc, std::string* err) {
+  if (proc->pid < 0) {
+    if (err != nullptr) {
+      *err = "no process to wait for";
+    }
+    return false;
+  }
+  int status = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(proc->pid, &status, 0);
+  } while (rc < 0 && errno == EINTR);
+  proc->pid = -1;
+  if (rc < 0) {
+    if (err != nullptr) {
+      *err = std::string("waitpid: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+    return true;
+  }
+  if (err != nullptr) {
+    if (WIFEXITED(status)) {
+      *err = "worker exited with status " + std::to_string(WEXITSTATUS(status));
+    } else if (WIFSIGNALED(status)) {
+      *err = "worker killed by signal " + std::to_string(WTERMSIG(status));
+    } else {
+      *err = "worker ended abnormally";
+    }
+  }
+  return false;
+}
+
+}  // namespace ivy

@@ -1,0 +1,30 @@
+// Minimal fork/exec helpers for the distributed-relink coordinator
+// (tools/annolink spawning its worker processes). No shell, no pipes —
+// workers inherit stdout/stderr and communicate through the store file.
+#ifndef SRC_SUPPORT_SUBPROCESS_H_
+#define SRC_SUPPORT_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace ivy {
+
+struct Subprocess {
+  pid_t pid = -1;
+};
+
+// fork + execv. argv[0] is the binary path. Returns false (with *err) if
+// the fork fails; an exec failure surfaces as exit status 127 from
+// WaitProcess.
+bool SpawnProcess(const std::vector<std::string>& argv, Subprocess* proc,
+                  std::string* err);
+
+// Blocks until the process exits. Returns true only on exit status 0;
+// nonzero exits and signals set *err. Safe to call once per Subprocess.
+bool WaitProcess(Subprocess* proc, std::string* err);
+
+}  // namespace ivy
+
+#endif  // SRC_SUPPORT_SUBPROCESS_H_

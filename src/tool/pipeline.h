@@ -107,6 +107,7 @@ class Pipeline {
 
   const ToolConfig& config() const { return config_; }
   const std::vector<std::string>& tools() const { return tools_; }
+  const std::map<std::string, ToolOptions>& tool_options() const { return options_; }
   bool parallel() const { return parallel_; }
   bool field_sensitive() const { return field_sensitive_; }
   int shard_functions() const { return shards_; }

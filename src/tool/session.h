@@ -35,10 +35,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/annodb/annodb.h"
@@ -46,6 +48,9 @@
 #include "src/tool/pipeline.h"
 
 namespace ivy {
+
+struct StoreFile;    // src/store/store.h
+struct StoreModule;
 
 // Per-module outcome of one Run(). `result` is the module's pass output with
 // unstamped findings — byte-identical to an independent single-module
@@ -88,6 +93,24 @@ struct LinkStats {
   bool cancelled = false;      // RequestCancel() aborted the fixpoint
 };
 
+// Multi-process distributed relink (see RunLinkedDistributed). The
+// coordinator shards each round's dirty modules across `workers` processes
+// that exchange summary deltas through the shared store file at
+// `store_path` (src/store/store.h: advisory-locked append-then-swap).
+struct DistributedLinkOptions {
+  std::string store_path;
+  int workers = 3;
+  // The binary to exec per shard; it must handle
+  //   <worker_argv0> --worker --store <store_path> --modules a,b,c
+  // by calling AnalysisSession::RunStoreWorker (tools/annolink does).
+  std::string worker_argv0;
+  // Test hook: when set, dispatch runs this in-process instead of spawning
+  // a process — the distributed protocol becomes unit-testable (and
+  // TSan-able) without binary paths.
+  std::function<bool(const std::vector<std::string>& modules, std::string* err)>
+      run_worker;
+};
+
 // Solver-effort counters from a module's most recent analysis — how much of
 // it the incremental layer actually re-derived.
 struct ModuleStats {
@@ -111,7 +134,10 @@ class AnalysisSession {
 
   // Registers (or replaces) a module. Names key provenance and must be
   // unique; re-adding an existing name replaces its sources and marks it
-  // dirty.
+  // dirty — unless the new sources are byte-identical to a clean module's,
+  // which is a no-op (analysis is deterministic, so the cached state is
+  // exactly what re-analysis would produce; this is what lets a daemon
+  // re-seed its corpus after LoadStore without discarding the warm start).
   void AddModule(const std::string& name, std::vector<SourceFile> files);
   void AddModule(ModuleSources module);
   bool RemoveModule(const std::string& name);
@@ -163,6 +189,42 @@ class AnalysisSession {
   SessionResult RunLinked();
   const LinkStats& link_stats() const { return link_stats_; }
 
+  // RunLinked() split across processes: the same diff-driven round
+  // scheduler, but each round's dirty modules are partitioned across
+  // worker processes that analyze their shard cold (exact by the
+  // determinism contract) and merge summary deltas into the shared store.
+  // Converged findings are byte-identical to single-process RunLinked()
+  // regardless of worker count and module assignment; a worker failure
+  // aborts the round with an error finding, leaves the fixpoint resumable
+  // (dirty modules stay dirty, the store stays consistent), and reports
+  // converged=false.
+  SessionResult RunLinkedDistributed(const DistributedLinkOptions& opts);
+
+  // The worker side of RunLinkedDistributed: reads the coordinator's
+  // round snapshot (`store_path + ".round"`), analyzes `modules` against
+  // the snapshot's summary table, and merges the resulting records + rows
+  // into `store_path` under the store lock.
+  static bool RunStoreWorker(Pipeline pipeline, const std::string& store_path,
+                             const std::vector<std::string>& modules,
+                             std::string* err);
+
+  // Persistent warm start (src/store/store.h). SaveStore snapshots every
+  // module's sources + incremental state + findings and the link table;
+  // LoadStore restores them into a fresh session, so the next RunLinked()
+  // costs ≈ one incremental relink (one idle round when nothing changed)
+  // and produces byte-identical findings. LoadStore returns false — and
+  // leaves the session as-is, cold — on a missing/corrupt/stale-digest
+  // store; the caller just runs cold. Modules whose current sources differ
+  // from the stored ones keep the session's sources and stay dirty.
+  bool SaveStore(const std::string& path, std::string* err) const;
+  bool LoadStore(const std::string& path, std::string* err);
+
+  // Hash of the analysis recipe (pass plan, per-tool options, points-to
+  // precision — deliberately NOT the shard count, which cannot change
+  // results): stores carry it so facts computed under one recipe are never
+  // warm-started into another.
+  uint64_t CorpusDigest() const;
+
   // Cooperative cancellation for an in-flight Run()/RunLinked() on another
   // thread (the annod server's shutdown-while-relinking path). Checked
   // between module analyses and between link rounds — never mid-kernel — so
@@ -198,10 +260,41 @@ class AnalysisSession {
   PipelineRun TakeModule(const std::string& name);
 
  private:
-  struct ModuleState;
+  struct ModuleState;  // defined in session_state.h
+
+  // What the link fixpoint diffs per summary row between rounds.
+  struct LinkRowState {
+    std::string canon;
+    bool defined = false;
+    bool cross_recursive = false;
+    int64_t stack_below = -1;
+  };
+  using LinkTableSnapshot = std::map<std::pair<std::string, std::string>, LinkRowState>;
 
   WorkQueue* pool();
   void Analyze(const std::string& name, ModuleState* st);
+  // Phase C of Run(): the deterministic corpus merge over the current
+  // module states (shared by Run and the distributed coordinator, which
+  // imports worker results into the states instead of analyzing).
+  SessionResult MergeResult(bool cancelled) const;
+  // RunLinked()'s retraction preamble: reset stats, clear or
+  // component-retract the table for source-dirty modules.
+  void PrepareLinkedRun();
+  LinkTableSnapshot SnapshotLinkTable() const;
+  // Importers of changed facts between two snapshots — the modules the
+  // next round must re-analyze.
+  std::set<std::string> DiffLinkTable(const LinkTableSnapshot& before,
+                                      const LinkTableSnapshot& after) const;
+  // RunLinked()'s trailer: row/edge counters, non-convergence and
+  // multiply-defined-function findings.
+  void FinishLinkedRun(int max_rounds, SessionResult* result);
+
+  // Store plumbing (session_store.cc). BuildStoreSnapshot serializes the
+  // whole session; ImportStoreRecord restores one module's persisted state
+  // (warm starts and the distributed coordinator share it — the coordinator
+  // imports worker records instead of analyzing).
+  StoreFile BuildStoreSnapshot(bool linked, bool converged) const;
+  bool ImportStoreRecord(const StoreModule& rec, std::string* err);
   // Rebuilds a module's exported summary rows from its last analysis.
   std::vector<FuncSummary> ExtractSummaries(const std::string& name, ModuleState& st) const;
   // Corpus-level stack facts over the current table (condensation of the

@@ -1,0 +1,625 @@
+// The persistent half of AnalysisSession: SaveStore/LoadStore (warm starts
+// across process restarts) and the multi-process distributed relink
+// (RunLinkedDistributed / RunStoreWorker). Split from session.cc so the
+// in-memory pipeline code stays independent of src/store.
+//
+// Soundness of the warm start and of cold worker re-analysis both reduce to
+// the determinism contract: analysis is a pure function of (sources, recipe,
+// imported facts), so restored state is byte-identical to what re-analysis
+// would produce, and a worker that re-analyzes a module cold against the
+// coordinator's round table exports exactly the rows an in-process round
+// would have. Crash recovery rests on the fixpoint being monotone from a
+// retracted base: any store written mid-run holds a table ≤ the least
+// fixpoint, and the fixpoint is source-determined, so reloading an
+// unconverged store with every module dirty converges to identical bytes.
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include "src/store/store.h"
+#include "src/support/subprocess.h"
+#include "src/tool/session.h"
+#include "src/tool/session_state.h"
+
+namespace ivy {
+
+namespace {
+
+void SetErr(std::string* err, const std::string& what) {
+  if (err != nullptr) {
+    *err = what;
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> FilePairs(
+    const std::vector<SourceFile>& files) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(files.size());
+  for (const SourceFile& f : files) {
+    out.emplace_back(f.name, f.text);
+  }
+  return out;
+}
+
+// Strict parse of one stored summary row; the store's canon strings must
+// round-trip exactly or the fixpoint diff would chase phantom changes.
+bool ParseSummaryRow(const std::pair<std::string, std::string>& key,
+                     const std::string& canon, FuncSummary* out, std::string* err) {
+  std::string jerr;
+  Json j = Json::Parse(canon, &jerr);
+  if (!jerr.empty()) {
+    SetErr(err, "bad summary row " + key.first + ":" + key.second + ": " + jerr);
+    return false;
+  }
+  std::string serr;
+  if (!FuncSummary::FromJson(j, out, &serr)) {
+    SetErr(err, "bad summary row " + key.first + ":" + key.second + ": " + serr);
+    return false;
+  }
+  if (out->module != key.first || out->function != key.second) {
+    SetErr(err, "summary row key mismatch for " + key.first + ":" + key.second);
+    return false;
+  }
+  if (out->Canonical() != canon) {
+    SetErr(err, "summary row " + key.first + ":" + key.second +
+                    " is not in canonical form");
+    return false;
+  }
+  return true;
+}
+
+bool ParseFindings(const StoreModule& rec, std::vector<Finding>* out,
+                   std::string* err) {
+  out->clear();
+  for (const std::string& canon : rec.findings_canon) {
+    std::string jerr;
+    Json j = Json::Parse(canon, &jerr);
+    if (!jerr.empty()) {
+      SetErr(err, "bad finding in store record '" + rec.name + "': " + jerr);
+      return false;
+    }
+    out->push_back(Finding::FromJson(j));
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Corpus digest
+// ---------------------------------------------------------------------------
+
+uint64_t AnalysisSession::CorpusDigest() const {
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](const std::string& s) {
+    uint64_t n = s.size();
+    h = Fnv1a64(&n, sizeof n, h);
+    h = Fnv1a64(s.data(), s.size(), h);
+  };
+  for (const std::string& step : pipeline_.Plan()) {
+    mix(step);
+  }
+  for (const std::string& tool : pipeline_.tools()) {
+    mix(tool);
+  }
+  for (const auto& [tool, opts] : pipeline_.tool_options()) {
+    for (const auto& [key, value] : opts.entries()) {
+      if (key == "shards") {
+        continue;  // sharding cannot change results (the PR 2 contract)
+      }
+      mix(tool);
+      mix(key);
+      mix(value);
+    }
+  }
+  const ToolConfig& c = pipeline_.config();
+  const uint8_t knobs[7] = {
+      static_cast<uint8_t>(c.deputy),       static_cast<uint8_t>(c.discharge),
+      static_cast<uint8_t>(c.ccount),       static_cast<uint8_t>(c.smp),
+      static_cast<uint8_t>(c.track_locals), static_cast<uint8_t>(c.include_prelude),
+      static_cast<uint8_t>(pipeline_.field_sensitive())};
+  h = Fnv1a64(knobs, sizeof knobs, h);
+  const uint64_t rc_bits = static_cast<uint64_t>(c.rc_width_bits);
+  h = Fnv1a64(&rc_bits, sizeof rc_bits, h);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / restore
+// ---------------------------------------------------------------------------
+
+StoreFile AnalysisSession::BuildStoreSnapshot(bool linked, bool converged) const {
+  StoreFile sf;
+  sf.corpus_digest = CorpusDigest();
+  sf.linked = linked;
+  sf.converged = converged;
+  for (const auto& [name, st] : modules_) {
+    StoreModule m;
+    m.name = name;
+    m.files = FilePairs(st->files);
+    m.source_digest = SourcesDigest(m.files);
+    // A dirty module's cached analysis (if any) belongs to *older* sources;
+    // persisting the pair would let a loader treat stale facts as current.
+    // Dirty modules are stored sources-only and re-analyze cold on load.
+    m.analyzed = !st->dirty;
+    if (m.analyzed) {
+      m.ok = st->ok;
+      m.compile_errors = st->compile_errors;
+      m.preamble_fp = st->preamble_fp;
+      for (const auto& [fname, fp] : st->func_fps) {
+        auto sig = st->sig_fps.find(fname);
+        m.func_fps[fname] = {fp, sig != st->sig_fps.end() ? sig->second : 0};
+      }
+      m.import_sig = st->import_sig;
+      m.has_link_names = st->have_link_names;
+      m.defined_names.assign(st->defined_names.begin(), st->defined_names.end());
+      m.extern_refs.assign(st->extern_refs.begin(), st->extern_refs.end());
+      if (st->ok) {
+        for (const Finding& f : st->result.findings) {
+          // Unstamped, location-raw canonical form — exactly the per-module
+          // cache MergeResult stamps, so a restored module merges
+          // byte-identically.
+          m.findings_canon.push_back(f.ToJson(nullptr).Dump(-1));
+        }
+      }
+    }
+    sf.modules.emplace(name, std::move(m));
+  }
+  for (const auto& [key, row] : link_table_.summaries()) {
+    sf.summaries[key] = row.Canonical();
+  }
+  return sf;
+}
+
+bool AnalysisSession::ImportStoreRecord(const StoreModule& rec, std::string* err) {
+  if (!rec.analyzed) {
+    SetErr(err, "module '" + rec.name + "' has no analysis state to import");
+    return false;
+  }
+  // Parse everything before touching state, so a malformed record never
+  // leaves a half-imported module behind.
+  std::vector<Finding> findings;
+  if (rec.ok && !ParseFindings(rec, &findings, err)) {
+    return false;
+  }
+  auto& st = modules_[rec.name];
+  if (st == nullptr) {
+    st = std::make_unique<ModuleState>();
+  }
+  if (st->files.empty()) {
+    for (const auto& [fname, text] : rec.files) {
+      st->files.push_back(SourceFile{fname, text});
+    }
+  } else if (SourcesDigest(FilePairs(st->files)) != rec.source_digest) {
+    SetErr(err, "module '" + rec.name + "': record sources differ from the session's");
+    return false;
+  }
+
+  const bool keep_names = !rec.has_link_names && st->have_link_names;
+  // Destroy the live context before touching the snapshot/hint storage it
+  // points into (hints.pointsto_prev → pt_snapshot, link seeds).
+  st->ctx.reset();
+  st->comp.reset();
+  st->dirty = false;
+  st->ok = rec.ok;
+  st->analyzed_now = false;
+  st->compile_errors = rec.compile_errors;
+  // The in-memory solver snapshots (points-to deltas, may-block memo) are
+  // not persisted: the next source edit re-solves this module cold, which
+  // the warm gate (have_snapshot) makes exact by construction.
+  st->have_snapshot = false;
+  st->have_mayblock = false;
+  st->prev_mayblock.clear();
+  st->pt_snapshot = PointsToSnapshot{};
+  st->callee_hashes.clear();
+  st->func_refs.clear();
+  st->preamble_fp = rec.preamble_fp;
+  st->func_fps.clear();
+  st->sig_fps.clear();
+  for (const auto& [fname, fp] : rec.func_fps) {
+    st->func_fps[fname] = fp.first;
+    st->sig_fps[fname] = fp.second;
+  }
+  st->import_sig = rec.import_sig;
+  st->link_seeds.clear();
+  if (!keep_names) {
+    // A compile-failed worker record carries no names; the coordinator
+    // keeps the module's previous edge structure — exactly what the
+    // in-process path does when Analyze never runs.
+    st->have_link_names = rec.has_link_names;
+    st->defined_names =
+        std::set<std::string>(rec.defined_names.begin(), rec.defined_names.end());
+    st->extern_refs =
+        std::set<std::string>(rec.extern_refs.begin(), rec.extern_refs.end());
+  }
+  st->stats = ModuleStats{};
+  st->hints = IncrementalHints{};
+  st->result = PipelineResult{};
+  st->result.findings = std::move(findings);
+  return true;
+}
+
+bool AnalysisSession::SaveStore(const std::string& path, std::string* err) const {
+  const bool converged = linked_ever_ && link_stats_.converged;
+  return WriteStoreFile(path, BuildStoreSnapshot(linked_ever_, converged), err);
+}
+
+bool AnalysisSession::LoadStore(const std::string& path, std::string* err) {
+  StoreFile sf;
+  if (!ReadStoreFile(path, &sf, err)) {
+    return false;
+  }
+  if (sf.corpus_digest != CorpusDigest()) {
+    SetErr(err, "store '" + path + "' has a stale corpus digest (the analysis recipe changed)");
+    return false;
+  }
+  // Validate everything up front: LoadStore either restores or leaves the
+  // session untouched — never half-warm.
+  std::vector<FuncSummary> rows;
+  rows.reserve(sf.summaries.size());
+  for (const auto& [key, canon] : sf.summaries) {
+    FuncSummary s;
+    if (!ParseSummaryRow(key, canon, &s, err)) {
+      return false;
+    }
+    rows.push_back(std::move(s));
+  }
+  for (const auto& [name, rec] : sf.modules) {
+    (void)name;
+    std::vector<Finding> scratch;
+    if (rec.analyzed && rec.ok && !ParseFindings(rec, &scratch, err)) {
+      return false;
+    }
+  }
+
+  for (const auto& [name, rec] : sf.modules) {
+    auto it = modules_.find(name);
+    if (it != modules_.end()) {
+      ModuleState* st = it->second.get();
+      if (SourcesDigest(FilePairs(st->files)) != rec.source_digest) {
+        // The session already holds *newer* sources: keep them (and the
+        // dirty bit), but adopt the record's link-name sets when the
+        // session has none — that is the edge structure an in-process
+        // session would remember from the pre-edit analysis, and it is
+        // what scopes the next RunLinked's retraction component.
+        if (rec.has_link_names && !st->have_link_names) {
+          st->have_link_names = true;
+          st->defined_names =
+              std::set<std::string>(rec.defined_names.begin(), rec.defined_names.end());
+          st->extern_refs =
+              std::set<std::string>(rec.extern_refs.begin(), rec.extern_refs.end());
+        }
+        continue;
+      }
+      if (!st->dirty) {
+        continue;  // already warm in memory; its state is richer than ours
+      }
+    }
+    if (!rec.analyzed) {
+      // Stored mid-edit: sources only, analyzes cold.
+      if (it == modules_.end()) {
+        std::vector<SourceFile> files;
+        for (const auto& [fname, text] : rec.files) {
+          files.push_back(SourceFile{fname, text});
+        }
+        AddModule(name, std::move(files));
+      }
+      continue;
+    }
+    if (!ImportStoreRecord(rec, err)) {
+      return false;
+    }
+  }
+
+  link_table_ = AnnoDb();
+  for (FuncSummary& s : rows) {
+    link_table_.AddSummary(std::move(s));
+  }
+  linked_ever_ = sf.linked;
+  link_stats_ = LinkStats{};
+  link_stats_.converged = sf.linked && sf.converged;
+  link_stats_.summary_rows = static_cast<int>(link_table_.summaries().size());
+  link_conflicts_.clear();
+  if (sf.linked) {
+    // Rebuilds link_conflicts_ and re-derives the corpus stack facts from
+    // the loaded rows — idempotent on a converged table (the facts are part
+    // of the canonical rows), so a warm RunLinked sees no diff.
+    ComputeLinkStackFacts();
+    if (!sf.converged) {
+      // The store was written mid-fixpoint (a crash, a killed worker). The
+      // table is ≤ the least fixpoint but possibly mixed-round; the one
+      // safe warm start is "everything dirty": a monotone re-derivation
+      // from the retracted base converges to the same source-determined
+      // fixpoint a cold run reaches.
+      for (auto& [name, st] : modules_) {
+        (void)name;
+        st->dirty = true;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Distributed relink
+// ---------------------------------------------------------------------------
+
+SessionResult AnalysisSession::RunLinkedDistributed(const DistributedLinkOptions& opts) {
+  PrepareLinkedRun();
+  const int max_rounds = static_cast<int>(modules_.size()) * 4 + 8;
+  const std::string round_path = opts.store_path + ".round";
+  SessionResult result;
+  std::string err;
+  bool failed = false;
+
+  for (;;) {
+    if (cancel_requested()) {
+      link_stats_.cancelled = true;
+      result.cancelled = true;
+      break;
+    }
+    ++link_stats_.rounds;
+
+    std::vector<std::string> dirty_names;
+    for (auto& [name, st] : modules_) {
+      st->analyzed_now = false;
+      if (st->dirty) {
+        dirty_names.push_back(name);
+      }
+    }
+
+    if (!dirty_names.empty()) {
+      // Publish the round base. Workers read the immutable `.round`
+      // snapshot — never the live store — so every worker in a round
+      // imports the same pre-round table regardless of sibling merge
+      // order; the live store is the merge target they fold deltas into.
+      const StoreFile base = BuildStoreSnapshot(/*linked=*/true, /*converged=*/false);
+      if (!WriteStoreFile(opts.store_path, base, &err) ||
+          !WriteStoreFile(round_path, base, &err)) {
+        failed = true;
+        break;
+      }
+
+      // Deterministic assignment: round-robin over the sorted dirty list.
+      // Byte-identity across worker counts is a tested property, so the
+      // assignment is a performance choice, not a correctness one.
+      const int nworkers =
+          std::min<int>(std::max(1, opts.workers), static_cast<int>(dirty_names.size()));
+      std::vector<std::vector<std::string>> shards(static_cast<size_t>(nworkers));
+      for (size_t i = 0; i < dirty_names.size(); ++i) {
+        shards[i % static_cast<size_t>(nworkers)].push_back(dirty_names[i]);
+      }
+
+      if (opts.run_worker) {
+        std::vector<std::future<std::pair<bool, std::string>>> futures;
+        futures.reserve(shards.size());
+        for (const std::vector<std::string>& shard : shards) {
+          futures.push_back(std::async(std::launch::async, [&opts, shard] {
+            std::string werr;
+            bool ok = opts.run_worker(shard, &werr);
+            return std::make_pair(ok, werr);
+          }));
+        }
+        for (auto& f : futures) {
+          auto [ok, werr] = f.get();
+          if (!ok && !failed) {
+            failed = true;
+            err = werr;
+          }
+        }
+      } else {
+        std::vector<Subprocess> procs(shards.size());
+        for (size_t s = 0; s < shards.size(); ++s) {
+          std::string mods;
+          for (const std::string& m : shards[s]) {
+            if (!mods.empty()) {
+              mods += ',';
+            }
+            mods += m;
+          }
+          std::vector<std::string> argv = {opts.worker_argv0, "--worker",
+                                           "--store", opts.store_path,
+                                           "--modules", mods};
+          if (!SpawnProcess(argv, &procs[s], &err)) {
+            failed = true;
+            break;
+          }
+        }
+        // Join every spawned worker even after a failure — no zombies, and
+        // the store is quiescent before we decide anything.
+        for (Subprocess& p : procs) {
+          if (p.pid < 0) {
+            continue;
+          }
+          std::string werr;
+          if (!WaitProcess(&p, &werr) && !failed) {
+            failed = true;
+            err = werr;
+          }
+        }
+      }
+      if (failed) {
+        break;
+      }
+
+      StoreFile merged;
+      if (!ReadStoreFile(opts.store_path, &merged, &err)) {
+        failed = true;
+        break;
+      }
+      LinkTableSnapshot before = SnapshotLinkTable();
+      for (const std::string& name : dirty_names) {
+        auto rec = merged.modules.find(name);
+        if (rec == merged.modules.end() || !rec->second.analyzed) {
+          err = "worker produced no result for module '" + name + "'";
+          failed = true;
+          break;
+        }
+        if (!ImportStoreRecord(rec->second, &err)) {
+          failed = true;
+          break;
+        }
+        modules_[name]->analyzed_now = true;
+        link_table_.RetractModule(name);
+        for (auto it = merged.summaries.lower_bound({name, std::string()});
+             it != merged.summaries.end() && it->first.first == name; ++it) {
+          FuncSummary s;
+          if (!ParseSummaryRow(it->first, it->second, &s, &err)) {
+            failed = true;
+            break;
+          }
+          link_table_.AddSummary(std::move(s));
+        }
+        if (failed) {
+          break;
+        }
+      }
+      if (failed) {
+        break;
+      }
+      link_stats_.module_analyses += static_cast<int>(dirty_names.size());
+      ComputeLinkStackFacts();
+      std::set<std::string> dirty = DiffLinkTable(before, SnapshotLinkTable());
+      result = MergeResult(false);
+      if (dirty.empty()) {
+        link_stats_.converged = true;
+        break;
+      }
+      for (const std::string& m : dirty) {
+        Invalidate(m);
+      }
+      if (link_stats_.rounds >= max_rounds) {
+        break;
+      }
+      continue;
+    }
+
+    // Idle round (warm start, or nothing changed): mirror the in-process
+    // round shape — recompute stack facts, diff, converge on no change.
+    LinkTableSnapshot before = SnapshotLinkTable();
+    ComputeLinkStackFacts();
+    std::set<std::string> dirty = DiffLinkTable(before, SnapshotLinkTable());
+    result = MergeResult(false);
+    if (dirty.empty()) {
+      link_stats_.converged = true;
+      break;
+    }
+    for (const std::string& m : dirty) {
+      Invalidate(m);
+    }
+    if (link_stats_.rounds >= max_rounds) {
+      break;
+    }
+  }
+
+  if (failed) {
+    result = MergeResult(false);
+    Finding f;
+    f.tool = "session";
+    f.severity = FindingSeverity::kError;
+    f.message = "distributed relink failed: " + err;
+    result.findings.push_back(std::move(f));
+  }
+  FinishLinkedRun(max_rounds, &result);
+
+  // Persist the outcome (converged or resumable-unconverged) and drop the
+  // round snapshot. A failure to write is reported but does not poison the
+  // in-memory result.
+  std::string werr;
+  if (!result.cancelled && !SaveStore(opts.store_path, &werr)) {
+    Finding f;
+    f.tool = "session";
+    f.severity = FindingSeverity::kError;
+    f.message = "distributed relink: cannot write store: " + werr;
+    result.findings.push_back(std::move(f));
+  }
+  std::remove(round_path.c_str());
+  return result;
+}
+
+bool AnalysisSession::RunStoreWorker(Pipeline pipeline, const std::string& store_path,
+                                     const std::vector<std::string>& modules,
+                                     std::string* err) {
+  StoreFile round;
+  if (!ReadStoreFile(store_path + ".round", &round, err)) {
+    return false;
+  }
+  AnalysisSession session(std::move(pipeline));
+  if (session.CorpusDigest() != round.corpus_digest) {
+    SetErr(err, "round snapshot has a different corpus digest");
+    return false;
+  }
+  // Only the assigned shard is registered; the rest of the corpus is
+  // visible solely through the summary table — which is the whole point of
+  // summary-based linking (a worker's memory footprint is its shard).
+  for (const std::string& name : modules) {
+    auto it = round.modules.find(name);
+    if (it == round.modules.end()) {
+      SetErr(err, "module '" + name + "' is not in the round snapshot");
+      return false;
+    }
+    std::vector<SourceFile> files;
+    for (const auto& [fname, text] : it->second.files) {
+      files.push_back(SourceFile{fname, text});
+    }
+    session.AddModule(name, std::move(files));
+  }
+  for (const auto& [key, canon] : round.summaries) {
+    FuncSummary s;
+    if (!ParseSummaryRow(key, canon, &s, err)) {
+      return false;
+    }
+    session.link_table_.AddSummary(std::move(s));
+  }
+
+  // Plain Run(), not RunLinked: the coordinator owns the fixpoint; a worker
+  // contributes exactly one round's worth of analysis. Cold re-analysis is
+  // exact by the determinism contract.
+  SessionResult r = session.Run();
+  if (r.cancelled) {
+    SetErr(err, "worker run was cancelled");
+    return false;
+  }
+
+  // Build the delta: this shard's records + fresh summary rows.
+  StoreFile snap = session.BuildStoreSnapshot(/*linked=*/false, /*converged=*/false);
+  std::map<std::string, StoreModule> records;
+  std::map<std::pair<std::string, std::string>, std::string> rows;
+  for (const std::string& name : modules) {
+    auto rec = snap.modules.find(name);
+    if (rec == snap.modules.end()) {
+      SetErr(err, "internal: no snapshot record for '" + name + "'");
+      return false;
+    }
+    records.emplace(name, std::move(rec->second));
+    ModuleState* st = session.modules_.find(name)->second.get();
+    for (const FuncSummary& row : session.ExtractSummaries(name, *st)) {
+      rows[{row.module, row.function}] = row.Canonical();
+    }
+  }
+
+  // Merge into the live store under the advisory lock: replace our own
+  // records and our modules' summary rows, leave everything else (sibling
+  // deltas included) untouched, write-temp + rename.
+  StoreLock lock;
+  if (!lock.Acquire(store_path, err)) {
+    return false;
+  }
+  StoreFile cur;
+  if (!ReadStoreFile(store_path, &cur, err)) {
+    return false;
+  }
+  for (auto& [name, rec] : records) {
+    for (auto it = cur.summaries.lower_bound({name, std::string()});
+         it != cur.summaries.end() && it->first.first == name;) {
+      it = cur.summaries.erase(it);
+    }
+    cur.modules[name] = std::move(rec);
+  }
+  for (auto& [key, canon] : rows) {
+    cur.summaries[key] = std::move(canon);
+  }
+  return WriteStoreFile(store_path, cur, err);
+}
+
+}  // namespace ivy

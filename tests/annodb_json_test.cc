@@ -1,9 +1,13 @@
 // Tests for the §3.2 annotation repository and its JSON substrate.
+#include <cstdint>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "src/annodb/annodb.h"
 #include "src/driver/compiler.h"
 #include "src/support/json.h"
+#include "src/support/rng.h"
 #include "src/tool/analysis_context.h"
 #include "src/tool/pipeline.h"
 
@@ -64,6 +68,70 @@ TEST(Json, EscapesInDump) {
   std::string text = j.Dump(-1);
   std::string err;
   EXPECT_EQ(Json::Parse(text, &err).AsString(), "tab\there \"quoted\"\n");
+}
+
+// ---------------------------------------------------------------------------
+// \u escape decoding (the strtol-truncation bugfix): hex is validated, code
+// points come out as real UTF-8, surrogate pairs combine, and every malformed
+// escape is a parse error — not silent garbage.
+// ---------------------------------------------------------------------------
+
+TEST(Json, UnicodeEscapeDecodesToUtf8) {
+  std::string err;
+  EXPECT_EQ(Json::Parse("\"\\u00e9\"", &err).AsString(), "\xc3\xa9");  // é
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(Json::Parse("\"\\u0041\"", &err).AsString(), "A");
+  EXPECT_EQ(Json::Parse("\"\\u4e2d\"", &err).AsString(), "\xe4\xb8\xad");  // 中
+  // Control characters (what the writer itself emits as \u00XX).
+  EXPECT_EQ(Json::Parse("\"\\u0007\"", &err).AsString(), "\x07");
+  EXPECT_EQ(Json::Parse("\"\\u0000\"", &err).AsString(), std::string(1, '\0'));
+}
+
+TEST(Json, SurrogatePairsCombine) {
+  std::string err;
+  // U+1F600 as \ud83d\ude00 -> 4-byte UTF-8.
+  EXPECT_EQ(Json::Parse("\"\\ud83d\\ude00\"", &err).AsString(), "\xf0\x9f\x98\x80");
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(Json, MalformedUnicodeEscapesAreErrors) {
+  // Before the fix: "\u12" decoded as garbage, "\uZZZZ" as code point 0,
+  // and a truncated escape was swallowed. All must Fail() now.
+  for (const char* bad : {
+           "\"\\u12\"",          // truncated hex
+           "\"\\u\"",            // no hex at all
+           "\"\\uZZZZ\"",        // non-hex digits
+           "\"\\u00g1\"",        // one bad digit
+           "\"\\ud83d\"",        // lone high surrogate
+           "\"\\ud83dx\"",       // high surrogate, no \u follows
+           "\"\\ud83d\\u0041\"", // high surrogate + non-low-surrogate
+           "\"\\ude00\"",        // lone low surrogate
+           "\"\\q\"",            // unknown escape
+           "\"\\u123",           // EOF inside the escape
+       }) {
+    std::string err;
+    Json::Parse(bad, &err);
+    EXPECT_FALSE(err.empty()) << "accepted: " << bad;
+  }
+}
+
+TEST(Json, WriterEscapeRoundTripsArbitraryBytes) {
+  // Seeded fuzz: any byte string the writer escapes must parse back to the
+  // same bytes (the writer emits \u00XX for control characters, so this
+  // exercises the new decoder on every round).
+  Rng rng(0x5eed);
+  for (int round = 0; round < 200; ++round) {
+    std::string s;
+    const int len = static_cast<int>(rng.Below(40));
+    for (int i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng.Below(256)));
+    }
+    std::string text = Json::MakeString(s).Dump(-1);
+    std::string err;
+    Json back = Json::Parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err << " for " << text;
+    EXPECT_EQ(back.AsString(), s);
+  }
 }
 
 const char* kSmallKernel = R"(
@@ -158,6 +226,62 @@ TEST(AnnoDb, MergeSelfIsIdempotentForPipelineExports) {
   size_t baseline = first.findings().size();
   first.Merge(second);
   EXPECT_EQ(first.findings().size(), baseline);
+}
+
+// ---------------------------------------------------------------------------
+// Strict param_points indices (the atoi-aliasing bugfix): a malformed key
+// rejects the row with a diagnostic instead of corrupting parameter 0.
+// ---------------------------------------------------------------------------
+
+std::string UsageRowWithKey(const std::string& key) {
+  return std::string(R"({"summaries": [{"module": "net", "function": "recv", )") +
+         R"("defined": false, "param_points": {")" + key + R"(": ["heap"]}}]})";
+}
+
+TEST(AnnoDb, MalformedParamPointsKeyRejectsRow) {
+  for (const char* bad : {"abc", "01", "7x", " 3", "-1", "", "99999"}) {
+    std::string err;
+    Json j = Json::Parse(UsageRowWithKey(bad), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    std::vector<std::string> errors;
+    AnnoDb db = AnnoDb::FromJson(j, &errors);
+    EXPECT_EQ(db.summaries().size(), 0u) << "row with key '" << bad << "' loaded";
+    ASSERT_EQ(errors.size(), 1u) << "no diagnostic for key '" << bad << "'";
+    EXPECT_NE(errors[0].find("param_points"), std::string::npos) << errors[0];
+    EXPECT_NE(errors[0].find("net:recv"), std::string::npos) << errors[0];
+  }
+}
+
+TEST(AnnoDb, WellFormedParamPointsKeyLoads) {
+  std::string err;
+  Json j = Json::Parse(UsageRowWithKey("3"), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  std::vector<std::string> errors;
+  AnnoDb db = AnnoDb::FromJson(j, &errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(db.summaries().size(), 1u);
+  const FuncSummary& s = db.summaries().begin()->second;
+  ASSERT_EQ(s.param_points.count(3), 1u);
+  EXPECT_EQ(s.param_points.at(3), std::vector<std::string>({"heap"}));
+  EXPECT_EQ(s.param_points.count(0), 0u) << "index 3 must not alias onto 0";
+}
+
+TEST(AnnoDb, StrictRowFailureDoesNotAbortSiblings) {
+  // One bad row in a list must not take the good ones down with it.
+  std::string text =
+      R"({"summaries": [)"
+      R"({"module": "a", "function": "ok1", "defined": false},)"
+      R"({"module": "a", "function": "bad", "defined": false, "param_points": {"x": []}},)"
+      R"({"module": "a", "function": "ok2", "defined": false}]})";
+  std::string err;
+  Json j = Json::Parse(text, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  std::vector<std::string> errors;
+  AnnoDb db = AnnoDb::FromJson(j, &errors);
+  EXPECT_EQ(db.summaries().size(), 2u);
+  EXPECT_EQ(db.summaries().count({"a", "ok1"}), 1u);
+  EXPECT_EQ(db.summaries().count({"a", "ok2"}), 1u);
+  ASSERT_EQ(errors.size(), 1u);
 }
 
 TEST(AnnoDb, ApplyAttributesEnablesAnalysis) {

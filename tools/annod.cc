@@ -19,6 +19,7 @@
 #include <string>
 
 #include "src/server/server.h"
+#include "src/support/numbers.h"
 #include "tools/synth_common.h"
 
 namespace {
@@ -26,7 +27,8 @@ namespace {
 void Usage() {
   std::fprintf(stderr,
                "usage: annod --listen <unix:/path | host:port>\n"
-               "             [--synth M:N[:seed]] [--corpus <name>] [--retain <epochs>]\n");
+               "             [--synth M:N[:seed]] [--corpus <name>] [--retain <epochs>]\n"
+               "             [--store-dir <dir>]\n");
 }
 
 }  // namespace
@@ -35,6 +37,7 @@ int main(int argc, char** argv) {
   std::string listen;
   std::string synth_spec;
   std::string corpus = "synth";
+  std::string store_dir;
   int retain = 8;
 
   for (int i = 1; i < argc; ++i) {
@@ -69,11 +72,23 @@ int main(int argc, char** argv) {
       if (v == nullptr) {
         return 1;
       }
-      retain = std::atoi(v);
-      if (retain < 1) {
-        std::fprintf(stderr, "annod: --retain must be >= 1\n");
+      // atoi accepted "8abc" as 8 and "abc" as 0; a ring of size 0 would
+      // evict every epoch the moment it publishes.
+      int64_t r = 0;
+      if (!ivy::ParseInt64Strict(v, 1, 1 << 20, &r)) {
+        std::fprintf(stderr,
+                     "annod: --retain wants an integer in [1, %d], got '%s'\n",
+                     1 << 20, v);
+        Usage();
         return 1;
       }
+      retain = static_cast<int>(r);
+    } else if (arg == "--store-dir") {
+      const char* v = next("--store-dir");
+      if (v == nullptr) {
+        return 1;
+      }
+      store_dir = v;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -91,6 +106,7 @@ int main(int argc, char** argv) {
   ivy::AnnodServer::Options opts;
   opts.pipeline = ivy::SynthServePipeline().Build();
   opts.epoch_retain = retain;
+  opts.store_dir = store_dir;  // per-corpus warm start across restarts
   ivy::AnnodServer server(std::move(opts));
 
   if (!synth_spec.empty()) {

@@ -10,6 +10,8 @@
 //                                                     # deterministic synth corpus
 //   annodb-query --from-synth 4:40 --dump-module mod_01   # print that module's
 //                                                         # generated source
+//   annodb-query --store corpus.store --summaries     # raw view of a
+//                                                     # persistent store file
 //
 // Connected mode (talks to a running annod over the framed wire protocol;
 // every request is encoded through the same AnnodClient library the server
@@ -34,6 +36,7 @@
 // or its message quotes it ('name') — FindingQuery in src/tool/finding.h,
 // shared with the server's query handler. Exit code: 0 on success (matches
 // or none), 1 on usage/parse/connection errors.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -47,6 +50,8 @@
 #include "src/kernel/corpus.h"
 #include "src/server/client.h"
 #include "src/server/epoch.h"
+#include "src/store/store.h"
+#include "src/support/numbers.h"
 #include "src/tool/session.h"
 #include "tools/synth_common.h"
 
@@ -58,6 +63,7 @@ void Usage() {
       "usage: annodb-query [<db.json>|-|--from-kernel|--from-synth M:N[:seed]]\n"
       "                    [--function <name>] [--tool <tool>] [--module <module>]\n"
       "                    [--summaries]\n"
+      "       annodb-query --store <path.store> [query flags above] [--summaries]\n"
       "       annodb-query --connect <unix:/path|host:port> --corpus <name>\n"
       "                    [query flags above] [--epoch <id>] [--sync] [--stats]\n"
       "                    [--open] [--upsert <module> --with-file <path>]\n"
@@ -157,6 +163,7 @@ struct Args {
   bool summaries = false;
   std::string from_synth;
   std::string dump_module;
+  std::string store_path;
 
   std::string connect;
   std::string corpus = "synth";
@@ -402,6 +409,74 @@ int RunFromSynth(const Args& a) {
   return 0;
 }
 
+// Raw viewer over a persistent store file (src/store/store.h) — what annod
+// --store-dir and annolink write. No analysis: the file's own facts are
+// decoded and rendered through the same row/finding printers, findings
+// stamped with their record's module name.
+int RunFromStore(const Args& a) {
+  ivy::StoreFile sf;
+  std::string err;
+  if (!ivy::ReadStoreFile(a.store_path, &sf, &err)) {
+    std::fprintf(stderr, "annodb-query: %s\n", err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "store %s: corpus_digest=%016llx linked=%d converged=%d modules=%zu\n",
+               a.store_path.c_str(),
+               static_cast<unsigned long long>(sf.corpus_digest), sf.linked ? 1 : 0,
+               sf.converged ? 1 : 0, sf.modules.size());
+
+  if (a.summaries) {
+    int rows = 0;
+    for (const auto& [key, canon] : sf.summaries) {
+      if (!a.function.empty() && key.second != a.function) {
+        continue;
+      }
+      if (!a.module.empty() && key.first != a.module) {
+        continue;
+      }
+      std::string perr;
+      ivy::Json j = ivy::Json::Parse(canon, &perr);
+      if (!perr.empty()) {
+        std::fprintf(stderr, "annodb-query: bad summary row in store: %s\n", perr.c_str());
+        return 1;
+      }
+      ++rows;
+      PrintSummaryRow(key.first, key.second, ivy::FuncSummary::FromJson(j));
+    }
+    PrintSummariesTrailer(rows, sf.summaries.size());
+  }
+
+  ivy::FindingQuery q;
+  q.function = a.function;
+  q.tool = a.tool;
+  q.module = a.module;
+  int matches = 0;
+  size_t total = 0;
+  for (const auto& [name, rec] : sf.modules) {
+    if (!rec.analyzed || !rec.ok) {
+      continue;
+    }
+    for (const std::string& canon : rec.findings_canon) {
+      std::string perr;
+      ivy::Json j = ivy::Json::Parse(canon, &perr);
+      if (!perr.empty()) {
+        std::fprintf(stderr, "annodb-query: bad finding in store: %s\n", perr.c_str());
+        return 1;
+      }
+      ivy::Finding f = ivy::Finding::FromJson(j);
+      f.module = name;  // store records cache unstamped findings
+      ++total;
+      if (!q.Matches(f)) {
+        continue;
+      }
+      ++matches;
+      PrintFinding(f);
+    }
+  }
+  PrintFindingsTrailer(matches, total, a.function, a.tool, a.module);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -436,6 +511,8 @@ int main(int argc, char** argv) {
       if (!want("--from-synth", &a.from_synth)) return 1;
     } else if (arg == "--dump-module") {
       if (!want("--dump-module", &a.dump_module)) return 1;
+    } else if (arg == "--store") {
+      if (!want("--store", &a.store_path)) return 1;
     } else if (arg == "--summaries") {
       a.summaries = true;
     } else if (arg == "--connect") {
@@ -445,7 +522,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--epoch") {
       const char* v = next("--epoch");
       if (v == nullptr) return 1;
-      a.epoch = std::strtoull(v, nullptr, 10);
+      int64_t e = 0;
+      if (!ivy::ParseInt64Strict(v, 1, INT64_MAX, &e)) {
+        std::fprintf(stderr, "annodb-query: bad --epoch '%s' (want a positive integer)\n", v);
+        Usage();
+        return 1;
+      }
+      a.epoch = static_cast<uint64_t>(e);
     } else if (arg == "--sync") {
       a.sync = true;
     } else if (arg == "--stats") {
@@ -476,6 +559,9 @@ int main(int argc, char** argv) {
 
   if (!a.connect.empty()) {
     return RunConnected(a);
+  }
+  if (!a.store_path.empty()) {
+    return RunFromStore(a);
   }
   if (!a.from_synth.empty()) {
     return RunFromSynth(a);
