@@ -15,6 +15,9 @@
 
 #include "src/analysis/callgraph.h"
 #include "src/analysis/pointsto.h"
+#include "src/bc/bytecode.h"
+#include "src/bc/compile.h"
+#include "src/bc/verify.h"
 #include "src/blockstop/blockstop.h"
 #include "src/errcheck/errcheck.h"
 #include "src/kernel/corpus.h"
@@ -692,6 +695,161 @@ ivy::Json StoreBenchJson(const std::string& out_path) {
   return st;
 }
 
+// ---------------------------------------------------------------------------
+// vm: the tree-walking interpreter vs the ivybc bytecode VM on the two
+// VM-bound workloads (bench_ccount_overhead's hot CCount run and the hbench
+// deputy shapes). Wall-clock covers the hot calls only — one booted VM per
+// side, boot/hb_setup outside the timed region — and every configuration is
+// first FATAL-checked result-identical between the interpreters (per-call
+// ok/value/trap/cycles/steps plus final machine cycles/steps/log): a faster
+// but diverging interpreter must never post a number.
+// ---------------------------------------------------------------------------
+
+struct VmCallSpec {
+  const char* fn;
+  std::vector<int64_t> args;
+};
+
+// Boots a fresh machine, runs the hot calls once, and renders every
+// observable into one string — what the tree/bytecode identity check diffs.
+std::string VmRunSignature(ivy::Machine& vm, const std::vector<VmCallSpec>& hot) {
+  std::string sig;
+  auto add = [&sig](const char* fn, const ivy::VmResult& r) {
+    sig += fn;
+    sig += ":ok=" + std::to_string(r.ok ? 1 : 0);
+    sig += ",value=" + std::to_string(r.value);
+    sig += ",trap=" + std::string(ivy::TrapKindName(r.trap));
+    sig += ",msg=" + r.trap_msg;
+    sig += ",cycles=" + std::to_string(r.cycles);
+    sig += ",steps=" + std::to_string(r.steps);
+    sig += ";";
+  };
+  add("boot_kernel", vm.Call("boot_kernel", {2}));
+  add("hb_setup", vm.Call("hb_setup"));
+  for (const VmCallSpec& c : hot) {
+    add(c.fn, vm.Call(c.fn, c.args));
+  }
+  sig += "|cycles=" + std::to_string(vm.cycles());
+  sig += "|steps=" + std::to_string(vm.steps());
+  sig += "|log=" + vm.log();
+  return sig;
+}
+
+ivy::Json VmWorkloadJson(const char* label, const ivy::ToolConfig& cfg,
+                         const std::vector<VmCallSpec>& hot, double* speedup_out) {
+  auto comp = ivy::CompileKernel(cfg);
+  if (!comp->ok) {
+    std::fprintf(stderr, "FATAL: vm bench kernel (%s) failed to compile\n", label);
+    std::abort();
+  }
+
+  std::string err;
+  std::shared_ptr<const ivy::BcModule> bc;
+  double compile_ms = MedianMs([&comp, &bc, &err, label] {
+    bc = ivy::CompileToBc(comp->module, &err);
+    if (bc == nullptr) {
+      std::fprintf(stderr, "FATAL: vm bench (%s) CompileToBc: %s\n", label, err.c_str());
+      std::abort();
+    }
+  });
+  if (!ivy::VerifyBcModule(*bc, &err)) {
+    std::fprintf(stderr, "FATAL: vm bench (%s) image fails verification: %s\n", label,
+                 err.c_str());
+    std::abort();
+  }
+  int64_t image_bytes = static_cast<int64_t>(ivy::EncodeBcImage(*bc).size());
+
+  // Identity before any timing.
+  {
+    auto tree = ivy::MakeVm(*comp);
+    auto fast = ivy::MakeBcVm(*comp, ivy::VmConfig{}, bc);
+    if (VmRunSignature(*tree, hot) != VmRunSignature(*fast, hot)) {
+      std::fprintf(stderr, "FATAL: vm bench (%s): bytecode VM diverges from tree VM\n",
+                   label);
+      std::abort();
+    }
+  }
+
+  // One booted VM per side; the timed region is the hot calls only.
+  auto time_hot = [&hot, label](ivy::Machine& vm, int64_t* pass_cycles) {
+    if (!vm.Call("boot_kernel", {2}).ok || !vm.Call("hb_setup").ok) {
+      std::fprintf(stderr, "FATAL: vm bench (%s) boot trapped\n", label);
+      std::abort();
+    }
+    return MedianMs(
+        [&vm, &hot, pass_cycles, label] {
+          int64_t before = vm.cycles();
+          for (const VmCallSpec& c : hot) {
+            ivy::VmResult r = vm.Call(c.fn, c.args);
+            if (!r.ok) {
+              std::fprintf(stderr, "FATAL: vm bench (%s) %s trapped: %s\n", label, c.fn,
+                           r.trap_msg.c_str());
+              std::abort();
+            }
+            benchmark::DoNotOptimize(r.value);
+          }
+          *pass_cycles = vm.cycles() - before;
+        },
+        5);
+  };
+
+  auto tree = ivy::MakeVm(*comp);
+  int64_t tree_cycles = 0;
+  double tree_ms = time_hot(*tree, &tree_cycles);
+
+  auto fast = ivy::MakeBcVm(*comp, ivy::VmConfig{}, bc);
+  int64_t bc_cycles = 0;
+  double bc_ms = time_hot(*fast, &bc_cycles);
+
+  double speedup = bc_ms > 0 ? tree_ms / bc_ms : 0;
+  if (speedup_out != nullptr) {
+    *speedup_out = speedup;
+  }
+
+  ivy::Json w = ivy::Json::MakeObject();
+  w["tree_us"] = ivy::Json::MakeInt(static_cast<int64_t>(tree_ms * 1000));
+  w["bytecode_us"] = ivy::Json::MakeInt(static_cast<int64_t>(bc_ms * 1000));
+  w["tree_cycles_per_sec"] =
+      ivy::Json::MakeInt(static_cast<int64_t>(tree_cycles / (tree_ms / 1000.0)));
+  w["bytecode_cycles_per_sec"] =
+      ivy::Json::MakeInt(static_cast<int64_t>(bc_cycles / (bc_ms / 1000.0)));
+  w["speedup"] = ivy::Json::MakeDouble(speedup);
+  w["bc_compile_us"] = ivy::Json::MakeInt(static_cast<int64_t>(compile_ms * 1000));
+  w["image_bytes"] = ivy::Json::MakeInt(image_bytes);
+  w["identical_to_tree"] = ivy::Json::MakeBool(true);
+  std::fprintf(stderr,
+               "BENCH vm %s: tree=%.1fms bytecode=%.1fms speedup=%.1fx "
+               "(compile=%.1fms, image=%lld bytes)\n",
+               label, tree_ms, bc_ms, speedup, compile_ms,
+               static_cast<long long>(image_bytes));
+  return w;
+}
+
+ivy::Json VmBenchJson() {
+  // bench_ccount_overhead's hot workload: refcounted pointer-store traffic.
+  ivy::ToolConfig ccount;
+  ccount.deputy = false;
+  ccount.ccount = true;
+  double ccount_speedup = 0;
+  ivy::Json ccount_j = VmWorkloadJson(
+      "ccount", ccount, {{"hb_lat_proc", {160}}, {"hb_mod_load", {80}}}, &ccount_speedup);
+
+  // The hbench deputy shapes: surviving run-time checks, no refcounting.
+  ivy::ToolConfig deputy;
+  ivy::Json hbench_j = VmWorkloadJson(
+      "hbench", deputy,
+      {{"hb_lat_proc", {120}}, {"hb_lat_syscall", {600}}, {"hb_bw_pipe", {24}}}, nullptr);
+
+  ivy::Json vm = ivy::Json::MakeObject();
+  vm["ccount_workload"] = std::move(ccount_j);
+  vm["hbench_workload"] = std::move(hbench_j);
+  if (ccount_speedup < 10.0) {
+    std::fprintf(stderr, "WARNING: bytecode VM speedup %.1fx below the 10x target\n",
+                 ccount_speedup);
+  }
+  return vm;
+}
+
 void WriteBenchPipelineJson() {
   const char* out_path = std::getenv("BENCH_PIPELINE_OUT");
   if (out_path == nullptr || out_path[0] == '\0') {
@@ -873,6 +1031,7 @@ void WriteBenchPipelineJson() {
   j["linked"] = std::move(linked_j);
   j["server"] = ServerBenchJson();
   j["store"] = StoreBenchJson(out_path);
+  j["vm"] = VmBenchJson();
 
   std::string path = out_path;
   std::ofstream out(path);

@@ -10,13 +10,28 @@
 
 namespace {
 
+void ReportTrap(const ivy::Compilation& comp, const char* fn, const ivy::VmResult& r) {
+  std::fprintf(stderr, "bench_ccount: %s trapped: %s: %s at %s\n", fn,
+               ivy::TrapKindName(r.trap), r.trap_msg.c_str(),
+               comp.sm.Render(r.trap_loc).c_str());
+}
+
 int64_t Measure(const ivy::Compilation& comp, const char* fn, std::vector<int64_t> args) {
   auto vm = ivy::MakeVm(comp);
-  if (!vm->Call("boot_kernel", {2}).ok || !vm->Call("hb_setup").ok) {
+  ivy::VmResult boot = vm->Call("boot_kernel", {2});
+  if (!boot.ok) {
+    ReportTrap(comp, "boot_kernel", boot);
+    return -1;
+  }
+  ivy::VmResult setup = vm->Call("hb_setup");
+  if (!setup.ok) {
+    ReportTrap(comp, "hb_setup", setup);
     return -1;
   }
   int64_t before = vm->cycles();
-  if (!vm->Call(fn, args).ok) {
+  ivy::VmResult r = vm->Call(fn, args);
+  if (!r.ok) {
+    ReportTrap(comp, fn, r);
     return -1;
   }
   return vm->cycles() - before;
@@ -55,12 +70,14 @@ int main() {
   std::printf("E2: CCount overheads (paper: UP fork 19%% / modload 8%%; SMP 63%% / 12%%)\n");
   std::printf("------------------------------------------------------------------------\n");
   std::printf("  Benchmark        base cycles   UP overhead   SMP overhead   paper UP/SMP\n");
+  int failures = 0;
   for (const Row& row : rows) {
     int64_t b = Measure(*cbase, row.fn, row.args);
     int64_t u = Measure(*cup, row.fn, row.args);
     int64_t s = Measure(*csmp, row.fn, row.args);
     if (b <= 0 || u <= 0 || s <= 0) {
       std::printf("  %-16s FAILED\n", row.name);
+      ++failures;
       continue;
     }
     double up_ov = static_cast<double>(u - b) / static_cast<double>(b);
@@ -72,5 +89,9 @@ int main() {
   std::printf(
       "\nShape check: fork overhead >> module-loading overhead, and SMP >> UP on fork\n"
       "(locked refcount updates dominate the page-table pointer-copy loop).\n");
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_ccount: %d benchmark rows failed\n", failures);
+    return 1;
+  }
   return 0;
 }

@@ -20,9 +20,15 @@ int main() {
   std::string table = ivy::FormatTable1(results);
   std::fputs(table.c_str(), stdout);
 
+  int failures = 0;
   double bw_max = 0;
   double lat_max = 0;
   for (const ivy::HbenchResult& r : results) {
+    if (r.base_cycles <= 0 || r.tool_cycles <= 0) {
+      // MeasureCycles already printed the trap kind/location to stderr.
+      std::fprintf(stderr, "bench_table1: %s failed to run\n", r.name.c_str());
+      ++failures;
+    }
     if (r.name.rfind("bw_", 0) == 0 && r.relative > bw_max) {
       bw_max = r.relative;
     }
@@ -35,5 +41,10 @@ int main() {
       "the surviving run-time checks (worst %.2f; paper's worst was lat_udp at 1.48).\n"
       "The deterministic VM cannot reproduce the paper's sub-1.00 noise entries.\n",
       bw_max, lat_max);
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_table1: %d of %zu benchmarks failed\n", failures,
+                 results.size());
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,70 @@
+// BcVm: the zero-allocation bytecode interpreter over the shared Machine
+// runtime (src/vm/machine.h).
+//
+// Where the tree-walking Vm allocates a register vector per call and chases
+// blocks-of-structs per instruction, BcVm runs one flat uint32_t stream with
+// persistent frame and register stacks that grow to steady state and are
+// then reused — the dispatch loop performs no allocation at all. Everything
+// observable (memory, heap, cycles, steps, traps, log, lock facts) goes
+// through Machine, so a BcVm run is result-identical to a Vm run on every
+// program; tests/bcvm_diff_test.cc holds that line.
+//
+// BcVm trusts its module: construct it only from CompileToBc output or a
+// decoded image that passed VerifyBcModule.
+#ifndef SRC_BC_BCVM_H_
+#define SRC_BC_BCVM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/bc/bytecode.h"
+#include "src/vm/machine.h"
+
+namespace ivy {
+
+class BcVm : public Machine {
+ public:
+  // Shared ownership: workload runs spawn one BcVm per workload function
+  // over a single compiled module.
+  BcVm(std::shared_ptr<const BcModule> module, const TypeLayoutRegistry* layouts,
+       VmConfig cfg);
+  // Non-owning: `module` must outlive the VM.
+  BcVm(const BcModule* module, const TypeLayoutRegistry* layouts, VmConfig cfg);
+
+  const BcModule& module() const { return *mod_; }
+
+ private:
+  struct BcFrame {
+    uint32_t func = 0;
+    uint32_t pc = 0;        // resume point while a callee runs
+    uint32_t reg_base = 0;  // window into regs_
+    int32_t ret_dst = -1;
+    uint64_t base = 0;      // kernel stack frame base
+    int delayed_at_entry = 0;
+  };
+
+  int64_t ExecEntry(int func_id, const std::vector<int64_t>& args) override;
+  int64_t ExecIrqHandler(int func_id, int64_t arg) override;
+
+  // Runs func_id to completion on top of whatever frames are already live
+  // (trigger_irq nests). Throws Trap; the catch in here rolls the frame and
+  // register stacks back to the entry watermark before rethrowing, leaving
+  // Machine state (stack_top_, locks, IRQ flag) dirty exactly as the tree VM
+  // does.
+  int64_t Run(int func_id, const int64_t* args, size_t nargs);
+  int64_t RunLoop(size_t watermark);
+  void PushBcFrame(int func_id, const int64_t* args, size_t nargs, int32_t ret_dst);
+  void PopBcFrame();
+
+  std::shared_ptr<const BcModule> owned_;
+  const BcModule* mod_;
+
+  std::vector<BcFrame> frames_;
+  std::vector<int64_t> regs_;
+  size_t regs_top_ = 0;
+  std::vector<int64_t> call_scratch_;
+};
+
+}  // namespace ivy
+
+#endif  // SRC_BC_BCVM_H_

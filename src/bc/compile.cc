@@ -1,0 +1,293 @@
+#include "src/bc/compile.h"
+
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace ivy {
+
+namespace {
+
+// True for IR ops after which control never falls to the next instruction —
+// everything else may need a synthesized implicit return at block end.
+bool IsTerminator(Op op) {
+  return op == Op::kRet || op == Op::kJump || op == Op::kBranch || op == Op::kTrap;
+}
+
+BcOp BinToBc(BinOp b) {
+  switch (b) {
+    case BinOp::kAdd: return BcOp::kAdd;
+    case BinOp::kSub: return BcOp::kSub;
+    case BinOp::kMul: return BcOp::kMul;
+    case BinOp::kDiv: return BcOp::kDiv;
+    case BinOp::kRem: return BcOp::kRem;
+    case BinOp::kShl: return BcOp::kShl;
+    case BinOp::kShr: return BcOp::kShr;
+    case BinOp::kLt: return BcOp::kLt;
+    case BinOp::kGt: return BcOp::kGt;
+    case BinOp::kLe: return BcOp::kLe;
+    case BinOp::kGe: return BcOp::kGe;
+    case BinOp::kEq: return BcOp::kEq;
+    case BinOp::kNe: return BcOp::kNe;
+    case BinOp::kBitAnd: return BcOp::kBitAnd;
+    case BinOp::kBitOr: return BcOp::kBitOr;
+    case BinOp::kBitXor: return BcOp::kBitXor;
+    case BinOp::kLogAnd: return BcOp::kLogAnd;
+    case BinOp::kLogOr: return BcOp::kLogOr;
+    case BinOp::kNone: break;
+  }
+  // BinOp::kNone computes 0 in the tree VM; the caller emits kConst 0.
+  return BcOp::kConst;
+}
+
+class Compiler {
+ public:
+  explicit Compiler(const IrModule& ir) : ir_(ir), bc_(std::make_shared<BcModule>()) {}
+
+  std::shared_ptr<BcModule> Run(std::string* err) {
+    bc_->string_pool = ir_.string_pool;
+    bc_->globals = ir_.globals;
+    bc_->global_inits = GlobalInitsFromModule(ir_);
+    bc_->globals_end = ir_.globals_end;
+    for (const IrFunc& fn : ir_.funcs) {
+      if (!CompileFunc(fn, err)) {
+        return nullptr;
+      }
+    }
+    return bc_;
+  }
+
+ private:
+  void Emit(BcOp op, uint8_t aux, uint16_t r0) { bc_->code.push_back(BcWord0(op, aux, r0)); }
+  void EmitWord(uint32_t w) { bc_->code.push_back(w); }
+  void EmitImm64(int64_t v) {
+    uint64_t u = static_cast<uint64_t>(v);
+    bc_->code.push_back(static_cast<uint32_t>(u));
+    bc_->code.push_back(static_cast<uint32_t>(u >> 32));
+  }
+
+  static uint16_t Reg(int32_t r) {
+    return r < 0 ? kBcNoReg : static_cast<uint16_t>(r);
+  }
+
+  uint32_t InternLoc(const SourceLoc& loc) {
+    auto key = std::make_tuple(loc.file, loc.line, loc.col);
+    auto it = loc_index_.find(key);
+    if (it != loc_index_.end()) {
+      return it->second;
+    }
+    uint32_t idx = static_cast<uint32_t>(bc_->loc_pool.size());
+    bc_->loc_pool.push_back(loc);
+    loc_index_.emplace(key, idx);
+    return idx;
+  }
+
+  // Records a run-length loc change point if `loc` differs from the one in
+  // effect, so BcModule::LocAt(pc of next instruction) recovers it.
+  void NoteLoc(const SourceLoc& loc) {
+    if (have_loc_ && loc.file == last_loc_.file && loc.line == last_loc_.line &&
+        loc.col == last_loc_.col) {
+      return;
+    }
+    have_loc_ = true;
+    last_loc_ = loc;
+    bc_->pc_locs.push_back({static_cast<uint32_t>(bc_->code.size()), InternLoc(loc)});
+  }
+
+  bool CompileFunc(const IrFunc& fn, std::string* err) {
+    BcFunc f;
+    f.name = fn.decl != nullptr ? fn.decl->name : "";
+    f.decl_loc = fn.decl != nullptr ? fn.decl->loc : SourceLoc{};
+    f.defined = fn.blocks.empty() ? 0 : 1;
+    f.entry_pc = static_cast<uint32_t>(bc_->code.size());
+    f.num_regs = static_cast<uint32_t>(fn.num_regs);
+    f.frame_size = fn.frame_size;
+    f.param_offsets = fn.param_offsets;
+    f.param_sizes = fn.param_sizes;
+    f.ptr_slots = fn.ptr_slots;
+    if (fn.num_regs >= static_cast<int>(kBcNoReg)) {
+      *err = "function '" + f.name + "' needs " + std::to_string(fn.num_regs) +
+             " registers; ivybc encodes at most 65534";
+      return false;
+    }
+
+    std::vector<uint32_t> block_pc(fn.blocks.size(), 0);
+    // (code index of the word to patch, target block id)
+    std::vector<std::pair<size_t, size_t>> fixups;
+
+    for (size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+      block_pc[bi] = static_cast<uint32_t>(bc_->code.size());
+      const Block& blk = fn.blocks[bi];
+      for (const Instr& in : blk.instrs) {
+        if (!CompileInstr(fn, in, &fixups, err)) {
+          return false;
+        }
+      }
+      if (blk.instrs.empty() || !IsTerminator(blk.instrs.back().op)) {
+        // The tree VM returns 0 when a block falls off its end; mirror that
+        // with an explicit (uncounted) instruction.
+        Emit(BcOp::kImplicitRet, 0, kBcNoReg);
+      }
+    }
+
+    for (const auto& fix : fixups) {
+      bc_->code[fix.first] = block_pc[fix.second];
+    }
+    f.code_end = static_cast<uint32_t>(bc_->code.size());
+    bc_->funcs.push_back(std::move(f));
+    return true;
+  }
+
+  bool CompileInstr(const IrFunc& fn, const Instr& in,
+                    std::vector<std::pair<size_t, size_t>>* fixups, std::string* err) {
+    NoteLoc(in.loc);
+    switch (in.op) {
+      case Op::kConst:
+        Emit(BcOp::kConst, 0, Reg(in.dst));
+        EmitImm64(in.imm);
+        break;
+      case Op::kMove:
+        Emit(BcOp::kMove, 0, Reg(in.dst));
+        EmitWord(static_cast<uint32_t>(in.a));
+        break;
+      case Op::kUn: {
+        BcOp op = in.un == UnOp::kNeg      ? BcOp::kNeg
+                  : in.un == UnOp::kLogNot ? BcOp::kLogNot
+                                           : BcOp::kBitNot;
+        Emit(op, 0, Reg(in.dst));
+        EmitWord(static_cast<uint32_t>(in.a));
+        break;
+      }
+      case Op::kBin:
+        if (in.bin == BinOp::kNone) {
+          Emit(BcOp::kConst, 0, Reg(in.dst));
+          EmitImm64(0);
+        } else {
+          Emit(BinToBc(in.bin), 0, Reg(in.dst));
+          EmitWord(static_cast<uint32_t>(in.a));
+          EmitWord(static_cast<uint32_t>(in.b));
+        }
+        break;
+      case Op::kLoad:
+        Emit(BcOp::kLoad, in.size, Reg(in.dst));
+        EmitWord(static_cast<uint32_t>(in.a));
+        break;
+      case Op::kStore:
+        Emit(BcOp::kStore, in.size, Reg(in.a));
+        EmitWord(static_cast<uint32_t>(in.b));
+        break;
+      case Op::kStorePtr:
+        Emit(BcOp::kStorePtr, 0, Reg(in.a));
+        EmitWord(static_cast<uint32_t>(in.b));
+        break;
+      case Op::kFrameAddr:
+        Emit(BcOp::kFrameAddr, 0, Reg(in.dst));
+        EmitImm64(in.imm);
+        break;
+      case Op::kGlobalAddr:
+        Emit(BcOp::kGlobalAddr, 0, Reg(in.dst));
+        EmitImm64(in.imm);
+        break;
+      case Op::kFuncConst:
+        Emit(BcOp::kFuncConst, 0, Reg(in.dst));
+        EmitWord(static_cast<uint32_t>(in.imm));
+        break;
+      case Op::kStrConst:
+        Emit(BcOp::kStrConst, 0, Reg(in.dst));
+        EmitWord(static_cast<uint32_t>(in.imm));
+        break;
+      case Op::kCall:
+      case Op::kCallInd: {
+        if (in.args.size() > 255) {
+          *err = "call in '" + (fn.decl != nullptr ? fn.decl->name : std::string("?")) +
+                 "' passes " + std::to_string(in.args.size()) +
+                 " arguments; ivybc encodes at most 255";
+          return false;
+        }
+        Emit(in.op == Op::kCall ? BcOp::kCall : BcOp::kCallInd,
+             static_cast<uint8_t>(in.args.size()), Reg(in.dst));
+        EmitWord(in.op == Op::kCall ? static_cast<uint32_t>(in.imm)
+                                    : static_cast<uint32_t>(in.a));
+        for (int32_t r : in.args) {
+          EmitWord(static_cast<uint32_t>(r));
+        }
+        break;
+      }
+      case Op::kIntrinsic: {
+        if (in.args.size() > 255) {
+          *err = "intrinsic call passes too many arguments";
+          return false;
+        }
+        Emit(BcOp::kIntrinsic, static_cast<uint8_t>(in.imm), Reg(in.dst));
+        EmitWord(InternLoc(in.loc));
+        EmitWord(static_cast<uint32_t>(in.alloc_type_id));
+        EmitWord(static_cast<uint32_t>(in.args.size()));
+        for (int32_t r : in.args) {
+          EmitWord(static_cast<uint32_t>(r));
+        }
+        break;
+      }
+      case Op::kRet:
+        Emit(BcOp::kRet, in.a >= 0 ? 1 : 0, Reg(in.a));
+        break;
+      case Op::kJump:
+        Emit(BcOp::kJump, 0, kBcNoReg);
+        fixups->push_back({bc_->code.size(), static_cast<size_t>(in.imm)});
+        EmitWord(0);
+        break;
+      case Op::kBranch:
+        Emit(BcOp::kBranch, 0, Reg(in.a));
+        fixups->push_back({bc_->code.size(), static_cast<size_t>(in.imm)});
+        EmitWord(0);
+        fixups->push_back({bc_->code.size(), static_cast<size_t>(in.imm2)});
+        EmitWord(0);
+        break;
+      case Op::kCheckNonNull:
+        Emit(BcOp::kCheckNonNull, 0, Reg(in.a));
+        break;
+      case Op::kCheckBounds:
+        Emit(BcOp::kCheckBounds, 0, Reg(in.a));
+        EmitWord(in.b >= 0 ? static_cast<uint32_t>(in.b) : kBcNoWord);
+        EmitWord(static_cast<uint32_t>(in.c));
+        EmitImm64(in.imm);
+        break;
+      case Op::kCheckWhen:
+        Emit(BcOp::kCheckWhen, 0, Reg(in.a));
+        break;
+      case Op::kCheckNtAdvance:
+        Emit(BcOp::kCheckNtAdvance, 0, Reg(in.a));
+        break;
+      case Op::kCheckStack:
+        Emit(BcOp::kCheckStack, 0, kBcNoReg);
+        break;
+      case Op::kDelayedPush:
+        Emit(BcOp::kDelayedPush, 0, kBcNoReg);
+        break;
+      case Op::kDelayedPop:
+        Emit(BcOp::kDelayedPop, 0, kBcNoReg);
+        break;
+      case Op::kTrap:
+        Emit(BcOp::kTrap, static_cast<uint8_t>(in.imm), kBcNoReg);
+        break;
+    }
+    return true;
+  }
+
+  const IrModule& ir_;
+  std::shared_ptr<BcModule> bc_;
+  std::map<std::tuple<int32_t, int32_t, int32_t>, uint32_t> loc_index_;
+  bool have_loc_ = false;
+  SourceLoc last_loc_;
+};
+
+}  // namespace
+
+std::shared_ptr<BcModule> CompileToBc(const IrModule& module, std::string* err) {
+  std::string local_err;
+  if (err == nullptr) {
+    err = &local_err;
+  }
+  return Compiler(module).Run(err);
+}
+
+}  // namespace ivy

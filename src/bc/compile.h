@@ -1,0 +1,26 @@
+// Compiles a lowered IrModule to ivybc bytecode (src/bc/bytecode.h).
+//
+// The translation is deliberately mechanical — one BC instruction per IR
+// instruction, plus a synthesized kImplicitRet wherever a block can fall off
+// its end (the tree VM's "empty continuation block" return). Keeping the
+// instruction streams 1:1 is what makes step counts, cycle accounting, and
+// trap ordering identical between the two interpreters by construction.
+#ifndef SRC_BC_COMPILE_H_
+#define SRC_BC_COMPILE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/bc/bytecode.h"
+#include "src/ir/ir.h"
+
+namespace ivy {
+
+// Returns the compiled module, or null with *err set. The only failures are
+// capacity limits the encoding cannot express (>= 65535 registers per
+// function, > 255 call arguments); real programs never hit them.
+std::shared_ptr<BcModule> CompileToBc(const IrModule& module, std::string* err);
+
+}  // namespace ivy
+
+#endif  // SRC_BC_COMPILE_H_

@@ -1,0 +1,326 @@
+#include "src/bc/verify.h"
+
+#include <set>
+
+#include "src/vm/builtins.h"
+
+namespace ivy {
+
+namespace {
+
+bool Fail(std::string* err, size_t fi, uint32_t pc, const std::string& why) {
+  if (err != nullptr) {
+    *err = "func " + std::to_string(fi) + " @" + std::to_string(pc) + ": " + why;
+  }
+  return false;
+}
+
+bool IsBcTerminator(BcOp op) {
+  return op == BcOp::kRet || op == BcOp::kImplicitRet || op == BcOp::kJump ||
+         op == BcOp::kBranch || op == BcOp::kTrap;
+}
+
+}  // namespace
+
+bool VerifyBcModule(const BcModule& m, std::string* err) {
+  // The Machine lays rodata and the stack out above globals_end with
+  // unchecked writes; cap the data image well below any configured memory
+  // size so a forged layout cannot reach past the arena.
+  if (m.globals_end > (uint64_t{1} << 24)) {
+    if (err != nullptr) {
+      *err = "globals region exceeds cap";
+    }
+    return false;
+  }
+  uint64_t str_bytes = 0;
+  for (const std::string& s : m.string_pool) {
+    str_bytes += s.size() + 16;
+  }
+  if (str_bytes > (uint64_t{1} << 24)) {
+    if (err != nullptr) {
+      *err = "string pool exceeds cap";
+    }
+    return false;
+  }
+  for (size_t i = 0; i < m.global_inits.size(); ++i) {
+    const GlobalInit& gi = m.global_inits[i];
+    if (gi.size != 1 && gi.size != 8) {
+      if (err != nullptr) {
+        *err = "global init " + std::to_string(i) + ": bad size";
+      }
+      return false;
+    }
+    if (gi.is_string != 0 &&
+        static_cast<uint64_t>(gi.value) >= m.string_pool.size()) {
+      if (err != nullptr) {
+        *err = "global init " + std::to_string(i) + ": string index out of range";
+      }
+      return false;
+    }
+    if (gi.addr < 4096 || gi.addr + gi.size > m.globals_end) {
+      if (err != nullptr) {
+        *err = "global init " + std::to_string(i) + ": address outside globals";
+      }
+      return false;
+    }
+  }
+  for (size_t i = 1; i < m.pc_locs.size(); ++i) {
+    if (m.pc_locs[i].first < m.pc_locs[i - 1].first) {
+      if (err != nullptr) {
+        *err = "pc_locs not sorted at entry " + std::to_string(i);
+      }
+      return false;
+    }
+  }
+  for (const auto& e : m.pc_locs) {
+    if (e.second >= m.loc_pool.size()) {
+      if (err != nullptr) {
+        *err = "pc_locs references loc " + std::to_string(e.second) + " out of range";
+      }
+      return false;
+    }
+  }
+
+  for (size_t fi = 0; fi < m.funcs.size(); ++fi) {
+    const BcFunc& f = m.funcs[fi];
+    if (f.entry_pc > f.code_end || f.code_end > m.code.size()) {
+      return Fail(err, fi, f.entry_pc, "code range outside module");
+    }
+    if (f.num_regs >= kBcNoReg) {
+      return Fail(err, fi, f.entry_pc, "register count exceeds encoding");
+    }
+    // Frame writes (params, pointer slots) are unchecked once the stack
+    // bound passes, so every slot must sit inside the declared frame, and
+    // the frame size must be small enough that `stack_top_ + frame_size`
+    // can never wrap past the overflow check.
+    if (f.frame_size < 0 || f.frame_size > (int64_t{1} << 30)) {
+      return Fail(err, fi, f.entry_pc, "frame size out of range");
+    }
+    if (f.param_offsets.size() != f.param_sizes.size()) {
+      return Fail(err, fi, f.entry_pc, "param offset/size tables disagree");
+    }
+    for (size_t p = 0; p < f.param_offsets.size(); ++p) {
+      uint8_t s = f.param_sizes[p];
+      if (s != 1 && s != 8) {
+        return Fail(err, fi, f.entry_pc, "bad param store size");
+      }
+      if (f.param_offsets[p] < 0 || f.param_offsets[p] + s > f.frame_size) {
+        return Fail(err, fi, f.entry_pc, "param slot outside frame");
+      }
+    }
+    for (int64_t slot : f.ptr_slots) {
+      if (slot < 0 || slot + 8 > f.frame_size) {
+        return Fail(err, fi, f.entry_pc, "pointer slot outside frame");
+      }
+    }
+    if (f.defined == 0) {
+      if (f.entry_pc != f.code_end) {
+        return Fail(err, fi, f.entry_pc, "undefined function with code");
+      }
+      continue;
+    }
+    if (f.entry_pc == f.code_end) {
+      return Fail(err, fi, f.entry_pc, "defined function with empty code");
+    }
+
+    auto check_reg = [&](uint32_t r) { return r < f.num_regs; };
+
+    // Pass 1: walk instruction starts, validating operands.
+    std::set<uint32_t> starts;
+    uint32_t pc = f.entry_pc;
+    BcOp last_op = BcOp::kCount_;
+    while (pc < f.code_end) {
+      const uint32_t w0 = m.code[pc];
+      BcOp op = BcOpOf(w0);
+      if (op >= BcOp::kCount_) {
+        return Fail(err, fi, pc, "invalid opcode");
+      }
+      // kIntrinsic reads its length from w3; make sure the fixed prefix is
+      // in range before BcInstrLen dereferences it.
+      if (op == BcOp::kIntrinsic && pc + 4 > f.code_end) {
+        return Fail(err, fi, pc, "truncated intrinsic");
+      }
+      uint32_t len = BcInstrLen(m.code.data() + pc);
+      if (len == 0 || pc + len > f.code_end) {
+        return Fail(err, fi, pc, "instruction overruns function");
+      }
+      starts.insert(pc);
+      const uint32_t* w = m.code.data() + pc;
+      uint8_t aux = BcAuxOf(w0);
+      uint16_t r0 = BcR0Of(w0);
+      switch (op) {
+        case BcOp::kConst:
+        case BcOp::kFrameAddr:
+        case BcOp::kGlobalAddr:
+          if (!check_reg(r0)) {
+            return Fail(err, fi, pc, "destination register out of range");
+          }
+          break;
+        case BcOp::kMove:
+        case BcOp::kNeg:
+        case BcOp::kLogNot:
+        case BcOp::kBitNot:
+          if (!check_reg(r0) || !check_reg(w[1])) {
+            return Fail(err, fi, pc, "register out of range");
+          }
+          break;
+        case BcOp::kAdd:
+        case BcOp::kSub:
+        case BcOp::kMul:
+        case BcOp::kDiv:
+        case BcOp::kRem:
+        case BcOp::kShl:
+        case BcOp::kShr:
+        case BcOp::kLt:
+        case BcOp::kGt:
+        case BcOp::kLe:
+        case BcOp::kGe:
+        case BcOp::kEq:
+        case BcOp::kNe:
+        case BcOp::kBitAnd:
+        case BcOp::kBitOr:
+        case BcOp::kBitXor:
+        case BcOp::kLogAnd:
+        case BcOp::kLogOr:
+          if (!check_reg(r0) || !check_reg(w[1]) || !check_reg(w[2])) {
+            return Fail(err, fi, pc, "register out of range");
+          }
+          break;
+        case BcOp::kLoad:
+          if (!check_reg(r0) || !check_reg(w[1])) {
+            return Fail(err, fi, pc, "register out of range");
+          }
+          if (aux != 1 && aux != 8) {
+            return Fail(err, fi, pc, "bad load size");
+          }
+          break;
+        case BcOp::kStore:
+          if (!check_reg(r0) || !check_reg(w[1])) {
+            return Fail(err, fi, pc, "register out of range");
+          }
+          if (aux != 1 && aux != 8) {
+            return Fail(err, fi, pc, "bad store size");
+          }
+          break;
+        case BcOp::kStorePtr:
+          if (!check_reg(r0) || !check_reg(w[1])) {
+            return Fail(err, fi, pc, "register out of range");
+          }
+          break;
+        case BcOp::kFuncConst:
+          if (!check_reg(r0)) {
+            return Fail(err, fi, pc, "register out of range");
+          }
+          if (w[1] >= m.funcs.size()) {
+            return Fail(err, fi, pc, "function index out of range");
+          }
+          break;
+        case BcOp::kStrConst:
+          if (!check_reg(r0)) {
+            return Fail(err, fi, pc, "register out of range");
+          }
+          if (w[1] >= m.string_pool.size()) {
+            return Fail(err, fi, pc, "string index out of range");
+          }
+          break;
+        case BcOp::kCall:
+        case BcOp::kCallInd:
+          if (r0 != kBcNoReg && !check_reg(r0)) {
+            return Fail(err, fi, pc, "return register out of range");
+          }
+          if (op == BcOp::kCall) {
+            if (w[1] >= m.funcs.size()) {
+              return Fail(err, fi, pc, "callee index out of range");
+            }
+          } else if (!check_reg(w[1])) {
+            return Fail(err, fi, pc, "function-pointer register out of range");
+          }
+          for (uint32_t a = 0; a < aux; ++a) {
+            if (!check_reg(w[2 + a])) {
+              return Fail(err, fi, pc, "argument register out of range");
+            }
+          }
+          break;
+        case BcOp::kIntrinsic:
+          if (r0 != kBcNoReg && !check_reg(r0)) {
+            return Fail(err, fi, pc, "destination register out of range");
+          }
+          if (aux >= static_cast<uint8_t>(Builtin::kCount_)) {
+            return Fail(err, fi, pc, "builtin id out of range");
+          }
+          if (w[1] >= m.loc_pool.size()) {
+            return Fail(err, fi, pc, "loc index out of range");
+          }
+          if (w[3] > 255) {
+            return Fail(err, fi, pc, "intrinsic argument count out of range");
+          }
+          for (uint32_t a = 0; a < w[3]; ++a) {
+            if (!check_reg(w[4 + a])) {
+              return Fail(err, fi, pc, "argument register out of range");
+            }
+          }
+          break;
+        case BcOp::kRet:
+          if (aux != 0 && !check_reg(r0)) {
+            return Fail(err, fi, pc, "return-value register out of range");
+          }
+          break;
+        case BcOp::kBranch:
+          if (!check_reg(r0)) {
+            return Fail(err, fi, pc, "condition register out of range");
+          }
+          break;
+        case BcOp::kCheckNonNull:
+        case BcOp::kCheckWhen:
+        case BcOp::kCheckNtAdvance:
+          if (!check_reg(r0)) {
+            return Fail(err, fi, pc, "check register out of range");
+          }
+          break;
+        case BcOp::kCheckBounds:
+          if (!check_reg(r0) || !check_reg(w[2]) ||
+              (w[1] != kBcNoWord && !check_reg(w[1]))) {
+            return Fail(err, fi, pc, "bounds-check register out of range");
+          }
+          break;
+        case BcOp::kTrap:
+          if (aux > static_cast<uint8_t>(TrapKind::kTimeout)) {
+            return Fail(err, fi, pc, "trap kind out of range");
+          }
+          break;
+        case BcOp::kImplicitRet:
+        case BcOp::kJump:
+        case BcOp::kCheckStack:
+        case BcOp::kDelayedPush:
+        case BcOp::kDelayedPop:
+          break;
+        case BcOp::kCount_:
+          return Fail(err, fi, pc, "invalid opcode");
+      }
+      last_op = op;
+      pc += len;
+    }
+    if (!IsBcTerminator(last_op)) {
+      return Fail(err, fi, pc, "function can fall off its last instruction");
+    }
+
+    // Pass 2: every control-transfer target is an instruction start in this
+    // function (jumps never cross functions).
+    for (uint32_t at : starts) {
+      const uint32_t* w = m.code.data() + at;
+      BcOp op = BcOpOf(w[0]);
+      if (op == BcOp::kJump) {
+        if (starts.count(w[1]) == 0) {
+          return Fail(err, fi, at, "jump target is not an instruction start");
+        }
+      } else if (op == BcOp::kBranch) {
+        if (starts.count(w[1]) == 0 || starts.count(w[2]) == 0) {
+          return Fail(err, fi, at, "branch target is not an instruction start");
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ivy

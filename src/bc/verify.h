@@ -1,0 +1,25 @@
+// Static verification of decoded ivybc images.
+//
+// DecodeBcImage only proves an image parses; this pass proves the
+// interpreter can trust it: every opcode valid, every instruction fully
+// inside its function, every register below num_regs, every jump landing on
+// an instruction start, every pool index in range, and no function that can
+// fall off its last instruction. BcVm runs verified images without any
+// per-instruction bounds checks — that is where the dispatch loop's speed
+// comes from, so nothing unverified may reach it.
+#ifndef SRC_BC_VERIFY_H_
+#define SRC_BC_VERIFY_H_
+
+#include <string>
+
+#include "src/bc/bytecode.h"
+
+namespace ivy {
+
+// Returns true if the module is safe to execute; otherwise false with *err
+// describing the first violation (function index, pc, and reason).
+bool VerifyBcModule(const BcModule& m, std::string* err);
+
+}  // namespace ivy
+
+#endif  // SRC_BC_VERIFY_H_

@@ -1,5 +1,6 @@
 #include "src/driver/compiler.h"
 
+#include "src/bc/compile.h"
 #include "src/tool/pipeline.h"
 
 namespace ivy {
@@ -22,6 +23,21 @@ std::unique_ptr<Vm> MakeVm(const Compilation& comp, VmConfig vm_cfg) {
   vm_cfg.track_locals = comp.config.track_locals;
   vm_cfg.rc_width_bits = comp.config.rc_width_bits;
   return std::make_unique<Vm>(&comp.module, &comp.layouts, vm_cfg);
+}
+
+std::unique_ptr<BcVm> MakeBcVm(const Compilation& comp, VmConfig vm_cfg,
+                               std::shared_ptr<const BcModule> bc, std::string* err) {
+  vm_cfg.ccount = comp.config.ccount;
+  vm_cfg.smp = comp.config.smp;
+  vm_cfg.track_locals = comp.config.track_locals;
+  vm_cfg.rc_width_bits = comp.config.rc_width_bits;
+  if (bc == nullptr) {
+    bc = CompileToBc(comp.module, err);
+    if (bc == nullptr) {
+      return nullptr;
+    }
+  }
+  return std::make_unique<BcVm>(std::move(bc), &comp.layouts, vm_cfg);
 }
 
 }  // namespace ivy

@@ -19,6 +19,7 @@
 #include "src/mc/sema.h"
 #include "src/support/diag.h"
 #include "src/support/source.h"
+#include "src/bc/bcvm.h"
 #include "src/vm/vm.h"
 
 namespace ivy {
@@ -74,6 +75,14 @@ std::unique_ptr<Compilation> CompileOne(const std::string& text, const ToolConfi
 // Builds a VM for the compilation with cost/feature settings derived from
 // the ToolConfig (plus any overrides the caller makes afterwards).
 std::unique_ptr<Vm> MakeVm(const Compilation& comp, VmConfig vm_cfg = VmConfig{});
+
+// Same settings derivation, but compiles the module to ivybc bytecode and
+// returns the fast interpreter. `bc` may be a module compiled earlier (e.g.
+// shared across workload functions); when null, one is compiled here.
+// Returns null only if bytecode compilation fails (capacity limits).
+std::unique_ptr<BcVm> MakeBcVm(const Compilation& comp, VmConfig vm_cfg = VmConfig{},
+                               std::shared_ptr<const BcModule> bc = nullptr,
+                               std::string* err = nullptr);
 
 }  // namespace ivy
 

@@ -33,17 +33,35 @@ const std::vector<HbenchSpec>& HbenchSuite() {
   return *kSuite;
 }
 
+namespace {
+
+// A trapping benchmark is a harness bug, not noise: say exactly what
+// trapped and where before the caller turns the -1 into a failed row.
+void ReportTrap(const Compilation& comp, const char* bench, const char* fn,
+                const VmResult& r) {
+  std::fprintf(stderr, "hbench %s: %s trapped: %s: %s at %s\n", bench, fn,
+               TrapKindName(r.trap), r.trap_msg.c_str(),
+               comp.sm.Render(r.trap_loc).c_str());
+}
+
+}  // namespace
+
 int64_t MeasureCycles(const Compilation& comp, const HbenchSpec& spec) {
   auto vm = MakeVm(comp);
-  if (!vm->Call("boot_kernel", {2}).ok) {
+  VmResult boot = vm->Call("boot_kernel", {2});
+  if (!boot.ok) {
+    ReportTrap(comp, spec.name, "boot_kernel", boot);
     return -1;
   }
-  if (!vm->Call("hb_setup").ok) {
+  VmResult setup = vm->Call("hb_setup");
+  if (!setup.ok) {
+    ReportTrap(comp, spec.name, "hb_setup", setup);
     return -1;
   }
   int64_t before = vm->cycles();
   VmResult r = vm->Call(spec.func, spec.args);
   if (!r.ok) {
+    ReportTrap(comp, spec.name, spec.func, r);
     return -1;
   }
   return vm->cycles() - before;

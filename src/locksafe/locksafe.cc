@@ -233,7 +233,7 @@ LockSafeReport LockSafe::Run(const FunctionSharder& sharder, WorkQueue& wq) {
   return BuildReport(all);
 }
 
-LockSafeReport LockSafe::ValidateRuntime(const Vm& vm, const IrModule& module) {
+LockSafeReport LockSafe::ValidateRuntime(const Machine& vm, const IrModule& module) {
   auto name_of = [&module](uint64_t addr) -> std::string {
     for (const GlobalSlot& g : module.globals) {
       if (addr >= g.addr && addr < g.addr + static_cast<uint64_t>(g.size)) {

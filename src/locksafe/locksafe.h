@@ -23,7 +23,7 @@
 #include "src/analysis/callgraph.h"
 #include "src/mc/ast.h"
 #include "src/tool/finding.h"
-#include "src/vm/vm.h"
+#include "src/vm/machine.h"
 
 namespace ivy {
 
@@ -76,7 +76,10 @@ class LockSafe {
   // Validates the runtime-observed lock behaviour of a finished VM run
   // against the same two properties. Lock addresses are rendered through the
   // module's global table where possible.
-  static LockSafeReport ValidateRuntime(const Vm& vm, const IrModule& module);
+  // Accepts any Machine (tree Vm or bytecode BcVm): the runtime lock facts
+  // live on the shared runtime core, so both interpreters feed the same
+  // validator.
+  static LockSafeReport ValidateRuntime(const Machine& vm, const IrModule& module);
 
  private:
   struct Ctx {

@@ -30,7 +30,7 @@
 
 namespace ivy {
 
-class Vm;
+class Machine;
 class WorkQueue;
 
 // What AnalysisSession learned from previous runs of the same module, keyed
@@ -75,9 +75,11 @@ class AnalysisContext {
   const CallGraph& callgraph();
 
   // Optional runtime results for the hybrid tools (LockSafe's dynamic half,
-  // CCount's free audit). Not owned; may stay null for static-only runs.
-  void AttachVm(const Vm* vm) { vm_ = vm; }
-  const Vm* vm() const { return vm_; }
+  // CCount's free audit). Any Machine qualifies — the tree Vm and the
+  // bytecode BcVm expose identical runtime facts. Not owned; may stay null
+  // for static-only runs.
+  void AttachVm(const Machine* vm) { vm_ = vm; }
+  const Machine* vm() const { return vm_; }
 
   // Optional shared worker pool for sharded pass kernels. Not owned; must
   // outlive every pass run against this context. Null means each pass builds
@@ -99,7 +101,7 @@ class AnalysisContext {
  private:
   Compilation* comp_;
   bool field_sensitive_;
-  const Vm* vm_ = nullptr;
+  const Machine* vm_ = nullptr;
   WorkQueue* pool_ = nullptr;
   bool incremental_ = false;
   const IncrementalHints* hints_ = nullptr;

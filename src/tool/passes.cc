@@ -1,15 +1,21 @@
-// The six builtin tool passes: thin ToolPass adapters over the existing tool
+// The builtin tool passes: thin ToolPass adapters over the existing tool
 // modules, registered under the names the paper uses. Each pass pulls its
 // analyses from the shared AnalysisContext (never rebuilding them), converts
 // the tool's report to unified Findings, and keeps the original report
-// reachable through ToolResult::DetailAs<> for legacy callers.
+// reachable through ToolResult::DetailAs<> for legacy callers. The workload
+// pass at the bottom is the dynamic stage: it runs bytecode VMs instead of
+// static analyses, but reports through the same schema.
 //
-// Adding a seventh tool is this file's pattern in ~30 lines: subclass
+// Adding another tool is this file's pattern in ~30 lines: subclass
 // ToolPass, convert your report, add one ToolPassRegistrar. See
 // docs/ARCHITECTURE.md.
+#include <cstdlib>
+#include <map>
 #include <memory>
 #include <sstream>
 
+#include "src/bc/bcvm.h"
+#include "src/bc/compile.h"
 #include "src/blockstop/blockstop.h"
 #include "src/ccount/layouts.h"
 #include "src/deputy/facts.h"
@@ -110,7 +116,7 @@ class CCountPass : public ToolPass {
     r.SetMetric("pointer_bearing_layouts", layouts.PointerBearingCount());
     std::string summary = "CCount: " + std::to_string(layouts.PointerBearingCount()) +
                           " pointer-bearing layouts of " + std::to_string(layouts.count());
-    if (const Vm* vm = ctx.vm()) {
+    if (const Machine* vm = ctx.vm()) {
       const HeapStats& hs = vm->heap().stats();
       r.SetMetric("allocs", hs.allocs);
       r.SetMetric("frees_attempted", hs.frees_attempted);
@@ -228,7 +234,7 @@ class LockSafePass : public ToolPass {
     r.SetMetric("deadlock_cycles", static_cast<int64_t>(report.deadlock_cycles.size()));
     r.SetMetric("irq_unsafe_locks", static_cast<int64_t>(report.irq_unsafe_locks.size()));
     std::string summary = report.ToString();
-    if (const Vm* vm = ctx.vm()) {
+    if (const Machine* vm = ctx.vm()) {
       LockSafeReport rt = LockSafe::ValidateRuntime(*vm, ctx.module());
       for (Finding& f : rt.ToFindings("runtime")) {
         r.AddFinding(std::move(f));
@@ -342,6 +348,202 @@ class ErrCheckPass : public ToolPass {
   }
 };
 
+// --------------------------------------------------------------------------
+// workload: the dynamic stage of the pipeline. Runs VM workload functions —
+// compiled once to ivybc bytecode, executed by one BcVm per function — as a
+// scheduled pass on the shared WorkQueue, and turns what the runs observe
+// (traps, might-sleep-in-atomic, CCount bad frees) into findings that merge
+// and persist like any static pass's. Options:
+//   "fns"       comma-separated workload specs, each "fn" or "fn:arg:arg..."
+//   "boot"      one spec run first in every workload VM (e.g. "boot_kernel:5")
+//   "max_steps" per-VM watchdog override
+// With no "fns" the pass is a no-op, so it is safe under AllTools().
+// --------------------------------------------------------------------------
+struct WorkloadSpec {
+  std::string fn;
+  std::vector<int64_t> args;
+};
+
+std::vector<WorkloadSpec> ParseWorkloadSpecs(const std::string& joined) {
+  std::vector<WorkloadSpec> out;
+  std::stringstream ss(joined);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    size_t first = item.find_first_not_of(" \t");
+    if (first == std::string::npos) {
+      continue;
+    }
+    size_t last = item.find_last_not_of(" \t");
+    item = item.substr(first, last - first + 1);
+    WorkloadSpec spec;
+    std::stringstream parts(item);
+    std::string tok;
+    while (std::getline(parts, tok, ':')) {
+      if (spec.fn.empty()) {
+        spec.fn = tok;
+      } else {
+        spec.args.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+      }
+    }
+    if (!spec.fn.empty()) {
+      out.push_back(std::move(spec));
+    }
+  }
+  return out;
+}
+
+std::string DescribeTrap(const std::string& what, const VmResult& r) {
+  return what + " trapped: " + TrapKindName(r.trap) + ": " + r.trap_msg;
+}
+
+class WorkloadPass : public ToolPass {
+ public:
+  std::string name() const override { return "workload"; }
+
+  ToolResult Run(AnalysisContext& ctx) override {
+    ToolResult r(name());
+    std::vector<WorkloadSpec> specs = ParseWorkloadSpecs(options().GetString("fns"));
+    if (specs.empty()) {
+      r.set_summary("Workload: no workload functions configured");
+      return r;
+    }
+    std::vector<WorkloadSpec> boots = ParseWorkloadSpecs(options().GetString("boot"));
+    const WorkloadSpec* boot = boots.empty() ? nullptr : &boots.front();
+
+    Compilation& comp = ctx.comp();
+    std::string err;
+    std::shared_ptr<const BcModule> bc = CompileToBc(comp.module, &err);
+    if (bc == nullptr) {
+      Finding f;
+      f.tool = name();
+      f.severity = FindingSeverity::kError;
+      f.message = "bytecode compilation failed: " + err;
+      r.AddFinding(std::move(f));
+      r.set_summary("Workload: bytecode compilation failed");
+      return r;
+    }
+    VmConfig vcfg;
+    vcfg.ccount = comp.config.ccount;
+    vcfg.smp = comp.config.smp;
+    vcfg.track_locals = comp.config.track_locals;
+    vcfg.rc_width_bits = comp.config.rc_width_bits;
+    vcfg.max_steps = options().GetInt("max_steps", vcfg.max_steps);
+
+    // One run per spec, each in its own VM over the shared bytecode module.
+    // Slots are index-addressed and merged in spec order after the barrier,
+    // so parallel and serial runs report byte-identical findings.
+    struct Slot {
+      bool missing = false;
+      bool boot_failed = false;
+      VmResult boot;
+      VmResult result;
+      HeapStats heap;
+      std::map<std::pair<int, int>, BadFreeSite> bad_frees;
+      int64_t might_sleep_checks = 0;
+    };
+    std::vector<Slot> slots(specs.size());
+    auto run_one = [&](size_t i) {
+      Slot& slot = slots[i];
+      const WorkloadSpec& spec = specs[i];
+      if (bc->FindFunc(spec.fn) < 0) {
+        slot.missing = true;
+        return;
+      }
+      BcVm vm(bc, &comp.layouts, vcfg);
+      if (boot != nullptr) {
+        slot.boot = vm.Call(boot->fn, boot->args);
+        if (!slot.boot.ok) {
+          slot.boot_failed = true;
+          return;
+        }
+      }
+      slot.result = vm.Call(spec.fn, spec.args);
+      slot.heap = vm.heap().stats();
+      slot.bad_frees = vm.heap().bad_free_sites();
+      slot.might_sleep_checks = vm.might_sleep_checks();
+    };
+    WorkQueue* pool = ctx.pool();
+    std::unique_ptr<WorkQueue> owned;
+    if (pool == nullptr) {
+      owned = std::make_unique<WorkQueue>(0);
+      pool = owned.get();
+    }
+    {
+      TaskGroup group(*pool);
+      for (size_t i = 0; i < specs.size(); ++i) {
+        group.Submit([&run_one, i] { run_one(i); });
+      }
+      group.Wait();
+    }
+
+    int64_t ran = 0;
+    int64_t traps = 0;
+    int64_t bad_free_sites = 0;
+    int64_t cycles = 0;
+    int64_t steps = 0;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const Slot& slot = slots[i];
+      const std::string& fn = specs[i].fn;
+      if (slot.missing) {
+        Finding f;
+        f.tool = name();
+        f.severity = FindingSeverity::kWarning;
+        f.message = "workload function '" + fn + "' is not defined; skipped";
+        f.witness = {fn};
+        r.AddFinding(std::move(f));
+        continue;
+      }
+      if (slot.boot_failed) {
+        Finding f;
+        f.tool = name();
+        f.severity = FindingSeverity::kError;
+        f.loc = slot.boot.trap_loc;
+        f.message = DescribeTrap("workload boot '" + boot->fn + "'", slot.boot);
+        f.witness = {fn};
+        r.AddFinding(std::move(f));
+        ++traps;
+        continue;
+      }
+      ++ran;
+      cycles += slot.result.cycles;
+      steps += slot.result.steps;
+      if (!slot.result.ok) {
+        ++traps;
+        Finding f;
+        f.tool = name();
+        f.severity = FindingSeverity::kError;
+        f.loc = slot.result.trap_loc;
+        f.message = DescribeTrap("workload '" + fn + "'", slot.result);
+        f.witness = {fn};
+        r.AddFinding(std::move(f));
+      }
+      for (const auto& [key, site] : slot.bad_frees) {
+        ++bad_free_sites;
+        Finding f;
+        f.tool = name();
+        f.severity = FindingSeverity::kWarning;
+        f.loc = site.loc;
+        f.message = "bad free (" + std::to_string(site.count) + "x, " +
+                    std::to_string(site.inbound_refs) +
+                    " residual references) — object leaked, kernel kept running";
+        f.witness = {fn};
+        r.AddFinding(std::move(f));
+      }
+    }
+    r.SetMetric("functions", static_cast<int64_t>(specs.size()));
+    r.SetMetric("ran", ran);
+    r.SetMetric("traps", traps);
+    r.SetMetric("bad_free_sites", bad_free_sites);
+    r.SetMetric("cycles", cycles);
+    r.SetMetric("steps", steps);
+    r.SetMetric("image_words", static_cast<int64_t>(bc->code.size()));
+    r.set_summary("Workload (ivybc): " + std::to_string(specs.size()) + " functions, " +
+                  std::to_string(traps) + " traps, " + std::to_string(bad_free_sites) +
+                  " bad-free sites");
+    return r;
+  }
+};
+
 template <typename PassT>
 ToolRegistry::Factory FactoryFor() {
   return [] { return std::make_unique<PassT>(); };
@@ -353,6 +555,7 @@ const ToolPassRegistrar kBlockStopReg("blockstop", FactoryFor<BlockStopPass>());
 const ToolPassRegistrar kLockSafeReg("locksafe", FactoryFor<LockSafePass>());
 const ToolPassRegistrar kStackCheckReg("stackcheck", FactoryFor<StackCheckPass>());
 const ToolPassRegistrar kErrCheckReg("errcheck", FactoryFor<ErrCheckPass>());
+const ToolPassRegistrar kWorkloadReg("workload", FactoryFor<WorkloadPass>());
 
 }  // namespace
 

@@ -454,6 +454,23 @@ PipelineBuilder& PipelineBuilder::AllTools() {
   return *this;
 }
 
+PipelineBuilder& PipelineBuilder::RunWorkload(const std::vector<std::string>& fns,
+                                              const std::string& boot) {
+  ToolOptions opts;
+  std::string joined;
+  for (const std::string& fn : fns) {
+    if (!joined.empty()) {
+      joined += ",";
+    }
+    joined += fn;
+  }
+  opts.Set("fns", joined);
+  if (!boot.empty()) {
+    opts.Set("boot", boot);
+  }
+  return Tool("workload", std::move(opts));
+}
+
 PipelineBuilder& PipelineBuilder::Parallel(bool on) {
   pipeline_.parallel_ = on;
   return *this;

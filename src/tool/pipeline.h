@@ -132,6 +132,16 @@ class PipelineBuilder {
   // Every registered pass, in sorted-name order.
   PipelineBuilder& AllTools();
 
+  // Schedules VM workload functions as the dynamic "workload" pass: each
+  // spec is "fn" or "fn:arg:arg..." and runs in its own bytecode VM (over
+  // one shared compiled image) on the pipeline's worker pool; `boot` is an
+  // optional spec executed first in every workload VM (e.g.
+  // "boot_kernel:5"). Traps, might-sleep violations, and CCount bad frees
+  // observed by the runs become findings — stamped with module provenance
+  // by sessions, like any static pass's.
+  PipelineBuilder& RunWorkload(const std::vector<std::string>& fns,
+                               const std::string& boot = std::string());
+
   PipelineBuilder& Parallel(bool on);
   PipelineBuilder& FieldSensitive(bool on);
 

@@ -1,18 +1,12 @@
 #include "src/vm/vm.h"
 
-#include <algorithm>
-#include <cstdio>
-#include <cstring>
-
 namespace ivy {
 
-namespace {
-constexpr int64_t kGfpWait = 1;  // GFP_WAIT bit (prelude's enum value)
-}
-
 Vm::Vm(const IrModule* module, const TypeLayoutRegistry* layouts, VmConfig cfg)
-    : module_(module), layouts_(layouts), cfg_(cfg) {
-  SetupMemory();
+    : Machine(layouts, cfg), module_(module) {
+  SetupMemory(module_->globals_end, module_->string_pool, &module_->globals,
+              GlobalInitsFromModule(*module_));
+  num_funcs_ = module_->funcs.size();
   for (const IrFunc& f : module_->funcs) {
     if (f.decl != nullptr) {
       func_ids_[f.decl->name] = f.decl->func_id;
@@ -20,246 +14,12 @@ Vm::Vm(const IrModule* module, const TypeLayoutRegistry* layouts, VmConfig cfg)
   }
 }
 
-void Vm::SetupMemory() {
-  mem_ = std::make_unique<Memory>(cfg_.mem_bytes);
-  // Rodata: string literals after the globals.
-  uint64_t addr = (module_->globals_end + 15) / 16 * 16;
-  string_addrs_.clear();
-  for (const std::string& s : module_->string_pool) {
-    string_addrs_.push_back(addr);
-    for (size_t i = 0; i < s.size(); ++i) {
-      mem_->Write(addr + i, static_cast<unsigned char>(s[i]), 1);
-    }
-    mem_->Write(addr + s.size(), 0, 1);
-    addr = (addr + s.size() + 1 + 7) / 8 * 8;
-  }
-  mem_->globals_end = addr;
-  mem_->stack_base = (addr + 4095) / 4096 * 4096;
-  mem_->stack_size = cfg_.stack_bytes;
-  mem_->heap_base = mem_->stack_base + mem_->stack_size;
-  stack_top_ = mem_->stack_base;
-  heap_ = std::make_unique<Heap>(mem_.get(), layouts_, cfg_.ccount, cfg_.rc_width_bits);
-  // Global initializers (constants and string literals).
-  for (const GlobalSlot& g : module_->globals) {
-    const Expr* init = g.decl != nullptr ? g.decl->init : nullptr;
-    if (init == nullptr) {
-      continue;
-    }
-    if (init->is_const) {
-      mem_->Write(g.addr, init->int_val, g.decl->type->IsChar() ? 1 : 8);
-    } else if (init->kind == ExprKind::kStrLit) {
-      // Find the string in the pool (lowering interned it when the global
-      // was lowered; globals are set up before any code runs, so search).
-      for (size_t i = 0; i < module_->string_pool.size(); ++i) {
-        if (module_->string_pool[i] == init->str_val) {
-          mem_->Write(g.addr, static_cast<int64_t>(string_addrs_[i]), 8);
-          break;
-        }
-      }
-    }
-  }
+int64_t Vm::ExecEntry(int func_id, const std::vector<int64_t>& args) {
+  return ExecFunction(func_id, args);
 }
 
-void Vm::ChargeRc(int64_t n) {
-  cycles_ += n * (cfg_.smp ? cfg_.cost.rc_op_atomic : cfg_.cost.rc_op);
-}
-
-void Vm::ValidAccess(uint64_t addr, uint64_t bytes, SourceLoc loc) {
-  if (!mem_->Valid(addr, bytes)) {
-    throw Trap{addr < 4096 ? TrapKind::kNullDeref : TrapKind::kMemFault, loc,
-               "access at address " + std::to_string(addr)};
-  }
-}
-
-std::string Vm::ReadCString(uint64_t addr, size_t cap) {
-  std::string out;
-  while (out.size() < cap && mem_->Valid(addr, 1)) {
-    char c = static_cast<char>(mem_->Read(addr, 1));
-    if (c == 0) {
-      break;
-    }
-    out.push_back(c);
-    ++addr;
-  }
-  return out;
-}
-
-void Vm::DoStorePtr(uint64_t addr, int64_t value, SourceLoc loc) {
-  ValidAccess(addr, 8, loc);
-  if (heap_->ccount()) {
-    bool tracked = cfg_.track_locals || !mem_->InStack(addr);
-    if (tracked) {
-      int64_t old = mem_->Read(addr, 8);
-      heap_->RcWrite(static_cast<uint64_t>(old), static_cast<uint64_t>(value));
-      ChargeRc(2);
-    }
-  }
-  mem_->Write(addr, value, 8);
-  cycles_ += cfg_.cost.store;
-}
-
-const std::vector<int64_t>* Vm::PtrOffsetsFor(uint64_t addr, uint64_t /*n*/, uint64_t* obj_base) {
-  // Heap object?
-  const HeapObject* obj = heap_->Find(addr);
-  if (obj != nullptr) {
-    *obj_base = obj->base;
-    if (obj->type_id >= 0) {
-      const TypeLayout* layout = layouts_->Get(obj->type_id);
-      if (layout != nullptr && layout->stride > 0) {
-        // Expand the per-record offsets across the object into scratch.
-        scratch_offsets_.clear();
-        for (int64_t rec = 0; rec + layout->stride <= obj->size; rec += layout->stride) {
-          for (int64_t off : layout->ptr_offsets) {
-            scratch_offsets_.push_back(rec + off);
-          }
-        }
-        return &scratch_offsets_;
-      }
-    }
-    if (obj->type_id == kTypeIdAllPtr) {
-      scratch_offsets_.clear();
-      for (int64_t off = 0; off + 8 <= obj->size; off += 8) {
-        scratch_offsets_.push_back(off);
-      }
-      return &scratch_offsets_;
-    }
-    scratch_offsets_.clear();
-    return &scratch_offsets_;  // no pointers known
-  }
-  // Global?
-  for (const GlobalSlot& g : module_->globals) {
-    if (addr >= g.addr && addr < g.addr + static_cast<uint64_t>(g.size)) {
-      *obj_base = g.addr;
-      return &g.ptr_offsets;
-    }
-  }
-  *obj_base = addr;
-  scratch_offsets_.clear();
-  return &scratch_offsets_;
-}
-
-void Vm::TypedMemWrite(uint64_t dst, uint64_t n) {
-  if (!heap_->ccount()) {
-    return;
-  }
-  if (mem_->InStack(dst) && !cfg_.track_locals) {
-    return;
-  }
-  uint64_t base = 0;
-  const std::vector<int64_t>* offsets = PtrOffsetsFor(dst, n, &base);
-  for (int64_t off : *offsets) {
-    uint64_t slot = base + static_cast<uint64_t>(off);
-    if (slot >= dst && slot + 8 <= dst + n) {
-      int64_t old = mem_->Read(slot, 8);
-      if (mem_->Countable(static_cast<uint64_t>(old))) {
-        heap_->RcWrite(static_cast<uint64_t>(old), 0);
-        ChargeRc(1);
-      }
-    }
-  }
-}
-
-void Vm::TypedMemReinc(uint64_t dst, uint64_t n) {
-  if (!heap_->ccount()) {
-    return;
-  }
-  if (mem_->InStack(dst) && !cfg_.track_locals) {
-    return;
-  }
-  uint64_t base = 0;
-  const std::vector<int64_t>* offsets = PtrOffsetsFor(dst, n, &base);
-  for (int64_t off : *offsets) {
-    uint64_t slot = base + static_cast<uint64_t>(off);
-    if (slot >= dst && slot + 8 <= dst + n) {
-      int64_t v = mem_->Read(slot, 8);
-      if (mem_->Countable(static_cast<uint64_t>(v))) {
-        heap_->RcWrite(0, static_cast<uint64_t>(v));
-        ChargeRc(1);
-      }
-    }
-  }
-}
-
-void Vm::CheckMightSleep(SourceLoc loc, const char* what) {
-  ++might_sleep_checks_;
-  if (!cfg_.atomic_sleep_check) {
-    return;
-  }
-  if (!irq_enabled_ || in_irq_ > 0 || preempt_depth_ > 0) {
-    throw Trap{TrapKind::kMightSleepAtomic, loc,
-               std::string(what) + " called in atomic context (irqs " +
-                   (irq_enabled_ ? "on" : "off") + ", in_irq=" + std::to_string(in_irq_) +
-                   ", preempt=" + std::to_string(preempt_depth_) + ")"};
-  }
-}
-
-void Vm::AcquireLock(uint64_t lock_addr, bool is_spin, SourceLoc loc) {
-  if (held_set_.count(lock_addr) != 0) {
-    throw Trap{TrapKind::kDeadlock, loc,
-               "recursive acquisition of lock @" + std::to_string(lock_addr)};
-  }
-  for (uint64_t held : held_locks_) {
-    lock_order_edges_.insert({held, lock_addr});
-  }
-  held_locks_.push_back(lock_addr);
-  held_set_.insert(lock_addr);
-  LockUsage& usage = lock_usage_[lock_addr];
-  if (in_irq_ > 0) {
-    usage.in_irq = true;
-  } else if (irq_enabled_) {
-    usage.process_irqs_on = true;
-  } else {
-    usage.process_irqs_off = true;
-  }
-  ValidAccess(lock_addr, 8, loc);
-  mem_->Write(lock_addr, 1, 8);
-  if (is_spin) {
-    ++preempt_depth_;
-  }
-  cycles_ += cfg_.cost.lock_op;
-}
-
-void Vm::ReleaseLock(uint64_t lock_addr, bool is_spin, SourceLoc loc) {
-  auto it = std::find(held_locks_.rbegin(), held_locks_.rend(), lock_addr);
-  if (it == held_locks_.rend()) {
-    throw Trap{TrapKind::kAssertFail, loc,
-               "release of lock @" + std::to_string(lock_addr) + " that is not held"};
-  }
-  held_locks_.erase(std::next(it).base());
-  held_set_.erase(lock_addr);
-  ValidAccess(lock_addr, 8, loc);
-  mem_->Write(lock_addr, 0, 8);
-  if (is_spin) {
-    --preempt_depth_;
-  }
-  cycles_ += cfg_.cost.lock_op;
-}
-
-VmResult Vm::Call(const std::string& name, const std::vector<int64_t>& args) {
-  auto it = func_ids_.find(name);
-  if (it == func_ids_.end()) {
-    VmResult r;
-    r.trap = TrapKind::kBadIndirectCall;
-    r.trap_msg = "no such function: " + name;
-    return r;
-  }
-  return CallId(it->second, args);
-}
-
-VmResult Vm::CallId(int func_id, const std::vector<int64_t>& args) {
-  VmResult r;
-  try {
-    r.value = ExecFunction(func_id, args);
-    r.ok = true;
-  } catch (const Trap& t) {
-    r.ok = false;
-    r.trap = t.kind;
-    r.trap_loc = t.loc;
-    r.trap_msg = t.msg;
-  }
-  r.cycles = cycles_;
-  r.steps = steps_;
-  return r;
+int64_t Vm::ExecIrqHandler(int func_id, int64_t arg) {
+  return ExecFunction(func_id, {arg});
 }
 
 void Vm::PushFrame(std::vector<Frame>* frames, int func_id, const std::vector<int64_t>& args,
@@ -512,7 +272,8 @@ int64_t Vm::ExecFunction(int func_id, const std::vector<int64_t>& args) {
         for (int r : in.args) {
           call_args.push_back(reg(r));
         }
-        int64_t v = DoIntrinsic(in, call_args);
+        int64_t v = DoIntrinsic(static_cast<Builtin>(in.imm), in.loc, in.alloc_type_id,
+                                call_args.data(), call_args.size());
         if (in.dst >= 0) {
           f.regs[static_cast<size_t>(in.dst)] = v;
         }
@@ -601,281 +362,6 @@ int64_t Vm::ExecFunction(int func_id, const std::vector<int64_t>& args) {
     }
   }
   return result;
-}
-
-int64_t Vm::DoIntrinsic(const Instr& in, const std::vector<int64_t>& args) {
-  auto arg = [&args](size_t i) -> int64_t { return i < args.size() ? args[i] : 0; };
-  switch (static_cast<Builtin>(in.imm)) {
-    case Builtin::kKmalloc: {
-      int64_t size = arg(0);
-      int64_t flags = arg(1);
-      if ((flags & kGfpWait) != 0) {
-        CheckMightSleep(in.loc, "kmalloc(GFP_WAIT)");
-      }
-      uint64_t p = heap_->Alloc(size, in.alloc_type_id);
-      cycles_ += cfg_.cost.kmalloc + size * cfg_.cost.zero_per_byte_q / 4;
-      return static_cast<int64_t>(p);
-    }
-    case Builtin::kKfree: {
-      uint64_t p = static_cast<uint64_t>(arg(0));
-      if (p == 0) {
-        return 0;  // kfree(NULL) is a no-op, as in Linux
-      }
-      cycles_ += cfg_.cost.kfree;
-      if (heap_->ccount()) {
-        const HeapObject* obj = heap_->FindBase(p);
-        if (obj != nullptr) {
-          cycles_ += (obj->size / 32 + 1) * cfg_.cost.free_scan_per_32b;
-        }
-      }
-      heap_->Free(p, in.loc);
-      return 0;
-    }
-    case Builtin::kMemset: {
-      uint64_t p = static_cast<uint64_t>(arg(0));
-      int64_t c = arg(1);
-      uint64_t n = static_cast<uint64_t>(arg(2));
-      if (n == 0) {
-        return 0;
-      }
-      ValidAccess(p, n, in.loc);
-      TypedMemWrite(p, n);
-      for (uint64_t i = 0; i < n; ++i) {
-        mem_->Write(p + i, c & 0xff, 1);
-      }
-      cycles_ += static_cast<int64_t>(n) * cfg_.cost.copy_per_byte_q / 4 + 4;
-      return 0;
-    }
-    case Builtin::kMemcpy: {
-      uint64_t dst = static_cast<uint64_t>(arg(0));
-      uint64_t src = static_cast<uint64_t>(arg(1));
-      uint64_t n = static_cast<uint64_t>(arg(2));
-      if (n == 0) {
-        return 0;
-      }
-      ValidAccess(dst, n, in.loc);
-      ValidAccess(src, n, in.loc);
-      TypedMemWrite(dst, n);
-      std::memmove(mem_->data() + dst, mem_->data() + src, n);
-      TypedMemReinc(dst, n);
-      cycles_ += static_cast<int64_t>(n) * cfg_.cost.copy_per_byte_q / 4 + 4;
-      return 0;
-    }
-    case Builtin::kPrintk: {
-      std::string fmt = ReadCString(static_cast<uint64_t>(arg(0)));
-      std::string out;
-      size_t argi = 1;
-      for (size_t i = 0; i < fmt.size(); ++i) {
-        if (fmt[i] != '%' || i + 1 >= fmt.size()) {
-          out.push_back(fmt[i]);
-          continue;
-        }
-        char spec = fmt[++i];
-        char buf[32];
-        switch (spec) {
-          case 'd':
-            std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(arg(argi++)));
-            out += buf;
-            break;
-          case 'x':
-            std::snprintf(buf, sizeof buf, "%llx",
-                          static_cast<unsigned long long>(arg(argi++)));
-            out += buf;
-            break;
-          case 'c':
-            out.push_back(static_cast<char>(arg(argi++)));
-            break;
-          case 's':
-            out += ReadCString(static_cast<uint64_t>(arg(argi++)));
-            break;
-          case '%':
-            out.push_back('%');
-            break;
-          default:
-            out.push_back('%');
-            out.push_back(spec);
-        }
-      }
-      log_ += out;
-      cycles_ += static_cast<int64_t>(out.size()) * cfg_.cost.printk_per_char_q / 4 + 8;
-      return static_cast<int64_t>(out.size());
-    }
-    case Builtin::kPanic:
-      throw Trap{TrapKind::kPanic, in.loc,
-                 "panic: " + ReadCString(static_cast<uint64_t>(arg(0)))};
-    case Builtin::kAssert:
-      if (arg(0) == 0) {
-        throw Trap{TrapKind::kAssertFail, in.loc, "__assert failed"};
-      }
-      return 0;
-    case Builtin::kLocalIrqSave: {
-      int64_t prev = irq_enabled_ ? 1 : 0;
-      irq_enabled_ = false;
-      cycles_ += cfg_.cost.irq_op;
-      return prev;
-    }
-    case Builtin::kLocalIrqRestore:
-      irq_enabled_ = arg(0) != 0;
-      cycles_ += cfg_.cost.irq_op;
-      return 0;
-    case Builtin::kLocalIrqDisable:
-      irq_enabled_ = false;
-      cycles_ += cfg_.cost.irq_op;
-      return 0;
-    case Builtin::kLocalIrqEnable:
-      irq_enabled_ = true;
-      cycles_ += cfg_.cost.irq_op;
-      return 0;
-    case Builtin::kIrqsDisabled:
-      cycles_ += cfg_.cost.op;
-      return irq_enabled_ ? 0 : 1;
-    case Builtin::kSpinLock:
-      AcquireLock(static_cast<uint64_t>(arg(0)), /*is_spin=*/true, in.loc);
-      return 0;
-    case Builtin::kSpinUnlock:
-      ReleaseLock(static_cast<uint64_t>(arg(0)), /*is_spin=*/true, in.loc);
-      return 0;
-    case Builtin::kSpinLockIrqsave: {
-      int64_t prev = irq_enabled_ ? 1 : 0;
-      irq_enabled_ = false;
-      cycles_ += cfg_.cost.irq_op;
-      AcquireLock(static_cast<uint64_t>(arg(0)), /*is_spin=*/true, in.loc);
-      return prev;
-    }
-    case Builtin::kSpinUnlockIrqrestore:
-      ReleaseLock(static_cast<uint64_t>(arg(0)), /*is_spin=*/true, in.loc);
-      irq_enabled_ = arg(1) != 0;
-      cycles_ += cfg_.cost.irq_op;
-      return 0;
-    case Builtin::kMutexLock:
-      CheckMightSleep(in.loc, "mutex_lock");
-      AcquireLock(static_cast<uint64_t>(arg(0)), /*is_spin=*/false, in.loc);
-      return 0;
-    case Builtin::kMutexUnlock:
-      ReleaseLock(static_cast<uint64_t>(arg(0)), /*is_spin=*/false, in.loc);
-      return 0;
-    case Builtin::kMightSleep:
-      CheckMightSleep(in.loc, "might_sleep");
-      return 0;
-    case Builtin::kSchedule:
-      CheckMightSleep(in.loc, "schedule");
-      cycles_ += cfg_.cost.context_switch;
-      ++ctx_switches_;
-      return 0;
-    case Builtin::kMsleep:
-      CheckMightSleep(in.loc, "msleep");
-      cycles_ += arg(0) * 1000;
-      return 0;
-    case Builtin::kUdelay:
-      cycles_ += arg(0) * 100;
-      return 0;
-    case Builtin::kWaitEvent:
-      CheckMightSleep(in.loc, "wait_event");
-      cycles_ += cfg_.cost.context_switch;
-      return 0;
-    case Builtin::kWakeUp:
-      ValidAccess(static_cast<uint64_t>(arg(0)), 8, in.loc);
-      mem_->Write(static_cast<uint64_t>(arg(0)), 1, 8);
-      cycles_ += cfg_.cost.op * 4;
-      return 0;
-    case Builtin::kWaitForCompletion: {
-      CheckMightSleep(in.loc, "wait_for_completion");
-      uint64_t c = static_cast<uint64_t>(arg(0));
-      ValidAccess(c, 8, in.loc);
-      mem_->Write(c, 0, 8);  // consume
-      cycles_ += cfg_.cost.context_switch;
-      return 0;
-    }
-    case Builtin::kComplete:
-      ValidAccess(static_cast<uint64_t>(arg(0)), 8, in.loc);
-      mem_->Write(static_cast<uint64_t>(arg(0)), 1, 8);
-      cycles_ += cfg_.cost.op * 4;
-      return 0;
-    case Builtin::kCopyToUser: {
-      CheckMightSleep(in.loc, "copy_to_user");
-      uint64_t uaddr = static_cast<uint64_t>(arg(0));
-      uint64_t src = static_cast<uint64_t>(arg(1));
-      uint64_t n = static_cast<uint64_t>(arg(2));
-      if (n > 0) {
-        ValidAccess(src, n, in.loc);
-        if (uaddr + n > user_mem_.size()) {
-          user_mem_.resize(std::min<uint64_t>(uaddr + n, 16ull << 20), 0);
-        }
-        if (uaddr + n <= user_mem_.size()) {
-          std::memcpy(user_mem_.data() + uaddr, mem_->data() + src, n);
-        }
-        cycles_ += static_cast<int64_t>(n) * cfg_.cost.user_copy_per_byte_q / 4 + 8;
-      }
-      return 0;
-    }
-    case Builtin::kCopyFromUser: {
-      CheckMightSleep(in.loc, "copy_from_user");
-      uint64_t dst = static_cast<uint64_t>(arg(0));
-      uint64_t uaddr = static_cast<uint64_t>(arg(1));
-      uint64_t n = static_cast<uint64_t>(arg(2));
-      if (n > 0) {
-        ValidAccess(dst, n, in.loc);
-        TypedMemWrite(dst, n);
-        for (uint64_t i = 0; i < n; ++i) {
-          uint8_t byte = uaddr + i < user_mem_.size() ? user_mem_[uaddr + i] : 0;
-          mem_->Write(dst + i, byte, 1);
-        }
-        cycles_ += static_cast<int64_t>(n) * cfg_.cost.user_copy_per_byte_q / 4 + 8;
-      }
-      return 0;
-    }
-    case Builtin::kAssertNonatomic:
-      cycles_ += cfg_.cost.check;
-      if (!irq_enabled_ || in_irq_ > 0) {
-        throw Trap{TrapKind::kPanic, in.loc,
-                   "assert_nonatomic: called with interrupts disabled"};
-      }
-      return 0;
-    case Builtin::kTriggerIrq: {
-      uint64_t h = static_cast<uint64_t>(arg(0));
-      if (h < kFuncPtrBase || h - kFuncPtrBase >= module_->funcs.size()) {
-        throw Trap{TrapKind::kBadIndirectCall, in.loc, "trigger_irq: bad handler"};
-      }
-      bool saved = irq_enabled_;
-      irq_enabled_ = false;
-      ++in_irq_;
-      cycles_ += cfg_.cost.irq_entry;
-      ExecFunction(static_cast<int>(h - kFuncPtrBase), {arg(1)});
-      --in_irq_;
-      irq_enabled_ = saved;
-      return 0;
-    }
-    case Builtin::kAtomicInc: {
-      uint64_t p = static_cast<uint64_t>(arg(0));
-      ValidAccess(p, 8, in.loc);
-      mem_->Write(p, mem_->Read(p, 8) + 1, 8);
-      cycles_ += cfg_.cost.atomic_op;
-      return 0;
-    }
-    case Builtin::kAtomicDecAndTest: {
-      uint64_t p = static_cast<uint64_t>(arg(0));
-      ValidAccess(p, 8, in.loc);
-      int64_t v = mem_->Read(p, 8) - 1;
-      mem_->Write(p, v, 8);
-      cycles_ += cfg_.cost.atomic_op;
-      return v == 0 ? 1 : 0;
-    }
-    case Builtin::kCycles:
-      return cycles_;
-    case Builtin::kRcOf:
-      return heap_->RcOf(static_cast<uint64_t>(arg(0)));
-    case Builtin::kGoodFrees:
-      return heap_->stats().frees_good;
-    case Builtin::kBadFrees:
-      return heap_->stats().frees_bad;
-    case Builtin::kContextSwitch:
-      cycles_ += cfg_.cost.context_switch;
-      ++ctx_switches_;
-      return 0;
-    case Builtin::kCount_:
-      break;
-  }
-  throw Trap{TrapKind::kUnreachable, in.loc, "unknown intrinsic"};
 }
 
 }  // namespace ivy

@@ -1,92 +1,27 @@
-// The Ivy VM: a deterministic interpreter for lowered Mini-C programs with a
-// kernel runtime model (IRQ flag, spinlocks, interrupt dispatch) and the
-// CCount heap. It is the "hardware + modified allocator" of the paper's
+// The Ivy tree-walking VM: a deterministic interpreter for lowered Mini-C
+// programs over the shared Machine runtime (src/vm/machine.h) — the kernel
+// model (IRQ flag, spinlocks, interrupt dispatch) and the CCount heap live
+// there. It is the "hardware + modified allocator" of the paper's
 // experimental setup: Deputy checks and CCount updates execute here, their
 // cycle costs accumulate here, and the run-time halves of all three tools
 // (check traps, bad-free logging, might-sleep-while-atomic panics) fire here.
+// The bytecode interpreter (src/bc/bcvm.h) is the drop-in fast path; both
+// must produce identical VmResults on every program.
 #ifndef SRC_VM_VM_H_
 #define SRC_VM_VM_H_
 
-#include <memory>
-#include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "src/ccount/layouts.h"
-#include "src/ir/ir.h"
-#include "src/vm/builtins.h"
-#include "src/vm/cost.h"
-#include "src/vm/heap.h"
-#include "src/vm/memory.h"
+#include "src/vm/machine.h"
 
 namespace ivy {
 
-struct VmConfig {
-  bool ccount = false;        // maintain refcounts + verify frees
-  bool smp = false;           // refcount updates use locked-op cost
-  bool track_locals = false;  // count references from stack slots (footnote 2)
-  int rc_width_bits = 8;      // shadow counter width (A3 ablation)
-  bool atomic_sleep_check = true;  // might_sleep() traps in atomic context
-  uint64_t mem_bytes = 64ull << 20;
-  uint64_t stack_bytes = 1ull << 20;
-  int64_t stack_limit = 256 << 10;  // kCheckStack budget (bytes)
-  int64_t max_steps = 400'000'000;  // deterministic watchdog
-  CostModel cost;
-};
-
-struct VmResult {
-  bool ok = false;
-  int64_t value = 0;
-  TrapKind trap = TrapKind::kNone;
-  SourceLoc trap_loc;
-  std::string trap_msg;
-  int64_t cycles = 0;
-  int64_t steps = 0;
-};
-
-// How each spinlock/mutex has been used; input to LockSafe's IRQ invariant.
-struct LockUsage {
-  bool in_irq = false;            // acquired inside an interrupt handler
-  bool process_irqs_on = false;   // acquired in process context, IRQs enabled
-  bool process_irqs_off = false;  // acquired in process context, IRQs disabled
-};
-
-class Vm {
+class Vm : public Machine {
  public:
   Vm(const IrModule* module, const TypeLayoutRegistry* layouts, VmConfig cfg);
 
-  // Runs `name(args...)` to completion (or trap). The VM keeps all state
-  // (memory, heap, cycles) across calls, so a boot function followed by
-  // workload functions models one kernel run.
-  VmResult Call(const std::string& name, const std::vector<int64_t>& args = {});
-  VmResult CallId(int func_id, const std::vector<int64_t>& args = {});
-
-  int64_t cycles() const { return cycles_; }
-  Heap& heap() { return *heap_; }
-  const Heap& heap() const { return *heap_; }
-  Memory& memory() { return *mem_; }
-  const std::string& log() const { return log_; }
-  void ClearLog() { log_.clear(); }
-  bool irqs_enabled() const { return irq_enabled_; }
-  int64_t context_switches() const { return ctx_switches_; }
-
-  // LockSafe runtime inputs.
-  const std::set<std::pair<uint64_t, uint64_t>>& lock_order_edges() const {
-    return lock_order_edges_;
-  }
-  const std::unordered_map<uint64_t, LockUsage>& lock_usage() const { return lock_usage_; }
-
-  // The count of might-sleep checks that executed (dynamic BlockStop events).
-  int64_t might_sleep_checks() const { return might_sleep_checks_; }
-
  private:
-  struct Trap {
-    TrapKind kind;
-    SourceLoc loc;
-    std::string msg;
-  };
-
   struct Frame {
     const IrFunc* fn = nullptr;
     int block = 0;
@@ -97,47 +32,15 @@ class Vm {
     int delayed_at_entry = 0;
   };
 
-  void SetupMemory();
+  int64_t ExecEntry(int func_id, const std::vector<int64_t>& args) override;
+  int64_t ExecIrqHandler(int func_id, int64_t arg) override;
+
   int64_t ExecFunction(int func_id, const std::vector<int64_t>& args);
   void PushFrame(std::vector<Frame>* frames, int func_id,
                  const std::vector<int64_t>& args, int ret_dst);
   void PopFrameStack(const Frame& f);
-  int64_t DoIntrinsic(const Instr& in, const std::vector<int64_t>& args);
-  void CheckMightSleep(SourceLoc loc, const char* what);
-  void DoStorePtr(uint64_t addr, int64_t value, SourceLoc loc);
-  void ValidAccess(uint64_t addr, uint64_t bytes, SourceLoc loc);
-  std::string ReadCString(uint64_t addr, size_t cap = 4096);
-  void ChargeRc(int64_t n);
-  void TypedMemWrite(uint64_t dst, uint64_t n);   // pre-write RC maintenance
-  void TypedMemReinc(uint64_t dst, uint64_t n);   // post-copy RC maintenance
-  const std::vector<int64_t>* PtrOffsetsFor(uint64_t addr, uint64_t n, uint64_t* obj_base);
-  void AcquireLock(uint64_t lock_addr, bool is_spin, SourceLoc loc);
-  void ReleaseLock(uint64_t lock_addr, bool is_spin, SourceLoc loc);
 
   const IrModule* module_;
-  const TypeLayoutRegistry* layouts_;
-  VmConfig cfg_;
-  std::unique_ptr<Memory> mem_;
-  std::unique_ptr<Heap> heap_;
-  std::vector<uint64_t> string_addrs_;
-  std::vector<uint8_t> user_mem_;
-
-  int64_t cycles_ = 0;
-  int64_t steps_ = 0;
-  std::string log_;
-  bool irq_enabled_ = true;
-  int in_irq_ = 0;
-  int preempt_depth_ = 0;
-  uint64_t stack_top_ = 0;
-  int64_t ctx_switches_ = 0;
-  int64_t might_sleep_checks_ = 0;
-  std::vector<uint64_t> held_locks_;  // spinlocks + mutexes, in acquire order
-  std::set<uint64_t> held_set_;
-  std::set<std::pair<uint64_t, uint64_t>> lock_order_edges_;
-  std::unordered_map<uint64_t, LockUsage> lock_usage_;
-  std::unordered_map<std::string, int> func_ids_;
-  // Scratch buffer of pointer offsets for globals (TypedMemWrite).
-  std::vector<int64_t> scratch_offsets_;
 };
 
 }  // namespace ivy
