@@ -26,6 +26,8 @@
 #include "src/server/epoch.h"
 #include "src/server/server.h"
 #include "src/stackcheck/stackcheck.h"
+#include "src/support/clock.h"
+#include "src/support/trace.h"
 #include "src/support/work_queue.h"
 #include "src/tool/function_sharder.h"
 #include "src/tool/pipeline.h"
@@ -458,13 +460,35 @@ template <typename F>
 double MedianMs(F&& fn, int reps = 3) {
   std::vector<double> times;
   for (int i = 0; i < reps; ++i) {
-    auto start = std::chrono::steady_clock::now();
+    const uint64_t start_ns = ivy::MonotonicNowNs();
     fn();
-    auto end = std::chrono::steady_clock::now();
-    times.push_back(std::chrono::duration<double, std::milli>(end - start).count());
+    times.push_back(ivy::ElapsedMsSince(start_ns));
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];
+}
+
+// Min-of-N: the right statistic for an overhead gate — the minimum is the
+// run least disturbed by scheduler noise, so comparing minima isolates the
+// code-path delta rather than machine load.
+template <typename F>
+double MinMs(F&& fn, const char* label = nullptr, int reps = 5) {
+  double best = 0;
+  for (int i = 0; i < reps; ++i) {
+    const uint64_t start_ns = ivy::MonotonicNowNs();
+    fn();
+    const double ms = ivy::ElapsedMsSince(start_ns);
+    if (label != nullptr) {
+      // Raw reps on stderr: when the overhead gate trips, the per-rep
+      // sequence distinguishes a real code-path delta (flat shift) from
+      // machine noise (spikes) at a glance.
+      std::fprintf(stderr, "  tracing %s rep %d: %.1f ms\n", label, i, ms);
+    }
+    if (i == 0 || ms < best) {
+      best = ms;
+    }
+  }
+  return best;
 }
 
 // Analysis-server latency: an in-process AnnodServer over a real TCP socket
@@ -539,7 +563,7 @@ ivy::Json ServerBenchJson() {
   lat_us.reserve(kQueries);
   uint64_t rows_sink = 0;
   for (int i = 0; i < kQueries; ++i) {
-    auto start = std::chrono::steady_clock::now();
+    const uint64_t start_ns = ivy::MonotonicNowNs();
     ivy::RowsReplyMsg rows;
     bool ok;
     // Rotate the three query shapes a live client mixes: full-corpus
@@ -557,13 +581,13 @@ ivy::Json ServerBenchJson() {
       }
       ok = client.QueryFindings(q, &rows, &err);
     }
-    auto end = std::chrono::steady_clock::now();
+    const double us = static_cast<double>(ivy::MonotonicNowNs() - start_ns) / 1000.0;
     if (!ok) {
       std::fprintf(stderr, "FATAL: server bench query: %s\n", err.c_str());
       std::abort();
     }
     rows_sink += rows.rows.size();
-    lat_us.push_back(std::chrono::duration<double, std::micro>(end - start).count());
+    lat_us.push_back(us);
   }
   benchmark::DoNotOptimize(rows_sink);
   stop.store(true);
@@ -850,6 +874,109 @@ ivy::Json VmBenchJson() {
   return vm;
 }
 
+// The ivytrace cost-contract gate (src/support/trace.h): minima over the
+// same 8x400 batched corpus run in three states — baseline (tracing flag
+// never meaningfully on), disabled (after enable->disable cycles:
+// instrumentation compiled in, gate off — the state every production run
+// sits in), and enabled. Min-of-N because the minimum is the run least
+// disturbed by machine noise. A disabled path costing more than 2% over
+// baseline is a FATAL: that is the whole license for instrumenting hot
+// paths.
+ivy::Json TracingOverheadJson() {
+  std::vector<ivy::ModuleSources> corpus = SessionCorpus();
+  ivy::Pipeline pipeline = SessionPipeline().Build();
+  auto run_once = [&corpus, &pipeline] {
+    ivy::AnalysisSession session(pipeline, /*track_incremental=*/false);
+    for (const ivy::ModuleSources& m : corpus) {
+      session.AddModule(m);
+    }
+    benchmark::DoNotOptimize(session.Run().findings.size());
+  };
+
+  // Baseline and disabled reps interleave pair-for-pair. The two states
+  // differ only by flag flips, which leave no lazy state behind (rings and
+  // metric slots are created by emissions, which need the flag on — and the
+  // enabled phase runs last), so the pairing is sound; and pairing is what
+  // makes a 2% gate measurable at all on a loaded machine: a slow phase
+  // hits both sides of the same pair and cancels out of the ratio, where
+  // sequential phases would book it entirely against one side.
+  //
+  // The gate statistic is the MEDIAN of the per-pair disabled/baseline
+  // ratios — one preempted rep shifts the min and the mean but not the
+  // median — and a failing measurement is re-taken up to three times before
+  // it is believed. A real regression (an ungated allocation or lock on a
+  // hot path) exceeds 2% in every attempt; scheduler noise does not survive
+  // three medians in a row. Shared-CPU boxes routinely jitter identical
+  // back-to-back runs by ±10%, so a single-shot 2% comparison would gate on
+  // the machine, not the code.
+  constexpr int kPairs = 7;
+  constexpr int kAttempts = 3;
+  auto rep_ms = [&run_once] {
+    const uint64_t t0 = ivy::MonotonicNowNs();
+    run_once();
+    return ivy::ElapsedMsSince(t0);
+  };
+  double baseline_ms = 0;
+  double disabled_ms = 0;
+  double median_ratio = 0;
+  bool passed = false;
+  for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+    std::vector<double> ratios;
+    ratios.reserve(kPairs);
+    for (int i = 0; i < kPairs; ++i) {
+      const double b = rep_ms();
+      ivy::trace::SetEnabled(true);
+      ivy::trace::SetEnabled(false);
+      const double d = rep_ms();
+      std::fprintf(stderr, "  tracing pair %d.%d: baseline=%.1fms disabled=%.1fms\n",
+                   attempt, i, b, d);
+      ratios.push_back(d / b);
+      if (i == 0 || b < baseline_ms) {
+        baseline_ms = b;
+      }
+      if (i == 0 || d < disabled_ms) {
+        disabled_ms = d;
+      }
+    }
+    std::sort(ratios.begin(), ratios.end());
+    median_ratio = ratios[kPairs / 2];
+    if (median_ratio <= 1.02) {
+      passed = true;
+      break;
+    }
+    std::fprintf(stderr,
+                 "tracing gate attempt %d: median disabled overhead %.2f%% > 2%%, "
+                 "re-measuring\n",
+                 attempt, (median_ratio - 1.0) * 100.0);
+  }
+  ivy::trace::SetEnabled(true);
+  const double enabled_ms = MinMs(run_once, "enabled", kPairs);
+  ivy::trace::SetEnabled(false);
+
+  const double disabled_pct = (median_ratio - 1.0) * 100.0;
+  const double enabled_pct = (enabled_ms / baseline_ms - 1.0) * 100.0;
+  if (!passed) {
+    std::fprintf(stderr,
+                 "FATAL: tracing disabled-path overhead %.2f%% exceeds the 2%% "
+                 "contract in %d consecutive measurements (baseline=%.1fms "
+                 "disabled=%.1fms)\n",
+                 disabled_pct, kAttempts, baseline_ms, disabled_ms);
+    std::abort();
+  }
+
+  ivy::Json t = ivy::Json::MakeObject();
+  t["baseline_us"] = ivy::Json::MakeInt(static_cast<int64_t>(baseline_ms * 1000));
+  t["disabled_us"] = ivy::Json::MakeInt(static_cast<int64_t>(disabled_ms * 1000));
+  t["enabled_us"] = ivy::Json::MakeInt(static_cast<int64_t>(enabled_ms * 1000));
+  t["disabled_overhead_pct"] = ivy::Json::MakeDouble(disabled_pct);
+  t["enabled_overhead_pct"] = ivy::Json::MakeDouble(enabled_pct);
+  std::fprintf(stderr,
+               "tracing overhead: baseline=%.1fms disabled=%.1fms (%+.2f%%) "
+               "enabled=%.1fms (%+.2f%%)\n",
+               baseline_ms, disabled_ms, disabled_pct, enabled_ms, enabled_pct);
+  return t;
+}
+
 void WriteBenchPipelineJson() {
   const char* out_path = std::getenv("BENCH_PIPELINE_OUT");
   if (out_path == nullptr || out_path[0] == '\0') {
@@ -1032,10 +1159,29 @@ void WriteBenchPipelineJson() {
   j["server"] = ServerBenchJson();
   j["store"] = StoreBenchJson(out_path);
   j["vm"] = VmBenchJson();
+  j["tracing"] = TracingOverheadJson();
 
   std::string path = out_path;
   std::ofstream out(path);
   out << j.Dump() << "\n";
+
+  // Also drop a copy at the repo root (found by walking up to ROADMAP.md) so
+  // the checked-in BENCH_pipeline.json stays refreshable with one run and CI
+  // can upload it from a fixed path regardless of the build directory.
+  std::string dir = ".";
+  for (int depth = 0; depth < 8; ++depth) {
+    std::ifstream probe(dir + "/ROADMAP.md");
+    if (probe.good()) {
+      const std::string root_copy = dir + "/BENCH_pipeline.json";
+      if (root_copy != path) {
+        std::ofstream rc(root_copy);
+        rc << j.Dump() << "\n";
+      }
+      break;
+    }
+    dir += "/..";
+  }
+
   std::fprintf(stderr,
                "BENCH_pipeline.json: sequential=%.1fms batched=%.1fms cold_rerun=%.1fms "
                "incremental_rerun=%.1fms linked=%.1fms (%d rounds) merged=%.1fms "

@@ -33,6 +33,11 @@ class BcVm : public Machine {
 
   const BcModule& module() const { return *mod_; }
 
+  // Per-opcode executed-instruction counts, indexed by BcOp. Empty unless
+  // VmConfig::profile was set. Counts observe the dispatch loop without
+  // touching it: cycles/steps/traps are identical with profiling on or off.
+  const std::vector<uint64_t>& op_profile() const { return op_counts_; }
+
  private:
   struct BcFrame {
     uint32_t func = 0;
@@ -63,6 +68,7 @@ class BcVm : public Machine {
   std::vector<int64_t> regs_;
   size_t regs_top_ = 0;
   std::vector<int64_t> call_scratch_;
+  std::vector<uint64_t> op_counts_;  // sized BcOp::kCount_ when profiling
 };
 
 }  // namespace ivy

@@ -344,8 +344,6 @@ bool DecodeBcImage(const std::string& bytes, BcModule* out, std::string* err) {
 // Disassembly
 // ---------------------------------------------------------------------------
 
-namespace {
-
 const char* BcOpName(BcOp op) {
   switch (op) {
     case BcOp::kConst: return "const";
@@ -397,6 +395,8 @@ const char* BcOpName(BcOp op) {
   }
   return "<bad-op>";
 }
+
+namespace {
 
 int64_t Imm64At(const uint32_t* w) {
   return static_cast<int64_t>(static_cast<uint64_t>(w[0]) |

@@ -107,6 +107,10 @@ inline constexpr uint16_t BcR0Of(uint32_t w0) { return static_cast<uint16_t>(w0 
 // stream (the verifier) bounds-check the prefix themselves.
 uint32_t BcInstrLen(const uint32_t* w);
 
+// Mnemonic for an opcode ("const", "add", ...); "<bad-op>" when out of
+// range. Shared by the disassembler and ivybc's --profile readout.
+const char* BcOpName(BcOp op);
+
 // One function's metadata — everything the tree VM reads off IrFunc/FuncDecl
 // at call boundaries, AST-free so a decoded image can run standalone.
 struct BcFunc {

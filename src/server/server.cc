@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/support/clock.h"
+
 namespace ivy {
 
 namespace {
@@ -192,6 +194,8 @@ bool AnnodServer::EnqueueUpsert(const std::string& corpus, ModuleSources module)
     e.kind = Edit::kUpsert;
     e.upsert = std::move(module);
     c->edits.push_back(std::move(e));
+    c->edit_queue_peak = std::max(c->edit_queue_peak,
+                                  static_cast<uint32_t>(c->edits.size()));
   }
   ScheduleRelink(c);
   return true;
@@ -216,6 +220,8 @@ bool AnnodServer::EnqueueReplaceFunction(const std::string& corpus,
     e.function = function;
     e.definition = definition;
     c->edits.push_back(std::move(e));
+    c->edit_queue_peak = std::max(c->edit_queue_peak,
+                                  static_cast<uint32_t>(c->edits.size()));
   }
   ScheduleRelink(c);
   return true;
@@ -236,6 +242,8 @@ bool AnnodServer::EnqueueRemoveModule(const std::string& corpus,
     e.kind = Edit::kRemove;
     e.module = module;
     c->edits.push_back(std::move(e));
+    c->edit_queue_peak = std::max(c->edit_queue_peak,
+                                  static_cast<uint32_t>(c->edits.size()));
   }
   ScheduleRelink(c);
   return true;
@@ -338,12 +346,17 @@ void AnnodServer::RelinkTask(const std::shared_ptr<Corpus>& c) {
     }
   }
 
+  trace::Span relink_span("server.relink", {"edits", static_cast<int64_t>(batch.size())});
   SessionResult result = c->session.RunLinked();
 
   // A cancelled fixpoint is incomplete by contract: publish nothing, leave
   // the touched modules dirty. A surviving server would re-run them on the
   // next relink; a shutting-down one just drains.
   if (!result.cancelled) {
+    // Publish timing feeds the always-on per-corpus histogram kStats serves;
+    // the span on top of it only exists when tracing is enabled.
+    const uint64_t publish_t0 = MonotonicNowNs();
+    trace::Span publish_span("server.publish");
     auto snap = BuildEpochSnapshot(0, result, c->session.link_table());
     snap->link = c->session.link_stats();
     snap->apply_errors = errors;
@@ -352,6 +365,7 @@ void AnnodServer::RelinkTask(const std::shared_ptr<Corpus>& c) {
       snap->id = c->next_epoch++;
     }
     c->epochs.Publish(std::move(snap));
+    c->publish_us.Record((MonotonicNowNs() - publish_t0) / 1000);
   }
 
   {
@@ -434,7 +448,13 @@ void AnnodServer::HandleConnection(uint64_t conn_id, Socket sock) {
     if (r <= 0) {
       break;  // clean EOF, malformed frame, or shutdown-unblocked recv
     }
-    if (!Dispatch(req, sock)) {
+    // Request latency is always measured (kStats serves it live); the span
+    // is the only part that needs tracing on.
+    const uint64_t t0 = MonotonicNowNs();
+    trace::Span span("server.request", {"type", static_cast<int64_t>(req.type)});
+    const bool keep = Dispatch(req, sock);
+    request_latency_us_.Record((MonotonicNowNs() - t0) / 1000);
+    if (!keep) {
       break;
     }
   }
@@ -609,7 +629,16 @@ bool AnnodServer::Dispatch(const Frame& req, Socket& sock) {
         s.queued_edits = static_cast<uint32_t>(c->edits.size());
         s.relinks = static_cast<uint64_t>(c->relinks_done);
         s.apply_errors = c->apply_errors;
+        s.edit_queue_peak = c->edit_queue_peak;
       }
+      // v2 metrics block: live percentiles from the always-on histograms.
+      s.request_count = request_latency_us_.Count();
+      s.request_p50_us = request_latency_us_.Percentile(50);
+      s.request_p95_us = request_latency_us_.Percentile(95);
+      s.request_p99_us = request_latency_us_.Percentile(99);
+      s.publish_count = c->publish_us.Count();
+      s.publish_p50_us = c->publish_us.Percentile(50);
+      s.publish_p99_us = c->publish_us.Percentile(99);
       return WriteFrame(sock, MsgType::kStatsReply, s.Encode(), &werr);
     }
     case MsgType::kSync: {

@@ -47,6 +47,7 @@
 #include "src/server/epoch.h"
 #include "src/server/wire.h"
 #include "src/support/socket.h"
+#include "src/support/trace.h"
 #include "src/support/work_queue.h"
 #include "src/tool/session.h"
 
@@ -131,6 +132,13 @@ class AnnodServer {
     uint64_t next_epoch = 1;
     std::vector<std::string> apply_errors;  // rolling window, capped
     std::string store_path;        // empty: no persistence (set at open)
+    // Deepest the edit queue has been since open (under mu). Served by
+    // kStats so operators can see backlog pressure between relinks.
+    uint32_t edit_queue_peak = 0;
+    // Converged-relink -> snapshot-visible wall time. Always-on (not gated
+    // on trace::Enabled()): kStats must serve live percentiles from an
+    // untraced daemon. Histogram::Record is two relaxed atomic adds.
+    trace::Histogram publish_us;
 
     AnalysisSession session;       // relink tasks only
     EpochPublisher epochs;
@@ -153,6 +161,11 @@ class AnnodServer {
   Options opts_;
   ListenSocket listener_;
   std::thread acceptor_;
+
+  // Per-request Dispatch wall time across every connection and request
+  // type. Always-on for the same reason as Corpus::publish_us: the kStats
+  // metrics block is live operational data, not a tracing artifact.
+  trace::Histogram request_latency_us_;
 
   mutable std::mutex corpora_mu_;
   std::map<std::string, std::shared_ptr<Corpus>> corpora_;

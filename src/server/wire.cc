@@ -380,6 +380,15 @@ std::string StatsReplyMsg::Encode() const {
   w.PutU32(queued_edits);
   w.PutU64(relinks);
   w.PutStrVec(apply_errors);
+  // v2 metrics block (see wire.h version history).
+  w.PutU64(request_count);
+  w.PutU64(request_p50_us);
+  w.PutU64(request_p95_us);
+  w.PutU64(request_p99_us);
+  w.PutU64(publish_count);
+  w.PutU64(publish_p50_us);
+  w.PutU64(publish_p99_us);
+  w.PutU32(edit_queue_peak);
   return w.Take();
 }
 
@@ -388,7 +397,10 @@ bool StatsReplyMsg::Decode(const std::string& payload) {
   return r.GetU64(&epoch) && r.GetU32(&modules) && r.GetU64(&findings) &&
          r.GetU64(&summary_rows) && r.GetU32(&link_rounds) && r.GetU8(&converged) &&
          r.GetU32(&queued_edits) && r.GetU64(&relinks) && r.GetStrVec(&apply_errors) &&
-         r.Finish();
+         r.GetU64(&request_count) && r.GetU64(&request_p50_us) &&
+         r.GetU64(&request_p95_us) && r.GetU64(&request_p99_us) &&
+         r.GetU64(&publish_count) && r.GetU64(&publish_p50_us) &&
+         r.GetU64(&publish_p99_us) && r.GetU32(&edit_queue_peak) && r.Finish();
 }
 
 }  // namespace ivy

@@ -27,6 +27,13 @@
 // Version policy: a frame whose version byte differs from kWireVersion is
 // rejected before its payload is read (the length still frames it, so a
 // future server can skip unknown-version frames without resyncing).
+//
+// Version history:
+//   1  initial protocol (PR 6)
+//   2  kStatsReply grew live observability fields — request-latency and
+//      epoch-publish p50/p95/p99 plus an edit-queue high-water mark — for
+//      `annodb_query --connect --metrics`. Any payload change bumps the
+//      version: v1 peers are rejected at the header, never mis-parsed.
 #ifndef SRC_SERVER_WIRE_H_
 #define SRC_SERVER_WIRE_H_
 
@@ -41,7 +48,7 @@ namespace ivy {
 
 inline constexpr uint8_t kWireMagic0 = 0xA7;
 inline constexpr uint8_t kWireMagic1 = 0xDB;
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr uint32_t kMaxFramePayload = 1u << 26;  // 64 MiB
 inline constexpr size_t kFrameHeaderSize = 8;
 
@@ -235,7 +242,9 @@ struct RowsReplyMsg {
   bool Decode(const std::string& payload);
 };
 
-// kStatsReply: the control-plane view of one corpus.
+// kStatsReply: the control-plane view of one corpus. The metrics block
+// (v2) is served from the daemon's always-on latency histograms — it is
+// live data, not a tracing artifact, so it works with tracing disabled.
 struct StatsReplyMsg {
   uint64_t epoch = 0;
   uint32_t modules = 0;
@@ -246,6 +255,19 @@ struct StatsReplyMsg {
   uint32_t queued_edits = 0;
   uint64_t relinks = 0;
   std::vector<std::string> apply_errors;  // edits that failed to apply
+
+  // v2: request-latency histogram readout (all request types, Dispatch
+  // wall time in microseconds) ...
+  uint64_t request_count = 0;
+  uint64_t request_p50_us = 0;
+  uint64_t request_p95_us = 0;
+  uint64_t request_p99_us = 0;
+  // ... epoch-publish timing (converged relink -> snapshot visible) ...
+  uint64_t publish_count = 0;
+  uint64_t publish_p50_us = 0;
+  uint64_t publish_p99_us = 0;
+  // ... and the deepest the corpus edit queue has been since startup.
+  uint32_t edit_queue_peak = 0;
 
   std::string Encode() const;
   bool Decode(const std::string& payload);

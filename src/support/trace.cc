@@ -1,0 +1,378 @@
+#include "src/support/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/support/clock.h"
+#include "src/support/json.h"
+
+namespace ivy {
+namespace trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread rings
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Bounded history per thread: old spans are overwritten, never reallocated.
+// 4096 events * ~96 B keeps a busy thread under ~400 KiB.
+constexpr size_t kRingCapacity = 4096;
+
+struct ThreadRing {
+  std::mutex mu;  // owner writes, WriteJson copies — never contended in steady state
+  uint32_t tid = 0;
+  std::vector<Event> events;  // sized kRingCapacity once, then only overwritten
+  size_t next = 0;
+  bool wrapped = false;
+
+  void Push(const Event& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < kRingCapacity) {
+      events.push_back(e);  // grows toward the cap, then only overwrites
+      next = events.size() % kRingCapacity;
+      return;
+    }
+    events[next] = e;
+    next = (next + 1) % kRingCapacity;
+    wrapped = true;
+  }
+};
+
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;  // exited threads included
+  uint32_t next_tid = 1;
+};
+
+RingRegistry& Registry() {
+  static RingRegistry* r = new RingRegistry();  // never destroyed: spans may
+  return *r;                                    // outlive static teardown order
+}
+
+// The calling thread's ring, created and registered on first use. The
+// shared_ptr in the registry keeps the ring alive after the thread exits.
+ThreadRing& MyRing() {
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto r = std::make_shared<ThreadRing>();
+    RingRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    r->tid = reg.next_tid++;
+    reg.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void CopyTruncated(char* dst, size_t cap, const char* src, size_t len) {
+  size_t n = len < cap ? len : cap;
+  std::memcpy(dst, src, n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+Span::Span(const char* name, size_t len) {
+  if (!Enabled()) {
+    return;  // the disabled path: one relaxed load, nothing else
+  }
+  active_ = true;
+  CopyTruncated(name_, Event::kNameCap, name, len);
+  start_ns_ = MonotonicNowNs();
+}
+
+void Span::Finish() {
+  const uint64_t end_ns = MonotonicNowNs();
+  Event e;
+  std::memcpy(e.name, name_, sizeof(e.name));
+  e.start_ns = start_ns_;
+  e.dur_ns = end_ns - start_ns_;
+  e.nargs = nargs_;
+  for (uint32_t i = 0; i < nargs_; ++i) {
+    e.args[i] = args_[i];
+  }
+  ThreadRing& ring = MyRing();
+  e.tid = ring.tid;
+  ring.Push(e);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One mutex-guarded map per metric kind. Entries are never erased, so the
+// returned raw pointers are stable for the process lifetime.
+struct MetricsRegistry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry& Metrics() {
+  static MetricsRegistry* m = new MetricsRegistry();
+  return *m;
+}
+
+}  // namespace
+
+Counter* GetCounter(const std::string& name) {
+  MetricsRegistry& m = Metrics();
+  std::lock_guard<std::mutex> lock(m.mu);
+  auto& slot = m.counters[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* GetGauge(const std::string& name) {
+  MetricsRegistry& m = Metrics();
+  std::lock_guard<std::mutex> lock(m.mu);
+  auto& slot = m.gauges[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* GetHistogram(const std::string& name) {
+  MetricsRegistry& m = Metrics();
+  std::lock_guard<std::mutex> lock(m.mu);
+  auto& slot = m.histograms[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < 16) {
+    return static_cast<int>(value);
+  }
+  // msb >= 4 here. 4 sub-buckets per octave: the two bits below the msb.
+  int msb = 63 - __builtin_clzll(value);
+  int sub = static_cast<int>((value >> (msb - 2)) & 3);
+  int idx = 16 + (msb - 4) * 4 + sub;
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index < 16) {
+    return static_cast<uint64_t>(index);
+  }
+  int msb = 4 + (index - 16) / 4;
+  int sub = (index - 16) % 4;
+  // Top of sub-bucket `sub` in octave [2^msb, 2^(msb+1)).
+  return (uint64_t{1} << msb) +
+         ((static_cast<uint64_t>(sub) + 1) << (msb - 2)) - 1;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) {
+    return 0;
+  }
+  if (p < 0) {
+    p = 0;
+  }
+  if (p > 100) {
+    p = 100;
+  }
+  // Rank of the answering sample, 1-based: the smallest rank whose
+  // cumulative share reaches p% (so p=50 of 2 samples is the 1st, p=100 the
+  // last — matches the sorted-vector reference in trace_test.cc).
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > total) {
+    rank = total;
+  }
+  uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += counts[i];
+    if (cum >= rank) {
+      return BucketUpperBound(i);
+    }
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<MetricValue> SnapshotMetrics() {
+  MetricsRegistry& m = Metrics();
+  std::lock_guard<std::mutex> lock(m.mu);
+  std::vector<MetricValue> out;
+  for (const auto& [name, c] : m.counters) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kCounter;
+    v.value = static_cast<int64_t>(c->Value());
+    out.push_back(std::move(v));
+  }
+  for (const auto& [name, g] : m.gauges) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kGauge;
+    v.value = g->Value();
+    out.push_back(std::move(v));
+  }
+  for (const auto& [name, h] : m.histograms) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kHistogram;
+    v.count = h->Count();
+    v.sum = h->Sum();
+    v.p50 = h->Percentile(50);
+    v.p95 = h->Percentile(95);
+    v.p99 = h->Percentile(99);
+    v.max = h->Percentile(100);
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string RenderMetrics() {
+  std::string out;
+  for (const MetricValue& v : SnapshotMetrics()) {
+    out += v.name;
+    if (v.kind == MetricValue::Kind::kHistogram) {
+      out += " count=" + std::to_string(v.count);
+      out += " sum=" + std::to_string(v.sum);
+      out += " p50=" + std::to_string(v.p50);
+      out += " p95=" + std::to_string(v.p95);
+      out += " p99=" + std::to_string(v.p99);
+      out += " max=" + std::to_string(v.max);
+    } else {
+      out += " " + std::to_string(v.value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+Json TraceSink::ToJson() {
+  // Copy every ring under its own lock, then sort. Events within a ring are
+  // already in emission order, but rings interleave.
+  std::vector<Event> all;
+  {
+    RingRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const auto& ring : reg.rings) {
+      std::lock_guard<std::mutex> rlock(ring->mu);
+      all.insert(all.end(), ring->events.begin(), ring->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.tid < b.tid;
+  });
+  uint64_t base_ns = all.empty() ? 0 : all.front().start_ns;
+
+  Json events = Json::MakeArray();
+  for (const Event& e : all) {
+    Json ev = Json::MakeObject();
+    ev["name"] = Json::MakeString(e.name);
+    ev["ph"] = Json::MakeString("X");
+    ev["ts"] = Json::MakeDouble(static_cast<double>(e.start_ns - base_ns) / 1000.0);
+    ev["dur"] = Json::MakeDouble(static_cast<double>(e.dur_ns) / 1000.0);
+    ev["pid"] = Json::MakeInt(1);
+    ev["tid"] = Json::MakeInt(e.tid);
+    if (e.nargs > 0) {
+      Json args = Json::MakeObject();
+      for (uint32_t i = 0; i < e.nargs; ++i) {
+        args[e.args[i].key] = Json::MakeInt(e.args[i].value);
+      }
+      ev["args"] = std::move(args);
+    }
+    events.Append(std::move(ev));
+  }
+
+  Json root = Json::MakeObject();
+  root["traceEvents"] = std::move(events);
+  root["displayTimeUnit"] = Json::MakeString("ms");
+  return root;
+}
+
+bool TraceSink::WriteJson(const std::string& path, std::string* err) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (err != nullptr) {
+      *err = "cannot open " + path;
+    }
+    return false;
+  }
+  out << ToJson().Dump(-1) << "\n";
+  if (!out) {
+    if (err != nullptr) {
+      *err = "write failed: " + path;
+    }
+    return false;
+  }
+  return true;
+}
+
+void ResetForTest() {
+  {
+    RingRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const auto& ring : reg.rings) {
+      std::lock_guard<std::mutex> rlock(ring->mu);
+      ring->events.clear();
+      ring->next = 0;
+      ring->wrapped = false;
+    }
+  }
+  MetricsRegistry& m = Metrics();
+  std::lock_guard<std::mutex> lock(m.mu);
+  for (auto& [name, c] : m.counters) {
+    c->Reset();
+  }
+  for (auto& [name, g] : m.gauges) {
+    g->Reset();
+  }
+  for (auto& [name, h] : m.histograms) {
+    h->Reset();
+  }
+}
+
+}  // namespace trace
+}  // namespace ivy

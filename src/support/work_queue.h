@@ -40,6 +40,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/support/trace.h"
+
 namespace ivy {
 
 class WorkQueue {
@@ -60,6 +62,21 @@ class WorkQueue {
   ~WorkQueue() { Shutdown(); }
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Scheduling counters, maintained under mu_ (the paths that bump them
+  // already hold it, so they cost nothing extra). Steals = tasks drained
+  // from a sibling's deque; idle waits = times a worker found every deque
+  // empty and blocked. Shutdown() publishes both into the trace metrics
+  // registry ("workqueue.steals" / "workqueue.idle_waits") when tracing is
+  // enabled — the pool-lifetime totals the --metrics output reports.
+  uint64_t steals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return steals_;
+  }
+  uint64_t idle_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_waits_;
+  }
 
   static int ResolveHardware() {
     unsigned hw = std::thread::hardware_concurrency();
@@ -113,6 +130,10 @@ class WorkQueue {
         return;
       }
       stopped_ = true;
+      if (trace::Enabled()) {
+        trace::GetCounter("workqueue.steals")->Add(steals_);
+        trace::GetCounter("workqueue.idle_waits")->Add(idle_waits_);
+      }
       // Discarded tasks still count as "done" so a racing Wait() cannot hang.
       for (Deque& q : queues_) {
         pending_ -= q.tasks.size();
@@ -161,6 +182,7 @@ class WorkQueue {
           task = std::move(queues_[victim].tasks.front());
           queues_[victim].tasks.pop_front();
           have = true;
+          ++steals_;
         }
       }
       if (have) {
@@ -184,17 +206,20 @@ class WorkQueue {
       if (stopped_) {
         return;
       }
+      ++idle_waits_;
       cv_work_.wait(lock);
     }
   }
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_idle_;
   std::vector<Deque> queues_;
   std::vector<std::thread> workers_;
   size_t pending_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t steals_ = 0;
+  uint64_t idle_waits_ = 0;
   bool stopped_ = false;
   std::exception_ptr first_error_;
   uint64_t first_error_seq_ = UINT64_MAX;

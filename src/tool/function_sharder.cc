@@ -2,6 +2,9 @@
 
 #include <exception>
 
+#include "src/support/clock.h"
+#include "src/support/trace.h"
+
 namespace ivy {
 
 FunctionSharder::FunctionSharder(std::vector<const FuncDecl*> funcs, int shards)
@@ -56,9 +59,24 @@ void FunctionSharder::RunChunks(WorkQueue& wq,
   // Chunks 1..k-1 run through a TaskGroup (scoped to this round, so several
   // kernels can share one pool without seeing each other's completion or
   // exceptions); chunk 0 runs help-first on the calling thread.
+  //
+  // Queue-wait observability: when tracing is on, each submitted chunk
+  // carries its submission timestamp and records Submit→start latency into
+  // "sharder.queue_wait_us" plus a "shard.chunk" span for the kernel run.
+  // The chunk index rides in the span args, so a Perfetto view shows which
+  // shard sat behind which.
   TaskGroup group(wq);
+  const bool traced = trace::Enabled();
   for (size_t c = 1; c < ranges.size(); ++c) {
-    group.Submit([c, &ranges, &kernel] {
+    const uint64_t submit_ns = traced ? MonotonicNowNs() : 0;
+    group.Submit([c, submit_ns, traced, &ranges, &kernel] {
+      if (traced) {
+        trace::GetHistogram("sharder.queue_wait_us")
+            ->Record((MonotonicNowNs() - submit_ns) / 1000);
+        trace::Span span("shard.chunk", {"chunk", static_cast<int64_t>(c)});
+        kernel(static_cast<int>(c), ranges[c].first, ranges[c].second);
+        return;
+      }
       kernel(static_cast<int>(c), ranges[c].first, ranges[c].second);
     });
   }

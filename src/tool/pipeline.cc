@@ -7,6 +7,8 @@
 #include "src/kernel/prelude.h"
 #include "src/mc/lexer.h"
 #include "src/mc/parser.h"
+#include "src/support/clock.h"
+#include "src/support/trace.h"
 #include "src/support/work_queue.h"
 #include "src/tool/registry.h"
 #include "src/vm/builtins.h"
@@ -375,6 +377,19 @@ PipelineResult Pipeline::RunTools(AnalysisContext& ctx) const {
       config_errors.push_back(std::move(skip));
     }
   }
+  // Per-pass wall time: a "pass.<tool>" span plus a "pipeline.pass_us"
+  // histogram sample per pass, observed from whichever thread runs it.
+  // Disabled-path cost is the one Enabled() check.
+  auto run_pass = [&ctx](ToolPass* p) {
+    if (!trace::Enabled()) {
+      return p->Run(ctx);
+    }
+    trace::Span span("pass." + p->name());
+    const uint64_t t0 = MonotonicNowNs();
+    ToolResult r = p->Run(ctx);
+    trace::GetHistogram("pipeline.pass_us")->Record((MonotonicNowNs() - t0) / 1000);
+    return r;
+  };
   for (const std::vector<size_t>& wave : waves) {
     if (parallel_ && wave.size() > 1) {
       std::vector<std::future<ToolResult>> futures;
@@ -382,7 +397,7 @@ PipelineResult Pipeline::RunTools(AnalysisContext& ctx) const {
       for (size_t i : wave) {
         ToolPass* p = passes[i].get();
         futures.push_back(
-            std::async(std::launch::async, [p, &ctx] { return p->Run(ctx); }));
+            std::async(std::launch::async, [p, &run_pass] { return run_pass(p); }));
       }
       // Gathering by index keeps the merge order equal to the request order
       // no matter which pass finished first.
@@ -391,7 +406,7 @@ PipelineResult Pipeline::RunTools(AnalysisContext& ctx) const {
       }
     } else {
       for (size_t i : wave) {
-        results[i] = passes[i]->Run(ctx);
+        results[i] = run_pass(passes[i].get());
       }
     }
   }

@@ -9,8 +9,10 @@
 #include "src/errcheck/errcheck.h"
 #include "src/locksafe/locksafe.h"
 #include "src/mc/lexer.h"
+#include "src/support/clock.h"
 #include "src/support/diag.h"
 #include "src/support/scc.h"
+#include "src/support/trace.h"
 #include "src/tool/session_state.h"
 
 namespace ivy {
@@ -431,6 +433,11 @@ void AnalysisSession::Analyze(const std::string& name, ModuleState* st) {
   st->stats.valid = true;
   st->stats.cold = !warm;
   st->stats.dirty_functions = warm ? static_cast<int>(dirty_funcs.size()) : -1;
+  // Warm-vs-cold solve accounting for --metrics: how often the incremental
+  // machinery actually pays off across a session's lifetime.
+  if (trace::Enabled()) {
+    trace::GetCounter(warm ? "session.solve_warm" : "session.solve_cold")->Add();
+  }
   if (st->ctx->pointsto_builds() > 0) {
     const PointsTo& pt = st->ctx->pointsto();
     st->stats.pointsto_propagations = pt.solve_propagations();
@@ -964,6 +971,12 @@ SessionResult AnalysisSession::RunLinked() {
       break;
     }
     ++link_stats_.rounds;
+    // One span per fixpoint round (dirty count attached once the diff is
+    // known) plus a round-latency histogram — the fixpoint's progress curve
+    // in a Perfetto view.
+    trace::Span round_span("session.link_round",
+                           {"round", static_cast<int64_t>(link_stats_.rounds)});
+    const uint64_t round_t0 = trace::Enabled() ? MonotonicNowNs() : 0;
     result = Run();
     if (result.cancelled) {
       link_stats_.cancelled = true;
@@ -984,6 +997,12 @@ SessionResult AnalysisSession::RunLinked() {
     ComputeLinkStackFacts();
 
     std::set<std::string> dirty = DiffLinkTable(before, SnapshotLinkTable());
+    round_span.AddArg({"dirty", static_cast<int64_t>(dirty.size())});
+    if (trace::Enabled()) {
+      trace::GetHistogram("session.link_round_us")
+          ->Record((MonotonicNowNs() - round_t0) / 1000);
+      trace::GetCounter("session.dirty_modules")->Add(dirty.size());
+    }
     if (dirty.empty()) {
       link_stats_.converged = true;
       break;

@@ -17,7 +17,9 @@
 #include <utility>
 
 #include "src/store/store.h"
+#include "src/support/clock.h"
 #include "src/support/subprocess.h"
+#include "src/support/trace.h"
 #include "src/tool/session.h"
 #include "src/tool/session_state.h"
 
@@ -367,6 +369,13 @@ SessionResult AnalysisSession::RunLinkedDistributed(const DistributedLinkOptions
         dirty_names.push_back(name);
       }
     }
+    // Fleet observability: one span per coordinator round, one
+    // "relink.worker_us" histogram sample per worker (spawn→join for
+    // subprocess workers, call duration for in-process ones) — the skew
+    // between the fastest and slowest worker is the fleet's idle cost.
+    trace::Span round_span("relink.round",
+                           {"round", static_cast<int64_t>(link_stats_.rounds)},
+                           {"dirty", static_cast<int64_t>(dirty_names.size())});
 
     if (!dirty_names.empty()) {
       // Publish the round base. Workers read the immutable `.round`
@@ -395,8 +404,15 @@ SessionResult AnalysisSession::RunLinkedDistributed(const DistributedLinkOptions
         futures.reserve(shards.size());
         for (const std::vector<std::string>& shard : shards) {
           futures.push_back(std::async(std::launch::async, [&opts, shard] {
+            trace::Span wspan("relink.worker",
+                             {"modules", static_cast<int64_t>(shard.size())});
+            const uint64_t t0 = trace::Enabled() ? MonotonicNowNs() : 0;
             std::string werr;
             bool ok = opts.run_worker(shard, &werr);
+            if (trace::Enabled()) {
+              trace::GetHistogram("relink.worker_us")
+                  ->Record((MonotonicNowNs() - t0) / 1000);
+            }
             return std::make_pair(ok, werr);
           }));
         }
@@ -409,6 +425,12 @@ SessionResult AnalysisSession::RunLinkedDistributed(const DistributedLinkOptions
         }
       } else {
         std::vector<Subprocess> procs(shards.size());
+        // Subprocess workers trace in their own address space; their rings
+        // are invisible here. The coordinator emits one relink.worker span
+        // per child covering its observed lifetime (spawn -> join), heap-
+        // held so the RAII scope can straddle the two loops.
+        std::vector<std::unique_ptr<trace::Span>> wspans(shards.size());
+        const uint64_t spawn_t0 = trace::Enabled() ? MonotonicNowNs() : 0;
         for (size_t s = 0; s < shards.size(); ++s) {
           std::string mods;
           for (const std::string& m : shards[s]) {
@@ -420,6 +442,9 @@ SessionResult AnalysisSession::RunLinkedDistributed(const DistributedLinkOptions
           std::vector<std::string> argv = {opts.worker_argv0, "--worker",
                                            "--store", opts.store_path,
                                            "--modules", mods};
+          wspans[s] = std::make_unique<trace::Span>(
+              "relink.worker",
+              trace::SpanArg{"modules", static_cast<int64_t>(shards[s].size())});
           if (!SpawnProcess(argv, &procs[s], &err)) {
             failed = true;
             break;
@@ -427,12 +452,20 @@ SessionResult AnalysisSession::RunLinkedDistributed(const DistributedLinkOptions
         }
         // Join every spawned worker even after a failure — no zombies, and
         // the store is quiescent before we decide anything.
-        for (Subprocess& p : procs) {
+        for (size_t s = 0; s < procs.size(); ++s) {
+          Subprocess& p = procs[s];
           if (p.pid < 0) {
+            wspans[s].reset();
             continue;
           }
           std::string werr;
-          if (!WaitProcess(&p, &werr) && !failed) {
+          bool ok = WaitProcess(&p, &werr);
+          wspans[s].reset();
+          if (trace::Enabled()) {
+            trace::GetHistogram("relink.worker_us")
+                ->Record((MonotonicNowNs() - spawn_t0) / 1000);
+          }
+          if (!ok && !failed) {
             failed = true;
             err = werr;
           }

@@ -37,6 +37,10 @@ struct VmConfig {
   uint64_t stack_bytes = 1ull << 20;
   int64_t stack_limit = 256 << 10;  // kCheckStack budget (bytes)
   int64_t max_steps = 400'000'000;  // deterministic watchdog
+  // Opt-in per-opcode execution counts (BcVm only; the tree VM has no
+  // opcode stream). Pure observation: profiling on vs off must leave
+  // cycles/steps/traps byte-identical — asserted in bcvm_diff_test.
+  bool profile = false;
   CostModel cost;
 };
 

@@ -469,5 +469,48 @@ TEST(BcDiff, FuzzedImagesRejectedOrContained) {
   EXPECT_GT(contained, 0) << "sweep never exercised the accepted-mutant path";
 }
 
+// VmConfig::profile is pure observation: the per-opcode counters must not
+// perturb a single observable — value, trap, cycles, steps, log, locks,
+// heap — across the kernel corpus, while actually counting every dispatched
+// instruction (ivytrace's determinism contract, VM edition).
+TEST(BcDiff, ProfilingDoesNotPerturbObservables) {
+  std::vector<CallSpec> calls = {
+      {"boot_kernel", {5}}, {"light_use", {64}}, {"hb_setup", {}},
+      {"hb_lat_proc", {40}},
+  };
+  for (const ToolConfig& cfg : AllToolConfigs()) {
+    auto comp = CompileKernel(cfg);
+    ASSERT_TRUE(comp->ok) << comp->Errors();
+
+    std::string err;
+    auto plain = MakeBcVm(*comp, VmConfig{}, nullptr, &err);
+    ASSERT_NE(plain, nullptr) << err;
+    VmConfig pcfg;
+    pcfg.profile = true;
+    auto profiled = MakeBcVm(*comp, pcfg, nullptr, &err);
+    ASSERT_NE(profiled, nullptr) << err;
+
+    EXPECT_TRUE(plain->op_profile().empty());
+    ASSERT_EQ(profiled->op_profile().size(), static_cast<size_t>(BcOp::kCount_));
+
+    for (const CallSpec& c : calls) {
+      VmResult rp = plain->Call(c.fn, c.args);
+      VmResult rq = profiled->Call(c.fn, c.args);
+      ExpectSameResult(rp, rq, "profile parity call " + c.fn);
+    }
+    ExpectSameMachine(*plain, *profiled, "profile parity final state");
+
+    // The counters really counted: every counted step is a profiled opcode
+    // (implicit returns are profiled but not counted as steps, so the
+    // profile total is >= steps).
+    uint64_t total = 0;
+    for (uint64_t n : profiled->op_profile()) {
+      total += n;
+    }
+    EXPECT_GE(total, static_cast<uint64_t>(profiled->steps()));
+    EXPECT_GT(total, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace ivy

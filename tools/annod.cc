@@ -20,6 +20,7 @@
 
 #include "src/server/server.h"
 #include "src/support/numbers.h"
+#include "src/support/trace.h"
 #include "tools/synth_common.h"
 
 namespace {
@@ -28,7 +29,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: annod --listen <unix:/path | host:port>\n"
                "             [--synth M:N[:seed]] [--corpus <name>] [--retain <epochs>]\n"
-               "             [--store-dir <dir>]\n");
+               "             [--store-dir <dir>] [--trace-out <file>] [--metrics]\n");
 }
 
 }  // namespace
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
   std::string synth_spec;
   std::string corpus = "synth";
   std::string store_dir;
+  std::string trace_out;
+  bool metrics = false;
   int retain = 8;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +92,14 @@ int main(int argc, char** argv) {
         return 1;
       }
       store_dir = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (v == nullptr) {
+        return 1;
+      }
+      trace_out = v;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -101,6 +112,12 @@ int main(int argc, char** argv) {
   if (listen.empty()) {
     Usage();
     return 1;
+  }
+
+  // Tracing goes on before the seed relink so the first fixpoint is in the
+  // trace too. The JSON lands at --trace-out after the drain.
+  if (!trace_out.empty() || metrics) {
+    ivy::trace::SetEnabled(true);
   }
 
   ivy::AnnodServer::Options opts;
@@ -133,6 +150,18 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "annod: listening on %s\n", server.bound_address().c_str());
 
   server.Wait();
+  if (!trace_out.empty()) {
+    std::string terr;
+    if (!ivy::trace::TraceSink::WriteJson(trace_out, &terr)) {
+      std::fprintf(stderr, "annod: cannot write trace to '%s': %s\n",
+                   trace_out.c_str(), terr.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "annod: trace written to %s\n", trace_out.c_str());
+  }
+  if (metrics) {
+    std::fprintf(stderr, "%s", ivy::trace::RenderMetrics().c_str());
+  }
   std::fprintf(stderr, "annod: stopped\n");
   return 0;
 }

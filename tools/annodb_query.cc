@@ -52,6 +52,7 @@
 #include "src/server/epoch.h"
 #include "src/store/store.h"
 #include "src/support/numbers.h"
+#include "src/support/trace.h"
 #include "src/tool/session.h"
 #include "tools/synth_common.h"
 
@@ -68,7 +69,8 @@ void Usage() {
       "                    [query flags above] [--epoch <id>] [--sync] [--stats]\n"
       "                    [--open] [--upsert <module> --with-file <path>]\n"
       "                    [--replace <module>:<function> --with-file <path>]\n"
-      "                    [--remove <module>] [--shutdown-server]\n");
+      "                    [--remove <module>] [--shutdown-server] [--metrics]\n"
+      "       (offline modes also take --trace-out <file> and --metrics)\n");
 }
 
 std::string JoinNames(const std::vector<std::string>& names) {
@@ -177,8 +179,14 @@ struct Args {
   std::string remove_module;
   std::string with_file;
 
+  // Observability: connected --metrics renders the daemon's live latency
+  // percentiles (kStats v2 block); offline --metrics/--trace-out observe
+  // the in-process analysis run itself.
+  bool metrics = false;
+  std::string trace_out;
+
   bool HasAction() const {
-    return open || stats || shutdown_server || !upsert_module.empty() ||
+    return open || stats || shutdown_server || metrics || !upsert_module.empty() ||
            !replace_spec.empty() || !remove_module.empty();
   }
 };
@@ -329,6 +337,26 @@ int RunConnected(const Args& a) {
     for (const std::string& e : s.apply_errors) {
       std::printf("  apply_error: %s\n", e.c_str());
     }
+  }
+  if (a.metrics) {
+    // The live snapshot: the daemon's always-on histograms over the wire,
+    // no tracing required on either end.
+    ivy::StatsReplyMsg s;
+    if (!client.Stats(a.corpus, &s, &err)) {
+      std::fprintf(stderr, "annodb-query: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("metrics %s:\n", a.corpus.c_str());
+    std::printf("  requests count=%llu p50_us=%llu p95_us=%llu p99_us=%llu\n",
+                static_cast<unsigned long long>(s.request_count),
+                static_cast<unsigned long long>(s.request_p50_us),
+                static_cast<unsigned long long>(s.request_p95_us),
+                static_cast<unsigned long long>(s.request_p99_us));
+    std::printf("  publishes count=%llu p50_us=%llu p99_us=%llu\n",
+                static_cast<unsigned long long>(s.publish_count),
+                static_cast<unsigned long long>(s.publish_p50_us),
+                static_cast<unsigned long long>(s.publish_p99_us));
+    std::printf("  edit_queue_peak=%u\n", s.edit_queue_peak);
   }
   if (a.shutdown_server) {
     if (!client.Shutdown(&err)) {
@@ -545,6 +573,10 @@ int main(int argc, char** argv) {
       if (!want("--remove", &a.remove_module)) return 1;
     } else if (arg == "--with-file") {
       if (!want("--with-file", &a.with_file)) return 1;
+    } else if (arg == "--metrics") {
+      a.metrics = true;
+    } else if (arg == "--trace-out") {
+      if (!want("--trace-out", &a.trace_out)) return 1;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -560,11 +592,32 @@ int main(int argc, char** argv) {
   if (!a.connect.empty()) {
     return RunConnected(a);
   }
+  // Offline observability: trace/meter the in-process analysis run. stdout
+  // stays the query-result surface; traces go to the file, metrics to
+  // stderr.
+  if (!a.trace_out.empty() || a.metrics) {
+    ivy::trace::SetEnabled(true);
+  }
+  auto finish = [&a](int rc) {
+    if (!a.trace_out.empty()) {
+      std::string terr;
+      if (!ivy::trace::TraceSink::WriteJson(a.trace_out, &terr)) {
+        std::fprintf(stderr, "annodb-query: cannot write trace to '%s': %s\n",
+                     a.trace_out.c_str(), terr.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "trace written to %s\n", a.trace_out.c_str());
+    }
+    if (a.metrics) {
+      std::fprintf(stderr, "%s", ivy::trace::RenderMetrics().c_str());
+    }
+    return rc;
+  };
   if (!a.store_path.empty()) {
-    return RunFromStore(a);
+    return finish(RunFromStore(a));
   }
   if (!a.from_synth.empty()) {
-    return RunFromSynth(a);
+    return finish(RunFromSynth(a));
   }
   if (!a.from_kernel && a.input.empty()) {
     Usage();
@@ -654,5 +707,5 @@ int main(int argc, char** argv) {
     PrintFinding(f);
   }
   PrintFindingsTrailer(matches, db.findings().size(), a.function, a.tool, a.module);
-  return 0;
+  return finish(0);
 }

@@ -27,6 +27,7 @@
 
 #include "src/store/store.h"
 #include "src/support/numbers.h"
+#include "src/support/trace.h"
 #include "src/tool/session.h"
 #include "tools/synth_common.h"
 
@@ -36,6 +37,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: annolink --synth M:N[:seed] --store <path>\n"
                "                [--workers <n>] [--single] [--test-worker-fail <module>]\n"
+               "                [--trace-out <file>] [--metrics]\n"
                "       annolink --worker --store <path> --modules a,b,c\n");
 }
 
@@ -101,9 +103,11 @@ int main(int argc, char** argv) {
   std::string store;
   std::string modules_csv;
   std::string fail_module;
+  std::string trace_out;
   int workers = 3;
   bool single = false;
   bool worker_mode = false;
+  bool metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -144,6 +148,12 @@ int main(int argc, char** argv) {
       const char* v = next("--test-worker-fail");
       if (v == nullptr) return 1;
       fail_module = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (v == nullptr) return 1;
+      trace_out = v;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -160,6 +170,12 @@ int main(int argc, char** argv) {
   if (synth_spec.empty() || store.empty()) {
     Usage();
     return 1;
+  }
+  // Observability never touches stdout here: stdout is the byte-identity
+  // surface CI diffs across worker counts. Traces go to a file, metrics to
+  // stderr.
+  if (!trace_out.empty() || metrics) {
+    ivy::trace::SetEnabled(true);
   }
 
   ivy::LinkedCorpusOptions opt;
@@ -210,6 +226,18 @@ int main(int argc, char** argv) {
                ls.rounds, ls.module_analyses, ls.summary_rows, ls.cross_edges,
                ls.converged ? 1 : 0);
   PrintResult(session, result);
+  if (!trace_out.empty()) {
+    std::string terr;
+    if (!ivy::trace::TraceSink::WriteJson(trace_out, &terr)) {
+      std::fprintf(stderr, "annolink: cannot write trace to '%s': %s\n",
+                   trace_out.c_str(), terr.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "annolink: trace written to %s\n", trace_out.c_str());
+  }
+  if (metrics) {
+    std::fprintf(stderr, "%s", ivy::trace::RenderMetrics().c_str());
+  }
   if (result.cancelled || !ls.converged || result.compile_failures > 0) {
     return 1;
   }

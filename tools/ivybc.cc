@@ -37,6 +37,7 @@
 #include "src/bc/compile.h"
 #include "src/bc/verify.h"
 #include "src/kernel/corpus.h"
+#include "src/support/trace.h"
 
 namespace {
 
@@ -48,7 +49,9 @@ void Usage() {
                "       ivybc --dump <image.ivybc>\n"
                "       ivybc --verify <image.ivybc>\n"
                "       ivybc [sources] --image <image.ivybc> --run <fn> [args...]\n"
-               "       ivybc [sources] --tree --run <fn> [args...]\n");
+               "       ivybc [sources] --tree --run <fn> [args...]\n"
+               "       (--run also takes --profile, --trace-out <file>, --metrics;\n"
+               "        observability output goes to stderr/file, never stdout)\n");
 }
 
 bool ReadFile(const std::string& path, std::string* out, std::string* err) {
@@ -114,6 +117,9 @@ int main(int argc, char** argv) {
   std::string image_path;
   std::string run_fn;
   std::vector<int64_t> run_args;
+  std::string trace_out;
+  bool metrics = false;
+  bool profile = false;
   ivy::ToolConfig cfg;
 
   for (int i = 1; i < argc; ++i) {
@@ -139,6 +145,12 @@ int main(int argc, char** argv) {
       cfg.discharge = false;
     } else if (a == "--tree") {
       use_tree = true;
+    } else if (a == "--profile") {
+      profile = true;
+    } else if (a == "--trace-out") {
+      trace_out = next("--trace-out");
+    } else if (a == "--metrics") {
+      metrics = true;
     } else if (a == "-o") {
       out_path = next("-o");
     } else if (a == "--image") {
@@ -177,6 +189,27 @@ int main(int argc, char** argv) {
   }
 
   std::string err;
+
+  // Observability is stderr/file only: --run stdout is the byte-identity
+  // surface CI diffs between --tree and the bytecode VM.
+  if (!trace_out.empty() || metrics) {
+    ivy::trace::SetEnabled(true);
+  }
+  auto finish = [&trace_out, metrics](int rc) {
+    if (!trace_out.empty()) {
+      std::string terr;
+      if (!ivy::trace::TraceSink::WriteJson(trace_out, &terr)) {
+        std::fprintf(stderr, "ivybc: cannot write trace to '%s': %s\n",
+                     trace_out.c_str(), terr.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "ivybc: trace written to %s\n", trace_out.c_str());
+    }
+    if (metrics) {
+      std::fprintf(stderr, "%s", ivy::trace::RenderMetrics().c_str());
+    }
+    return rc;
+  };
 
   // Standalone image modes need no frontend at all.
   if (verify_only) {
@@ -227,8 +260,17 @@ int main(int argc, char** argv) {
   }
 
   if (!run_fn.empty() && use_tree) {
+    if (profile) {
+      std::fprintf(stderr, "ivybc: --profile needs the bytecode VM (no opcode "
+                           "stream in --tree); ignoring\n");
+    }
     auto vm = ivy::MakeVm(*comp);
-    return RunAndPrint(*vm, run_fn, run_args);
+    int rc;
+    {
+      TRACE_SPAN("vm.run");
+      rc = RunAndPrint(*vm, run_fn, run_args);
+    }
+    return finish(rc);
   }
 
   // Bytecode path: an explicit --image runs the decoded file (the layouts
@@ -269,12 +311,32 @@ int main(int argc, char** argv) {
     std::fputs(ivy::DisassembleBc(*bc).c_str(), stdout);
   }
   if (!run_fn.empty()) {
-    auto vm = ivy::MakeBcVm(*comp, ivy::VmConfig{}, bc, &err);
+    ivy::VmConfig vcfg;
+    vcfg.profile = profile;
+    auto vm = ivy::MakeBcVm(*comp, vcfg, bc, &err);
     if (vm == nullptr) {
       std::fprintf(stderr, "ivybc: %s\n", err.c_str());
       return 1;
     }
-    return RunAndPrint(*vm, run_fn, run_args);
+    int rc;
+    {
+      TRACE_SPAN("vm.run");
+      rc = RunAndPrint(*vm, run_fn, run_args);
+    }
+    if (profile) {
+      // Deterministic opcode order; zero-count rows elided. stderr, so the
+      // stdout identity contract with --tree holds with --profile on.
+      std::fprintf(stderr, "opcode profile (%s):\n", run_fn.c_str());
+      const std::vector<uint64_t>& counts = vm->op_profile();
+      for (size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] > 0) {
+          std::fprintf(stderr, "  %-15s %llu\n",
+                       ivy::BcOpName(static_cast<ivy::BcOp>(i)),
+                       static_cast<unsigned long long>(counts[i]));
+        }
+      }
+    }
+    return finish(rc);
   }
-  return 0;
+  return finish(0);
 }
