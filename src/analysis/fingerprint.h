@@ -14,31 +14,38 @@
 //     function bodies that analyses read (field layout, global initializers);
 //     a preamble change makes the whole module dirty (cold re-solve).
 //
-// ReferencedNames collects every identifier a body mentions, so the session
-// can dirty the functions whose name resolution changed when a function is
-// added, removed, or re-declared.
+// The per-function fingerprint is a LINEAR walk over the function's
+// contiguous arena slab spans (FuncDecl::{expr,stmt,decl}_{begin,end}) — no
+// recursive pointer chase in the hot path. Tree shape is captured by mixing
+// each node's child ids RELATIVE to the span start, and string content
+// enters through the interner's cached per-id content hashes, so the result
+// is independent of where the function sits in the module (absolute ids,
+// SourceLocs) and identical across allocation modes. Node ids are
+// deterministic given the source bytes, so so is the fingerprint.
+//
+// ReferencedNames collects every identifier a body mentions (skipping
+// Expr::no_refs annotation/const-eval nodes), so the session can dirty the
+// functions whose name resolution changed when a function is added, removed,
+// or re-declared.
 #ifndef SRC_ANALYSIS_FINGERPRINT_H_
 #define SRC_ANALYSIS_FINGERPRINT_H_
 
 #include <cstdint>
 #include <set>
 #include <string>
+#include <string_view>
 
 #include "src/mc/ast.h"
 
 namespace ivy {
 
-// FNV-1a parameters — the one pair of constants every hash in the
-// incremental layer (fingerprints, callee-list hashes) derives from.
-constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
-
 // Streams separator-tagged strings into an FNV-1a hash ("ab"+"c" differs
 // from "a"+"bc"). Used by CallGraph::CalleeNameHashes; the richer AST
-// fingerprints below build on the same constants.
+// fingerprints below build on the same constants (see src/mc/arena.h for
+// kFnvOffset/kFnvPrime).
 class NameStreamHasher {
  public:
-  void Mix(const std::string& s) {
+  void Mix(std::string_view s) {
     for (char c : s) {
       Byte(static_cast<uint8_t>(c));
     }
@@ -54,23 +61,24 @@ class NameStreamHasher {
   uint64_t h_ = kFnvOffset;
 };
 
-uint64_t FingerprintFunction(const FuncDecl* fn);
+uint64_t FingerprintFunction(const Program& prog, const FuncDecl* fn);
 uint64_t FingerprintSignature(const FuncDecl* fn);
 uint64_t FingerprintPreamble(const Program& prog);
 
 // Identifier spellings referenced anywhere in `fn`'s body (call targets,
 // variable reads, address-of operands). Used to find callers-by-name of
 // added/removed/re-declared functions.
-std::set<std::string> ReferencedNames(const FuncDecl* fn);
+std::set<std::string> ReferencedNames(const Program& prog, const FuncDecl* fn);
 
-// All three in one AST walk — what AnalysisSession computes per function on
-// every re-analysis, so this is the hot path.
+// All three in one pass — what AnalysisSession computes per function on
+// every re-analysis, so this is the hot path: one linear sweep over the
+// function's slab spans.
 struct FunctionFingerprint {
   uint64_t full = 0;  // signature + attributes + body
   uint64_t sig = 0;   // what callers can observe
   std::set<std::string> refs;
 };
-FunctionFingerprint FingerprintFunctionFull(const FuncDecl* fn);
+FunctionFingerprint FingerprintFunctionFull(const Program& prog, const FuncDecl* fn);
 
 }  // namespace ivy
 

@@ -28,10 +28,11 @@ AnnoDb AnnoDb::Extract(const Program& prog, const Sema& sema, const IrModule& /*
     facts.blocking_if_param = fn->attrs.blocking_if_param;
     facts.errcodes = fn->attrs.errcodes;
     facts.frame_size = fn->frame_size;
+    std::string key(name);
     if (blockstop != nullptr) {
-      facts.may_block = blockstop->mayblock.count(name) != 0;
+      facts.may_block = blockstop->mayblock.count(key) != 0;
     }
-    db.funcs_[name] = std::move(facts);
+    db.funcs_[std::move(key)] = std::move(facts);
   }
   TypeLayoutRegistry layouts = TypeLayoutRegistry::Build(prog);
   for (const RecordDecl* rec : prog.records) {

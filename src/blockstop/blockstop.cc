@@ -35,7 +35,7 @@ const CallSite* BlockStop::SiteFor(const Expr* e) const {
   return it == site_index_.end() ? nullptr : it->second;
 }
 
-bool BlockStop::CallMayBlock(const FuncDecl* callee, const std::vector<Expr*>& args,
+bool BlockStop::CallMayBlock(const FuncDecl* callee, const ExprList& args,
                              const FuncDecl* caller) const {
   if (callee == nullptr) {
     return false;
@@ -90,7 +90,7 @@ const FuncDecl* BlockStop::BlockingCauseOf(const FuncDecl* fn) const {
     if (site.is_irq_dispatch) {
       continue;  // handlers run in irq context; dispatch itself won't sleep
     }
-    std::vector<Expr*>& args = const_cast<Expr*>(site.expr)->args;
+    const ExprList& args = site.expr->args;
     if (site.builtin != nullptr && CallMayBlock(site.builtin, args, fn)) {
       return site.builtin;
     }
@@ -346,7 +346,7 @@ BlockStop::EntryEffects BlockStop::EvaluateEntry(const FuncDecl* fn, uint8_t ent
       continue;
     }
     // Violation detection at this atomic site.
-    std::vector<Expr*>& args = const_cast<Expr*>(expr)->args;
+    const ExprList& args = expr->args;
     std::vector<const FuncDecl*> blockers;
     if (site->builtin != nullptr && CallMayBlock(site->builtin, args, fn)) {
       blockers.push_back(site->builtin);

@@ -132,7 +132,7 @@ class BlockStop {
   EntryEffects EvaluateEntry(const FuncDecl* fn, uint8_t entry_bit) const;
 
   // True if a call to `callee` with argument exprs `args` may block.
-  bool CallMayBlock(const FuncDecl* callee, const std::vector<Expr*>& args,
+  bool CallMayBlock(const FuncDecl* callee, const ExprList& args,
                     const FuncDecl* caller) const;
   // First blocking cause of `fn` under the current may-block set (site
   // order), or nullptr. The shared predicate behind both propagation loops.

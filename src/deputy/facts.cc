@@ -11,13 +11,13 @@ std::string CanonKey(const Expr* e) {
       if (e->sym != nullptr) {
         return "v" + std::to_string(reinterpret_cast<uintptr_t>(e->sym));
       }
-      return "fn:" + e->str_val;
+      return "fn:" + std::string(e->str_val);
     case ExprKind::kMember: {
       std::string base = CanonKey(e->a);
       if (base.empty()) {
         return "";
       }
-      return base + (e->is_arrow ? "->" : ".") + e->str_val;
+      return base + (e->is_arrow ? "->" : ".") + std::string(e->str_val);
     }
     case ExprKind::kDeref: {
       std::string base = CanonKey(e->a);

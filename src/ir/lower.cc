@@ -91,7 +91,7 @@ void Lowerer::LayoutGlobals(IrModule* m) {
     addr += static_cast<uint64_t>(size);
     // Intern string-literal initializers so the VM can resolve them.
     if (g->init != nullptr && g->init->kind == ExprKind::kStrLit) {
-      m->string_pool.push_back(g->init->str_val);
+      m->string_pool.emplace_back(g->init->str_val);
     }
   }
   m->globals_end = addr;  // string addresses assigned lazily, after this
@@ -852,7 +852,7 @@ Lowerer::LValue Lowerer::LowerLValue(const Expr* e) {
     case ExprKind::kIdent: {
       const Symbol* sym = e->sym;
       if (sym == nullptr) {
-        diags_->Error(e->loc, "cannot take lvalue of '" + e->str_val + "'", "lower");
+        diags_->Error(e->loc, "cannot take lvalue of '" + std::string(e->str_val) + "'", "lower");
         lv.addr = EmitConst(0, e->loc);
         return lv;
       }
@@ -1080,7 +1080,7 @@ int Lowerer::LowerExpr(const Expr* e) {
       Instr& i = Emit(Op::kStrConst, e->loc);
       i.dst = NewReg();
       i.imm = static_cast<int64_t>(module_->string_pool.size());
-      module_->string_pool.push_back(e->str_val);
+      module_->string_pool.emplace_back(e->str_val);
       return i.dst;
     }
     case ExprKind::kIdent: {

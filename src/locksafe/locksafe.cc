@@ -21,7 +21,7 @@ std::string LockSafe::LockName(const Expr* arg) {
     return "<unknown>";
   }
   if (e->kind == ExprKind::kMember && e->field_record != nullptr) {
-    return e->field_record->name + "." + e->str_val;
+    return e->field_record->name + "." + std::string(e->str_val);
   }
   if (e->kind == ExprKind::kIdent && e->sym != nullptr) {
     if (e->sym->kind == SymKind::kGlobal) {
@@ -45,7 +45,7 @@ void LockSafe::WalkExpr(const FuncDecl* fn, const Expr* e, Ctx* ctx, Collector* 
   if (e->kind != ExprKind::kCall || e->a->kind != ExprKind::kIdent || e->args.empty()) {
     return;
   }
-  const std::string& callee = e->a->str_val;
+  std::string_view callee = e->a->str_val;
   bool is_acquire = callee == "spin_lock" || callee == "spin_lock_irqsave" ||
                     callee == "mutex_lock";
   bool is_release = callee == "spin_unlock" || callee == "spin_unlock_irqrestore" ||
@@ -237,7 +237,7 @@ LockSafeReport LockSafe::ValidateRuntime(const Machine& vm, const IrModule& modu
   auto name_of = [&module](uint64_t addr) -> std::string {
     for (const GlobalSlot& g : module.globals) {
       if (addr >= g.addr && addr < g.addr + static_cast<uint64_t>(g.size)) {
-        return g.decl != nullptr ? g.decl->name : "<global>";
+        return g.decl != nullptr ? std::string(g.decl->name) : "<global>";
       }
     }
     return "heap@" + std::to_string(addr);

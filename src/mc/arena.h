@@ -1,0 +1,281 @@
+// Arena storage for the Mini-C AST: chunked node slabs with stable addresses
+// and dense uint32_t ids, a bump allocator for child-list arrays, and a
+// string interner with per-id content hashes.
+//
+// Design (see docs/ARCHITECTURE.md "Frontend"):
+//   - Expr/Stmt/VarDecl nodes live in per-kind slabs of fixed-size chunks.
+//     Addresses never move, so consumers keep using plain pointers, while
+//     every node also carries its slab index (`id`) — the typed handles
+//     ExprId/StmtId/DeclId below. Ids are assigned in parse order, so they
+//     are deterministic given the source bytes, and all nodes of one
+//     function occupy one contiguous id range (FuncDecl::{expr,stmt,decl}_
+//     {begin,end}) — the "slab span" that fingerprinting iterates linearly
+//     and that serializes as four integers.
+//   - Child lists (call args, block bodies) are arena-allocated arrays, not
+//     std::vectors: one bump allocation per list, nothing to destruct.
+//   - Identifier/string spellings are interned: nodes hold a string_view
+//     into arena-owned bytes plus a dense StrId; the interner keeps one
+//     content hash per id so fingerprints mix string content in O(1).
+//   - Everything a slab or the bump arena owns is trivially destructible
+//     (static_asserted in ast.h), so dropping the arena frees the whole AST
+//     in O(chunks) — error-path parses cannot leak by construction.
+//
+// AstAllocMode::kHeap preserves the pre-arena allocation strategy (one
+// individually-owned heap object per node / list / string, no interning
+// dedup) behind the same API. It exists for the BM_ParseSema{Heap,Arena}
+// benchmark pair and the heap-vs-arena identity tests; ids, spans and
+// fingerprints behave identically in both modes.
+#ifndef SRC_MC_ARENA_H_
+#define SRC_MC_ARENA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ivy {
+
+// FNV-1a parameters — the one pair of constants every hash in the frontend
+// and incremental layer (string interning, fingerprints, callee-list hashes)
+// derives from.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// Sentinel for "no node" / "no string" in id space.
+constexpr uint32_t kNoNode = 0xFFFFFFFFu;
+constexpr uint32_t kNoStr = 0xFFFFFFFFu;
+
+// Typed index handles. A handle is just the node's slab index; `kNoNode`
+// means null. Nodes store their own id, so `ExprId{e->id}` and
+// `prog.ExprAt(id)` convert both ways.
+struct ExprId {
+  uint32_t v = kNoNode;
+  bool valid() const { return v != kNoNode; }
+};
+struct StmtId {
+  uint32_t v = kNoNode;
+  bool valid() const { return v != kNoNode; }
+};
+struct DeclId {
+  uint32_t v = kNoNode;
+  bool valid() const { return v != kNoNode; }
+};
+
+enum class AstAllocMode { kArena, kHeap };
+
+// Length-tagged FNV-1a over string content. The value the interner caches
+// per StrId and the only way string content enters a fingerprint.
+inline uint64_t StrContentHash(std::string_view s) {
+  uint64_t h = kFnvOffset;
+  uint64_t n = s.size();
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<uint8_t>(n >> (i * 8));
+    h *= kFnvPrime;
+  }
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Chunked byte arena for child-list arrays and interned string bytes.
+// Addresses are stable; nothing is ever freed individually. In kHeap mode
+// every allocation is its own heap block (the pre-arena cost model).
+class BumpArena {
+ public:
+  static constexpr size_t kChunkBytes = 64 * 1024;
+
+  explicit BumpArena(AstAllocMode mode = AstAllocMode::kArena) : mode_(mode) {}
+
+  void* Alloc(size_t n, size_t align) {
+    if (n == 0) {
+      return nullptr;
+    }
+    used_ += n;
+    if (mode_ == AstAllocMode::kHeap || n > kChunkBytes / 4) {
+      chunks_.emplace_back(new char[n]);
+      reserved_ += n;
+      return chunks_.back().get();
+    }
+    size_t off = (cur_off_ + align - 1) & ~(align - 1);
+    if (cur_ == nullptr || off + n > kChunkBytes) {
+      chunks_.emplace_back(new char[kChunkBytes]);
+      reserved_ += kChunkBytes;
+      cur_ = chunks_.back().get();
+      off = 0;
+    }
+    cur_off_ = off + n;
+    return cur_ + off;
+  }
+
+  // Copies `s` into the arena and returns a stable view of it.
+  std::string_view CopyString(std::string_view s) {
+    if (s.empty()) {
+      return std::string_view();
+    }
+    char* p = static_cast<char*>(Alloc(s.size(), 1));
+    std::memcpy(p, s.data(), s.size());
+    return std::string_view(p, s.size());
+  }
+
+  size_t used_bytes() const { return used_; }
+  size_t reserved_bytes() const { return reserved_; }
+
+ private:
+  AstAllocMode mode_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  char* cur_ = nullptr;
+  size_t cur_off_ = 0;
+  size_t used_ = 0;
+  size_t reserved_ = 0;
+};
+
+// A stable-address slab of T with dense uint32_t indices. Arena mode packs
+// nodes into 512-element chunks (id -> chunk[id >> 9][id & 511]); heap mode
+// allocates each node individually, mimicking the old one-make_unique-per-
+// node parser.
+template <typename T>
+class NodeSlab {
+ public:
+  static constexpr uint32_t kChunkShift = 9;
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr uint32_t kChunkMask = kChunkSize - 1;
+
+  explicit NodeSlab(AstAllocMode mode = AstAllocMode::kArena) : mode_(mode) {}
+
+  T* New() {
+    if (mode_ == AstAllocMode::kHeap) {
+      singles_.push_back(std::make_unique<T>());
+      ++count_;
+      return singles_.back().get();
+    }
+    if ((count_ & kChunkMask) == 0) {
+      chunks_.emplace_back(new T[kChunkSize]);
+    }
+    T* p = &chunks_.back()[count_ & kChunkMask];
+    ++count_;
+    return p;
+  }
+
+  T* At(uint32_t id) {
+    if (mode_ == AstAllocMode::kHeap) {
+      return singles_[id].get();
+    }
+    return &chunks_[id >> kChunkShift][id & kChunkMask];
+  }
+  const T* At(uint32_t id) const { return const_cast<NodeSlab*>(this)->At(id); }
+
+  uint32_t size() const { return count_; }
+
+  size_t bytes() const {
+    if (mode_ == AstAllocMode::kHeap) {
+      return static_cast<size_t>(count_) * (sizeof(T) + sizeof(void*));
+    }
+    return chunks_.size() * kChunkSize * sizeof(T);
+  }
+
+ private:
+  AstAllocMode mode_;
+  uint32_t count_ = 0;
+  std::vector<std::unique_ptr<T[]>> chunks_;    // kArena
+  std::vector<std::unique_ptr<T>> singles_;     // kHeap
+};
+
+// An interned string: a stable view of the bytes plus the dense id whose
+// content hash the interner caches.
+struct StrRef {
+  std::string_view view;
+  uint32_t id = kNoStr;
+};
+
+// Immutable snapshot of an interner's state, shareable across arenas. The
+// FrontendCache takes one right after the prelude parse of the first module
+// compile; every later module seeds its interner from it, so prelude
+// identifier bytes are stored (and hashed) once per session instead of once
+// per module. Ids are preserved exactly: seeding is equivalent to re-
+// interning the same strings in the same order.
+struct InternSnapshot {
+  std::string bytes;  // concatenated string contents (stable once built)
+  std::vector<std::pair<uint32_t, uint32_t>> spans;  // (offset, length) per id
+  std::vector<uint64_t> hashes;                      // content hash per id
+};
+
+// Deduplicating string interner with per-id content hashes. In kHeap mode
+// dedup is disabled (every call copies, like the old per-node std::string),
+// but ids and hashes still behave the same for fingerprinting.
+class StringInterner {
+ public:
+  explicit StringInterner(AstAllocMode mode, BumpArena* bytes)
+      : mode_(mode), bytes_(bytes) {}
+
+  StrRef Intern(std::string_view s) {
+    if (mode_ == AstAllocMode::kArena) {
+      auto it = map_.find(s);
+      if (it != map_.end()) {
+        return StrRef{views_[it->second], it->second};
+      }
+    }
+    std::string_view stored = bytes_->CopyString(s);
+    uint32_t id = static_cast<uint32_t>(views_.size());
+    views_.push_back(stored);
+    hashes_.push_back(StrContentHash(stored));
+    if (mode_ == AstAllocMode::kArena) {
+      map_.emplace(stored, id);
+    }
+    return StrRef{stored, id};
+  }
+
+  std::string_view View(uint32_t id) const { return views_[id]; }
+  uint64_t Hash(uint32_t id) const { return hashes_[id]; }
+  uint32_t size() const { return static_cast<uint32_t>(views_.size()); }
+
+  // Seeds this (empty) interner from a snapshot. The snapshot's byte buffer
+  // is shared, not copied; `base` keeps it alive for the arena's lifetime.
+  void Seed(std::shared_ptr<const InternSnapshot> base) {
+    if (base == nullptr || size() != 0 || mode_ != AstAllocMode::kArena) {
+      return;
+    }
+    views_.reserve(base->spans.size());
+    hashes_ = base->hashes;
+    for (const auto& [off, len] : base->spans) {
+      std::string_view v(base->bytes.data() + off, len);
+      map_.emplace(v, static_cast<uint32_t>(views_.size()));
+      views_.push_back(v);
+    }
+    base_ = std::move(base);
+  }
+
+  std::shared_ptr<const InternSnapshot> Snapshot() const {
+    auto snap = std::make_shared<InternSnapshot>();
+    size_t total = 0;
+    for (std::string_view v : views_) {
+      total += v.size();
+    }
+    snap->bytes.reserve(total);
+    snap->spans.reserve(views_.size());
+    for (std::string_view v : views_) {
+      snap->spans.emplace_back(static_cast<uint32_t>(snap->bytes.size()),
+                               static_cast<uint32_t>(v.size()));
+      snap->bytes.append(v);
+    }
+    snap->hashes = hashes_;
+    return snap;
+  }
+
+ private:
+  AstAllocMode mode_;
+  BumpArena* bytes_;
+  std::vector<std::string_view> views_;
+  std::vector<uint64_t> hashes_;
+  std::unordered_map<std::string_view, uint32_t> map_;
+  std::shared_ptr<const InternSnapshot> base_;  // keeps seeded bytes alive
+};
+
+}  // namespace ivy
+
+#endif  // SRC_MC_ARENA_H_

@@ -1,5 +1,7 @@
 #include "src/mc/ast.h"
 
+#include <cstring>
+
 namespace ivy {
 
 int64_t TypeSize(const Type* t) {
@@ -132,16 +134,20 @@ std::string TypeToString(const Type* t) {
 }
 
 Expr* Program::NewExpr(ExprKind kind, SourceLoc loc) {
-  Expr* e = Alloc(&expr_pool_);
+  uint32_t id = arena_->exprs.size();
+  Expr* e = arena_->exprs.New();
   e->kind = kind;
   e->loc = loc;
+  e->id = id;
   return e;
 }
 
 Stmt* Program::NewStmt(StmtKind kind, SourceLoc loc) {
-  Stmt* s = Alloc(&stmt_pool_);
+  uint32_t id = arena_->stmts.size();
+  Stmt* s = arena_->stmts.New();
   s->kind = kind;
   s->loc = loc;
+  s->id = id;
   return s;
 }
 
@@ -151,10 +157,44 @@ Type* Program::NewType(TypeKind kind) {
   return t;
 }
 
-VarDecl* Program::NewVarDecl() { return Alloc(&var_pool_); }
+VarDecl* Program::NewVarDecl() {
+  uint32_t id = arena_->decls.size();
+  VarDecl* d = arena_->decls.New();
+  d->id = id;
+  return d;
+}
+
 RecordDecl* Program::NewRecord() { return Alloc(&record_pool_); }
 FuncDecl* Program::NewFunc() { return Alloc(&func_pool_); }
 Symbol* Program::NewSymbol() { return Alloc(&sym_pool_); }
+
+ExprList Program::MakeExprList(const std::vector<Expr*>& v) {
+  ExprList list;
+  list.count = static_cast<uint32_t>(v.size());
+  if (!v.empty()) {
+    list.items = static_cast<Expr**>(
+        arena_->bytes.Alloc(v.size() * sizeof(Expr*), alignof(Expr*)));
+    std::memcpy(list.items, v.data(), v.size() * sizeof(Expr*));
+  }
+  return list;
+}
+
+StmtList Program::MakeStmtList(const std::vector<Stmt*>& v) {
+  StmtList list;
+  list.count = static_cast<uint32_t>(v.size());
+  if (!v.empty()) {
+    list.items = static_cast<Stmt**>(
+        arena_->bytes.Alloc(v.size() * sizeof(Stmt*), alignof(Stmt*)));
+    std::memcpy(list.items, v.data(), v.size() * sizeof(Stmt*));
+  }
+  return list;
+}
+
+void Program::MarkExprsNoRefs(uint32_t begin) {
+  for (uint32_t i = begin; i < arena_->exprs.size(); ++i) {
+    arena_->exprs.At(i)->no_refs = true;
+  }
+}
 
 const Type* Program::IntType() {
   if (int_type_ == nullptr) {
@@ -183,7 +223,7 @@ Type* Program::PtrTo(const Type* pointee) {
   return t;
 }
 
-FuncDecl* Program::FindFunc(const std::string& name) const {
+FuncDecl* Program::FindFunc(std::string_view name) const {
   for (FuncDecl* f : funcs) {
     if (f->name == name) {
       return f;
@@ -192,7 +232,7 @@ FuncDecl* Program::FindFunc(const std::string& name) const {
   return nullptr;
 }
 
-RecordDecl* Program::FindRecord(const std::string& name) const {
+RecordDecl* Program::FindRecord(std::string_view name) const {
   for (RecordDecl* r : records) {
     if (r->name == name) {
       return r;

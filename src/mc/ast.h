@@ -1,16 +1,26 @@
 // Abstract syntax tree for Mini-C.
 //
-// Nodes are "fat" tagged structs allocated from arenas owned by Program. The
+// Nodes are "fat" tagged structs stored in per-module arena slabs owned by
+// Program (src/mc/arena.h). Every Expr/Stmt/VarDecl carries its dense slab
+// index (`id`), assigned in parse order: consumers traverse via the embedded
+// pointers as before, while fingerprinting and the span machinery iterate
+// the slabs linearly through the typed ExprId/StmtId/DeclId handles. The
 // tree survives for the whole pipeline (sema annotates it in place; lowering,
-// the points-to analysis and the future analyses all read it).
+// the points-to analysis and the analyses all read it). Nodes are trivially
+// destructible — identifier spellings are interned string_views into arena
+// bytes and child lists are arena arrays — so an abandoned (error-path)
+// parse frees completely when the Program drops its arena.
 #ifndef SRC_MC_AST_H_
 #define SRC_MC_AST_H_
 
 #include <memory>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
+#include "src/mc/arena.h"
 #include "src/mc/types.h"
 #include "src/support/source.h"
 
@@ -51,23 +61,56 @@ enum class BinOp {
 
 enum class UnOp { kNeg, kLogNot, kBitNot };
 
+// Arena-allocated child list: one bump allocation, no destructor. Iterates
+// like the std::vector it replaced.
+struct ExprList {
+  Expr** items = nullptr;
+  uint32_t count = 0;
+  uint32_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  Expr* operator[](size_t i) const { return items[i]; }
+  Expr* back() const { return items[count - 1]; }
+  Expr* const* begin() const { return items; }
+  Expr* const* end() const { return items + count; }
+};
+
+struct StmtList {
+  Stmt** items = nullptr;
+  uint32_t count = 0;
+  uint32_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  Stmt* operator[](size_t i) const { return items[i]; }
+  Stmt* back() const { return items[count - 1]; }
+  Stmt* const* begin() const { return items; }
+  Stmt* const* end() const { return items + count; }
+};
+
 struct Expr {
   ExprKind kind = ExprKind::kIntLit;
+  uint32_t id = kNoNode;   // own index in the Expr slab (ExprId{id})
   SourceLoc loc;
   const Type* type = nullptr;  // set by sema
 
   int64_t int_val = 0;
-  std::string str_val;  // identifier spelling, string value, or member name
+  // Identifier spelling, string value, or member name: a view into the
+  // module's interned string bytes, plus the interner id whose content hash
+  // fingerprinting mixes in O(1).
+  std::string_view str_val;
+  uint32_t str_id = kNoStr;
   Expr* a = nullptr;
   Expr* b = nullptr;
   Expr* c = nullptr;
-  std::vector<Expr*> args;
+  ExprList args;
   BinOp bin_op = BinOp::kNone;
   BinOp assign_op = BinOp::kNone;
   UnOp un_op = UnOp::kNeg;
   bool is_arrow = false;
   bool is_inc = false;
   bool is_prefix = false;
+  // Annotation / const-evaluated subtree: identifiers here are not "name
+  // references" for dirty-bit purposes (parity with the old recursive
+  // fingerprint walk, which skipped these subtrees when collecting refs).
+  bool no_refs = false;
   const Type* cast_type = nullptr;  // kCast / kSizeof(type)
 
   // Sema results.
@@ -101,7 +144,9 @@ enum class StmtKind {
 
 // A variable declaration (local or global).
 struct VarDecl {
-  std::string name;
+  std::string_view name;       // interned
+  uint32_t name_id = kNoStr;
+  uint32_t id = kNoNode;       // own index in the VarDecl slab (DeclId{id})
   const Type* type = nullptr;
   Expr* init = nullptr;
   Symbol* sym = nullptr;
@@ -111,6 +156,7 @@ struct VarDecl {
 
 struct Stmt {
   StmtKind kind = StmtKind::kEmpty;
+  uint32_t id = kNoNode;        // own index in the Stmt slab (StmtId{id})
   SourceLoc loc;
   Expr* expr = nullptr;         // kExpr, kReturn (nullable), conditions
   VarDecl* decl = nullptr;      // kDecl
@@ -119,8 +165,16 @@ struct Stmt {
   Expr* step = nullptr;         // kFor
   Stmt* then_stmt = nullptr;    // kIf / loop body
   Stmt* else_stmt = nullptr;    // kIf
-  std::vector<Stmt*> body;      // kBlock/kTrusted/kDelayedFree
+  StmtList body;                // kBlock/kTrusted/kDelayedFree
 };
+
+// Arena teardown is bulk chunk frees; nothing here may own heap memory.
+static_assert(std::is_trivially_destructible_v<Expr>,
+              "Expr must stay trivially destructible (arena-allocated)");
+static_assert(std::is_trivially_destructible_v<Stmt>,
+              "Stmt must stay trivially destructible (arena-allocated)");
+static_assert(std::is_trivially_destructible_v<VarDecl>,
+              "VarDecl must stay trivially destructible (arena-allocated)");
 
 enum class SymKind { kGlobal, kLocal, kParam, kFunc, kEnumConst, kTypedefName };
 
@@ -176,15 +230,49 @@ struct FuncDecl {
   int func_id = -1;     // dense program-wide id
   // Set by lowering: total bytes of locals + params (StackCheck input).
   int64_t frame_size = 0;
+
+  // Slab span: every Expr/Stmt/VarDecl of this function's definition lives
+  // in the half-open id ranges below (parse allocates function bodies
+  // contiguously; sema never allocates nodes). The span is the unit the
+  // linear fingerprint walks, and serializes as six integers.
+  uint32_t expr_begin = 0, expr_end = 0;
+  uint32_t stmt_begin = 0, stmt_end = 0;
+  uint32_t decl_begin = 0, decl_end = 0;
 };
 
-// A whole Mini-C program: arenas plus top-level declarations. Created by the
+// Node + list + string storage for one module's AST. Dropping it frees the
+// whole tree in O(chunks); see src/mc/arena.h for the layout.
+struct AstArena {
+  explicit AstArena(AstAllocMode m)
+      : mode(m), bytes(m), exprs(m), stmts(m), decls(m), interner(m, &bytes) {}
+  AstAllocMode mode;
+  BumpArena bytes;        // child lists + interned string bytes
+  NodeSlab<Expr> exprs;
+  NodeSlab<Stmt> stmts;
+  NodeSlab<VarDecl> decls;
+  StringInterner interner;
+
+  size_t TotalBytes() const {
+    return bytes.reserved_bytes() + exprs.bytes() + stmts.bytes() +
+           decls.bytes();
+  }
+};
+
+// A whole Mini-C program: arena plus top-level declarations. Created by the
 // Parser, completed by Sema, then read-only.
 class Program {
  public:
-  Program() = default;
+  explicit Program(AstAllocMode mode = AstAllocMode::kArena)
+      : arena_(std::make_unique<AstArena>(mode)) {}
   Program(const Program&) = delete;
   Program& operator=(const Program&) = delete;
+
+  // Swaps the allocation strategy. Only legal before anything is allocated
+  // (the pipeline calls it first thing when ToolConfig::heap_ast is set).
+  void SetAllocMode(AstAllocMode mode) {
+    arena_ = std::make_unique<AstArena>(mode);
+  }
+  AstAllocMode alloc_mode() const { return arena_->mode; }
 
   Expr* NewExpr(ExprKind kind, SourceLoc loc);
   Stmt* NewStmt(StmtKind kind, SourceLoc loc);
@@ -193,6 +281,37 @@ class Program {
   RecordDecl* NewRecord();
   FuncDecl* NewFunc();
   Symbol* NewSymbol();
+
+  // Index access: id <-> node. Ids are dense, assigned in parse order.
+  Expr* ExprAt(ExprId id) { return arena_->exprs.At(id.v); }
+  const Expr* ExprAt(ExprId id) const { return arena_->exprs.At(id.v); }
+  Stmt* StmtAt(StmtId id) { return arena_->stmts.At(id.v); }
+  const Stmt* StmtAt(StmtId id) const { return arena_->stmts.At(id.v); }
+  VarDecl* DeclAt(DeclId id) { return arena_->decls.At(id.v); }
+  const VarDecl* DeclAt(DeclId id) const { return arena_->decls.At(id.v); }
+  uint32_t expr_count() const { return arena_->exprs.size(); }
+  uint32_t stmt_count() const { return arena_->stmts.size(); }
+  uint32_t decl_count() const { return arena_->decls.size(); }
+
+  // String interning. StrHash is the cached content hash fingerprints mix.
+  StrRef Intern(std::string_view s) { return arena_->interner.Intern(s); }
+  uint64_t StrHash(uint32_t str_id) const {
+    return arena_->interner.Hash(str_id);
+  }
+  const StringInterner& interner() const { return arena_->interner; }
+  void SeedInterner(std::shared_ptr<const InternSnapshot> base) {
+    arena_->interner.Seed(std::move(base));
+  }
+
+  // Copies a scratch vector into an arena-owned array.
+  ExprList MakeExprList(const std::vector<Expr*>& v);
+  StmtList MakeStmtList(const std::vector<Stmt*>& v);
+
+  // Marks every Expr allocated since `begin` as an annotation/const-eval
+  // node (excluded from reference collection; see Expr::no_refs).
+  void MarkExprsNoRefs(uint32_t begin);
+
+  const AstArena& arena() const { return *arena_; }
 
   // Canonical primitive types.
   const Type* IntType();
@@ -205,11 +324,13 @@ class Program {
   std::vector<FuncDecl*> funcs;
   std::vector<VarDecl*> globals;
   // Enum constants and typedefs, for lookup in sema and the cast parser.
-  std::unordered_map<std::string, int64_t> enum_consts;
-  std::unordered_map<std::string, const Type*> typedefs;
+  // Keyed by interned views (stable for the Program's lifetime), so lookups
+  // from Expr::str_val need no temporary std::string.
+  std::unordered_map<std::string_view, int64_t> enum_consts;
+  std::unordered_map<std::string_view, const Type*> typedefs;
 
-  FuncDecl* FindFunc(const std::string& name) const;
-  RecordDecl* FindRecord(const std::string& name) const;
+  FuncDecl* FindFunc(std::string_view name) const;
+  RecordDecl* FindRecord(std::string_view name) const;
 
  private:
   template <typename T>
@@ -218,10 +339,8 @@ class Program {
     return pool->back().get();
   }
 
-  std::vector<std::unique_ptr<Expr>> expr_pool_;
-  std::vector<std::unique_ptr<Stmt>> stmt_pool_;
+  std::unique_ptr<AstArena> arena_;
   std::vector<std::unique_ptr<Type>> type_pool_;
-  std::vector<std::unique_ptr<VarDecl>> var_pool_;
   std::vector<std::unique_ptr<RecordDecl>> record_pool_;
   std::vector<std::unique_ptr<FuncDecl>> func_pool_;
   std::vector<std::unique_ptr<Symbol>> sym_pool_;

@@ -139,7 +139,7 @@ void Parser::ParsePtrAnnots(PtrAnnot* annot) {
         Advance();
         Expect(Tok::kLParen, "after 'count'");
         annot->bounds = BoundsKind::kCount;
-        annot->count = ParseExpr();
+        annot->count = ParseNoRefExpr([&] { return ParseExpr(); });
         Expect(Tok::kRParen, "after count expression");
         break;
       }
@@ -147,9 +147,9 @@ void Parser::ParsePtrAnnots(PtrAnnot* annot) {
         Advance();
         Expect(Tok::kLParen, "after 'bound'");
         annot->bounds = BoundsKind::kBound;
-        annot->lo = ParseExpr();
+        annot->lo = ParseNoRefExpr([&] { return ParseExpr(); });
         Expect(Tok::kComma, "in bound()");
-        annot->hi = ParseExpr();
+        annot->hi = ParseNoRefExpr([&] { return ParseExpr(); });
         Expect(Tok::kRParen, "after bound expressions");
         break;
       }
@@ -189,7 +189,7 @@ const Type* Parser::ParseType() {
 const Type* Parser::ParseArraySuffix(const Type* base) {
   const Type* t = base;
   if (Accept(Tok::kLBracket)) {
-    Expr* len = ParseExpr();
+    Expr* len = ParseNoRefExpr([&] { return ParseExpr(); });
     int64_t n = 0;
     if (!EvalConstInt(len, &n) || n <= 0) {
       diags_->Error(len != nullptr ? len->loc : Cur().loc,
@@ -279,10 +279,10 @@ void Parser::ParseTypedef() {
       } while (Accept(Tok::kComma));
     }
     Expect(Tok::kRParen, "after typedef parameter list");
-    prog_->typedefs[name] = fn;
+    prog_->typedefs[prog_->Intern(name).view] = fn;
   } else {
     const Type* t = ParseArraySuffix(base);
-    prog_->typedefs[name] = t;
+    prog_->typedefs[prog_->Intern(name).view] = t;
   }
   if (prog_->typedefs.count(name) == 0) {
     diags_->Error(loc, "typedef failed", "parse");
@@ -379,7 +379,7 @@ void Parser::ParseEnum() {
     SourceLoc loc = Cur().loc;
     Advance();
     if (Accept(Tok::kAssign)) {
-      Expr* e = ParseCond();
+      Expr* e = ParseNoRefExpr([&] { return ParseCond(); });
       int64_t v = 0;
       if (!EvalConstInt(e, &v)) {
         diags_->Error(loc, "enum value must be constant", "parse");
@@ -389,7 +389,7 @@ void Parser::ParseEnum() {
     if (prog_->enum_consts.count(name) != 0) {
       diags_->Error(loc, "duplicate enum constant '" + name + "'", "parse");
     }
-    prog_->enum_consts[name] = next;
+    prog_->enum_consts[prog_->Intern(name).view] = next;
     ++next;
     if (!Accept(Tok::kComma)) {
       break;
@@ -438,7 +438,7 @@ FuncAttrs Parser::ParseFuncAttrs() {
         Advance();
         Expect(Tok::kLParen, "after 'errcode'");
         do {
-          Expr* e = ParseCond();
+          Expr* e = ParseNoRefExpr([&] { return ParseCond(); });
           int64_t v = 0;
           if (EvalConstInt(e, &v)) {
             attrs.errcodes.push_back(v);
@@ -456,6 +456,11 @@ FuncAttrs Parser::ParseFuncAttrs() {
 }
 
 void Parser::ParseFuncOrGlobal() {
+  // Taken before the return type: its annotation expressions belong to the
+  // function's slab span if this turns out to be a function.
+  func_expr_mark_ = prog_->expr_count();
+  func_stmt_mark_ = prog_->stmt_count();
+  func_decl_mark_ = prog_->decl_count();
   SourceLoc loc = Cur().loc;
   const Type* base = ParseType();
   if (!At(Tok::kIdent)) {
@@ -473,7 +478,7 @@ void Parser::ParseFuncOrGlobal() {
   // Global variable(s).
   for (;;) {
     VarDecl* g = prog_->NewVarDecl();
-    g->name = name;
+    SetName(g, name);
     g->loc = loc;
     g->is_global = true;
     g->type = ParseArraySuffix(base);
@@ -548,24 +553,33 @@ void Parser::ParseFuncRest(const Type* ret, const std::string& name, SourceLoc l
   } else {
     Expect(Tok::kSemi, "after function declaration");
   }
+  // Every node of this function occupies the contiguous id ranges between
+  // the ParseFuncOrGlobal marks and here (sema allocates no nodes).
+  fn->expr_begin = func_expr_mark_;
+  fn->expr_end = prog_->expr_count();
+  fn->stmt_begin = func_stmt_mark_;
+  fn->stmt_end = prog_->stmt_count();
+  fn->decl_begin = func_decl_mark_;
+  fn->decl_end = prog_->decl_count();
   prog_->funcs.push_back(fn);
 }
 
 Stmt* Parser::ParseBlock(StmtKind kind) {
   Stmt* block = prog_->NewStmt(kind, Cur().loc);
   Expect(Tok::kLBrace, "to open block");
+  std::vector<Stmt*> body;
   while (!At(Tok::kRBrace) && !At(Tok::kEof)) {
-    block->body.push_back(ParseStmt());
+    body.push_back(ParseStmt());
   }
   Expect(Tok::kRBrace, "to close block");
+  block->body = prog_->MakeStmtList(body);
   return block;
 }
 
 Stmt* Parser::ParseDeclStmt() {
   SourceLoc loc = Cur().loc;
   const Type* base = ParseType();
-  Stmt* block = nullptr;  // chain for "int a, b;" -> block of decls
-  Stmt* first = nullptr;
+  std::vector<Stmt*> decls;  // "int a, b;" -> kSeq of decls
   for (;;) {
     if (!AtIdentLike()) {
       diags_->Error(Cur().loc, "expected variable name", "parse");
@@ -573,7 +587,7 @@ Stmt* Parser::ParseDeclStmt() {
       break;
     }
     VarDecl* d = prog_->NewVarDecl();
-    d->name = Cur().text;
+    SetName(d, Cur().text);
     d->loc = Cur().loc;
     Advance();
     d->type = ParseArraySuffix(base);
@@ -582,27 +596,21 @@ Stmt* Parser::ParseDeclStmt() {
     }
     Stmt* s = prog_->NewStmt(StmtKind::kDecl, d->loc);
     s->decl = d;
-    if (first == nullptr) {
-      first = s;
-    } else {
-      if (block == nullptr) {
-        block = prog_->NewStmt(StmtKind::kSeq, loc);
-        block->body.push_back(first);
-      }
-      block->body.push_back(s);
-    }
+    decls.push_back(s);
     if (!Accept(Tok::kComma)) {
       break;
     }
   }
   Expect(Tok::kSemi, "after declaration");
-  if (block != nullptr) {
-    return block;
+  if (decls.size() == 1) {
+    return decls[0];
   }
-  if (first != nullptr) {
-    return first;
+  if (decls.empty()) {
+    return prog_->NewStmt(StmtKind::kEmpty, loc);
   }
-  return prog_->NewStmt(StmtKind::kEmpty, loc);
+  Stmt* seq = prog_->NewStmt(StmtKind::kSeq, loc);
+  seq->body = prog_->MakeStmtList(decls);
+  return seq;
 }
 
 Stmt* Parser::ParseStmt() {
@@ -969,9 +977,11 @@ Expr* Parser::ParsePostfix(Expr* base) {
         Expr* call = prog_->NewExpr(ExprKind::kCall, loc);
         call->a = base;
         if (!At(Tok::kRParen)) {
+          std::vector<Expr*> args;
           do {
-            call->args.push_back(ParseAssign());
+            args.push_back(ParseAssign());
           } while (Accept(Tok::kComma));
+          call->args = prog_->MakeExprList(args);
         }
         Expect(Tok::kRParen, "after call arguments");
         base = call;
@@ -994,7 +1004,7 @@ Expr* Parser::ParsePostfix(Expr* base) {
         mem->a = base;
         mem->is_arrow = arrow;
         if (AtIdentLike()) {
-          mem->str_val = Cur().text;
+          SetStr(mem, Cur().text);
           Advance();
         } else {
           diags_->Error(Cur().loc, "expected member name", "parse");
@@ -1035,7 +1045,7 @@ Expr* Parser::ParsePrimary() {
     }
     case Tok::kStrLit: {
       Expr* e = prog_->NewExpr(ExprKind::kStrLit, loc);
-      e->str_val = Cur().text;
+      SetStr(e, Cur().text);
       Advance();
       return e;
     }
@@ -1045,7 +1055,7 @@ Expr* Parser::ParsePrimary() {
     }
     case Tok::kIdent: {
       Expr* e = prog_->NewExpr(ExprKind::kIdent, loc);
-      e->str_val = Cur().text;
+      SetStr(e, Cur().text);
       Advance();
       return e;
     }

@@ -106,8 +106,8 @@ void Sema::ResolveAnnotExprInRecord(Expr* e, RecordDecl* rec) {
     }
     if (f == nullptr) {
       diags_->Error(e->loc,
-                    "annotation refers to unknown field '" + e->str_val + "' of record '" +
-                        rec->name + "'",
+                    "annotation refers to unknown field '" + std::string(e->str_val) +
+                        "' of record '" + rec->name + "'",
                     "sema");
       return;
     }
@@ -169,16 +169,16 @@ void Sema::PushScope() { scopes_.emplace_back(); }
 
 void Sema::PopScope() { scopes_.pop_back(); }
 
-Symbol* Sema::Declare(const std::string& name, Symbol* sym) {
+Symbol* Sema::Declare(std::string_view name, Symbol* sym) {
   auto& scope = scopes_.back();
   auto [it, inserted] = scope.emplace(name, sym);
   if (!inserted) {
-    diags_->Error(sym->loc, "redeclaration of '" + name + "'", "sema");
+    diags_->Error(sym->loc, "redeclaration of '" + std::string(name) + "'", "sema");
   }
   return it->second;
 }
 
-Symbol* Sema::Lookup(const std::string& name) {
+Symbol* Sema::Lookup(std::string_view name) {
   for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
     auto found = it->find(name);
     if (found != it->end()) {
@@ -242,11 +242,11 @@ void Sema::CollectGlobals() {
   // Globals.
   for (VarDecl* g : prog_->globals) {
     if (global_scope_.count(g->name) != 0 || func_map_.count(g->name) != 0) {
-      diags_->Error(g->loc, "redeclaration of global '" + g->name + "'", "sema");
+      diags_->Error(g->loc, "redeclaration of global '" + std::string(g->name) + "'", "sema");
       continue;
     }
     Symbol* sym = prog_->NewSymbol();
-    sym->name = g->name;
+    sym->name = std::string(g->name);
     sym->kind = SymKind::kGlobal;
     sym->type = g->type;
     sym->var = g;
@@ -376,7 +376,7 @@ void Sema::CheckStmt(Stmt* s) {
     case StmtKind::kDecl: {
       VarDecl* d = s->decl;
       Symbol* sym = prog_->NewSymbol();
-      sym->name = d->name;
+      sym->name = std::string(d->name);
       sym->kind = SymKind::kLocal;
       sym->type = d->type;
       sym->var = d;
@@ -674,7 +674,9 @@ const Type* Sema::CheckMember(Expr* e) {
   }
   const RecordField* f = rec->FindField(e->str_val);
   if (f == nullptr) {
-    diags_->Error(e->loc, "no field '" + e->str_val + "' in record '" + rec->name + "'", "sema");
+    diags_->Error(e->loc,
+                  "no field '" + std::string(e->str_val) + "' in record '" + rec->name + "'",
+                  "sema");
     return prog_->NewType(TypeKind::kError);
   }
   e->field = f;
@@ -916,7 +918,8 @@ const Type* Sema::CheckExpr(Expr* e) {
         t = fn->second->type;  // function designator
         break;
       }
-      diags_->Error(e->loc, "use of undeclared identifier '" + e->str_val + "'", "sema");
+      diags_->Error(e->loc, "use of undeclared identifier '" + std::string(e->str_val) + "'",
+                    "sema");
       t = prog_->NewType(TypeKind::kError);
       break;
     }

@@ -13,6 +13,7 @@
 #include <functional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -44,8 +45,9 @@ class Sema {
   const SemaStats& stats() const { return stats_; }
 
   // Resolved function table: name -> canonical FuncDecl (definitions win
-  // over declarations).
-  const std::unordered_map<std::string, FuncDecl*>& func_map() const { return func_map_; }
+  // over declarations). Keys view the FuncDecl's own (pool-stable) name, so
+  // lookups from interned Expr::str_val need no temporary string.
+  const std::unordered_map<std::string_view, FuncDecl*>& func_map() const { return func_map_; }
 
  private:
   // Layout.
@@ -59,8 +61,10 @@ class Sema {
   // Symbols and scopes.
   void PushScope();
   void PopScope();
-  Symbol* Declare(const std::string& name, Symbol* sym);
-  Symbol* Lookup(const std::string& name);
+  // Scope keys are views of arena-interned spellings or pool-stable Symbol
+  // names; both outlive the Sema.
+  Symbol* Declare(std::string_view name, Symbol* sym);
+  Symbol* Lookup(std::string_view name);
 
   // Declarations.
   void CollectGlobals();
@@ -90,9 +94,9 @@ class Sema {
   BuiltinResolver builtins_;
   SemaStats stats_;
 
-  std::unordered_map<std::string, FuncDecl*> func_map_;
-  std::unordered_map<std::string, Symbol*> global_scope_;
-  std::vector<std::unordered_map<std::string, Symbol*>> scopes_;
+  std::unordered_map<std::string_view, FuncDecl*> func_map_;
+  std::unordered_map<std::string_view, Symbol*> global_scope_;
+  std::vector<std::unordered_map<std::string_view, Symbol*>> scopes_;
   FuncDecl* cur_fn_ = nullptr;
   int trusted_depth_ = 0;
   int loop_depth_ = 0;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/support/source.h"
@@ -76,7 +77,7 @@ struct RecordDecl {
   // Dense id assigned by sema; used as the CCount runtime type id.
   int type_id = -1;
 
-  const RecordField* FindField(const std::string& field_name) const {
+  const RecordField* FindField(std::string_view field_name) const {
     for (const RecordField& f : fields) {
       if (f.name == field_name) {
         return &f;

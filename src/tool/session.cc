@@ -298,16 +298,19 @@ void AnalysisSession::Analyze(const std::string& name, ModuleState* st) {
   std::map<std::string, uint64_t> sigs;
   std::map<std::string, std::set<std::string>> refs;
   if (track_incremental_) {
+    const uint64_t fp_t0 = MonotonicNowNs();
     preamble = FingerprintPreamble(comp->prog);
     for (const auto& [fname, fn] : comp->sema->func_map()) {
       if (fn->body == nullptr || fn->func_id < 0) {
         continue;
       }
-      FunctionFingerprint fingerprint = FingerprintFunctionFull(fn);
-      fps[fname] = fingerprint.full;
-      sigs[fname] = fingerprint.sig;
-      refs[fname] = std::move(fingerprint.refs);
+      FunctionFingerprint fingerprint = FingerprintFunctionFull(comp->prog, fn);
+      std::string key(fname);
+      fps[key] = fingerprint.full;
+      sigs[key] = fingerprint.sig;
+      refs[key] = std::move(fingerprint.refs);
     }
+    trace::GetHistogram("frontend.fingerprint_us")->Record((MonotonicNowNs() - fp_t0) / 1000);
   }
 
   // Cross-module imports: seed this compilation's AST (and the points-to
@@ -455,7 +458,7 @@ void AnalysisSession::Analyze(const std::string& name, ModuleState* st) {
     if (fn->func_id < 0 || fn->is_builtin) {
       continue;
     }
-    (fn->body != nullptr ? st->defined_names : st->extern_refs).insert(fname);
+    (fn->body != nullptr ? st->defined_names : st->extern_refs).insert(std::string(fname));
   }
   st->have_link_names = true;
   st->have_snapshot = false;
@@ -631,17 +634,17 @@ std::vector<FuncSummary> AnalysisSession::ExtractSummaries(const std::string& na
                            ? ir.funcs[static_cast<size_t>(fn->func_id)].frame_size
                            : fn->frame_size;
       if (bs != nullptr) {
-        row.may_block = bs->mayblock.count(fname) != 0;
-        auto w = bs->mayblock_witness.find(fname);
+        row.may_block = bs->mayblock.count(row.function) != 0;
+        auto w = bs->mayblock_witness.find(row.function);
         if (w != bs->mayblock_witness.end()) {
           row.block_witness = w->second;
         }
       }
       if (ec != nullptr) {
-        row.returns_error = ec->err_funcs.count(fname) != 0;
+        row.returns_error = ec->err_funcs.count(row.function) != 0;
       }
       if (ls != nullptr) {
-        auto lk = ls->locks_acquired.find(fname);
+        auto lk = ls->locks_acquired.find(row.function);
         if (lk != ls->locks_acquired.end()) {
           row.locks_acquired = lk->second;
         }
@@ -661,7 +664,7 @@ std::vector<FuncSummary> AnalysisSession::ExtractSummaries(const std::string& na
     } else {
       // Usage row: top-down facts about an extern-declared function.
       if (bs != nullptr) {
-        auto b = bs->extern_entry_bits.find(fname);
+        auto b = bs->extern_entry_bits.find(row.function);
         row.entered_atomic = b != bs->extern_entry_bits.end() && (b->second & 2) != 0;
       }
       if (ls != nullptr) {
